@@ -1,0 +1,59 @@
+"""Experiment E-ELECT: mechanized Theorem 11.
+
+Paper artifact: Theorem 11, election is not wait-free solvable.
+Workloads: the structural argument (pseudomanifold + connectivity +
+per-process propagation + solo collapse) on immediate-snapshot protocol
+complexes, and the exhaustive comparison-based decision-map refutation,
+for n = 2, 3 and 1-2 rounds; plus the one-round structure check at n = 4.
+"""
+
+from repro.core import election, renaming
+from repro.topology import (
+    ISProtocolComplex,
+    election_impossibility,
+    search_decision_map,
+)
+
+
+def bench_election_argument_n3_r2(benchmark):
+    report = benchmark(election_impossibility, 3, 2)
+    assert report.argument_applies
+    assert report.election_impossible
+    assert report.facets == 169
+
+
+def bench_election_brute_force_n3(benchmark):
+    complex_ = ISProtocolComplex(3, 2)
+
+    def refute():
+        return search_decision_map(election(3), complex_)
+
+    result = benchmark(refute)
+    assert not result.solvable
+
+
+def bench_structure_lemmas_n4(benchmark):
+    def structure():
+        complex_ = ISProtocolComplex(4, 1)
+        simplicial = complex_.to_simplicial()
+        return (
+            simplicial.is_pure(),
+            simplicial.is_chromatic(ISProtocolComplex.color),
+            simplicial.is_pseudomanifold(),
+            simplicial.is_strongly_connected(),
+        )
+
+    flags = benchmark(structure)
+    assert flags == (True, True, True, True)
+
+
+def bench_positive_control_renaming_map_search(benchmark):
+    # Solvable counterpoint: the search *finds* a map for <2,3,0,1> at one
+    # round, so refutations above are not artifacts of a broken search.
+    complex_ = ISProtocolComplex(2, 1)
+
+    def find():
+        return search_decision_map(renaming(2, 3), complex_)
+
+    result = benchmark(find)
+    assert result.solvable

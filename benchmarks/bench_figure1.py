@@ -1,0 +1,38 @@
+"""Experiment F1: regenerate the paper's Figure 1.
+
+Paper artifact: Figure 1, "Canonical <n,m,-,-> GSB tasks are partially
+ordered" (n=6, m=3).  Workload: find the seven canonical representatives,
+compute the strict-containment relation on kernel sets, and reduce it to
+cover edges.  The assertion pins nodes and edges to the published figure.
+"""
+
+from repro.analysis import (
+    PAPER_FIGURE1_EDGES,
+    PAPER_FIGURE1_NODES,
+    figure1,
+    figure1_matches_paper,
+    to_dot,
+)
+
+
+def bench_figure1_regeneration(benchmark, paper_n, paper_m):
+    figure = benchmark(figure1, paper_n, paper_m)
+    ok, problems = figure1_matches_paper(figure)
+    assert ok, problems
+    assert figure.nodes == PAPER_FIGURE1_NODES
+    assert figure.edges == PAPER_FIGURE1_EDGES
+
+
+def bench_figure1_dot_export(benchmark):
+    figure = figure1()
+    dot = benchmark(to_dot, figure)
+    assert dot.count("->") == len(PAPER_FIGURE1_EDGES)
+
+
+def bench_figure1_larger_family(benchmark):
+    import networkx as nx
+
+    figure = benchmark(figure1, 12, 4)
+    assert nx.is_directed_acyclic_graph(figure.graph)
+    sinks = [n for n in figure.graph if figure.graph.out_degree(n) == 0]
+    assert sinks == [(3, 3)]  # hardest <12,4> task

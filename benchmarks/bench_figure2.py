@@ -1,0 +1,83 @@
+"""Experiment F2: the paper's Figure 2 algorithm (Theorem 12).
+
+Paper artifact: Figure 2, "(n+1)-renaming in ASM[(n-1)-slot]" with
+Theorem 12's correctness claim.  Workloads:
+
+* a randomized scheduler battery (with crashes) at n=6;
+* exhaustive model checking of every interleaving at n=3;
+* the adversarial collision placements from the proof's case analysis.
+
+Assertions: every run decides distinct names in [1..n+1].
+"""
+
+from repro.algorithms import (
+    figure2_renaming,
+    figure2_system_factory,
+    figure2_task,
+)
+from repro.shm import (
+    GSBOracle,
+    RandomScheduler,
+    check_algorithm,
+    check_algorithm_exhaustive,
+    colliding_slot_strategy,
+    run_algorithm,
+)
+from repro.shm.runtime import default_identities
+
+
+def bench_figure2_battery_n6(benchmark):
+    def battery():
+        return check_algorithm(
+            figure2_task(6),
+            figure2_renaming(),
+            6,
+            system_factory=figure2_system_factory(6, seed=1),
+            runs=60,
+            seed=2,
+        )
+
+    report = benchmark(battery)
+    assert report.ok, report.violations[:3]
+    assert report.runs == 60
+
+
+def bench_figure2_exhaustive_n3(benchmark):
+    def model_check():
+        return check_algorithm_exhaustive(
+            figure2_task(3),
+            figure2_renaming(),
+            3,
+            system_factory=figure2_system_factory(3, seed=0),
+        )
+
+    report = benchmark(model_check)
+    assert report.ok
+    assert report.runs == 1743  # all interleavings over all subsets
+
+
+def bench_figure2_adversarial_collisions(benchmark):
+    n = 7
+    task = figure2_task(n)
+
+    def adversarial_sweep():
+        violations = 0
+        for slot in range(1, n):
+            for collide_first in (True, False):
+                strategy = colliding_slot_strategy(n, slot, collide_first)
+                from repro.core import k_slot
+
+                oracle = GSBOracle(k_slot(n, n - 1), strategy=strategy)
+                result = run_algorithm(
+                    figure2_renaming(),
+                    default_identities(n),
+                    RandomScheduler(slot * 2 + collide_first),
+                    arrays={"STATE": None},
+                    objects={"KS": oracle},
+                )
+                if not task.is_legal_output(result.outputs):
+                    violations += 1
+        return violations
+
+    violations = benchmark(adversarial_sweep)
+    assert violations == 0

@@ -1,0 +1,86 @@
+"""Experiment E-MIS: message-passing symmetry breaking round complexity.
+
+Companion substrate: Luby's MIS should finish in O(log n) rounds on random
+graphs, the randomized colorer likewise, Cole-Vishkin in O(log* n) + O(1)
+rounds on rings, and ring election in O(n) rounds.  The benches measure
+rounds/messages and assert the growth shapes.
+"""
+
+import math
+
+from repro.graphs import (
+    check_coloring,
+    check_election_outputs,
+    check_mis,
+    mis_nodes,
+    random_graph,
+    run_chang_roberts,
+    run_cole_vishkin,
+    run_hirschberg_sinclair,
+    run_luby_mis,
+    run_randomized_coloring,
+)
+
+
+def bench_luby_mis_round_scaling(benchmark):
+    sizes = (32, 128, 512)
+
+    def sweep():
+        rounds = {}
+        for n in sizes:
+            graph = random_graph(n, min(8 / n, 0.5), seed=5)
+            result = run_luby_mis(graph, seed=5)
+            assert result.halted
+            assert check_mis(graph, mis_nodes(result)) == []
+            rounds[n] = result.rounds
+        return rounds
+
+    rounds = benchmark(sweep)
+    # O(log n) shape: 16x more nodes should cost far less than 16x rounds.
+    assert rounds[512] <= 4 * rounds[32]
+    assert rounds[512] <= 10 * math.log2(512)
+
+
+def bench_randomized_coloring_rounds(benchmark):
+    def sweep():
+        rounds = {}
+        for n in (32, 128, 512):
+            graph = random_graph(n, min(6 / n, 0.5), seed=9)
+            result = run_randomized_coloring(graph, seed=9)
+            assert result.halted
+            assert check_coloring(graph, result.outputs) == []
+            rounds[n] = result.rounds
+        return rounds
+
+    rounds = benchmark(sweep)
+    assert rounds[512] <= 4 * rounds[32] + 4
+
+
+def bench_cole_vishkin_log_star(benchmark):
+    def sweep():
+        rounds = {}
+        for n in (16, 256, 1024):
+            result = run_cole_vishkin(n)
+            assert result.halted
+            rounds[n] = result.rounds
+        return rounds
+
+    rounds = benchmark(sweep)
+    # log* growth: nearly flat.
+    assert rounds[1024] - rounds[16] <= 3
+
+
+def bench_ring_election_messages(benchmark):
+    def sweep():
+        messages = {}
+        for n in (16, 64):
+            cr = run_chang_roberts(n, seed=3)
+            hs = run_hirschberg_sinclair(n, seed=3)
+            assert check_election_outputs(cr) == []
+            assert check_election_outputs(hs) == []
+            messages[n] = (cr.messages, hs.messages)
+        return messages
+
+    messages = benchmark(sweep)
+    # HS stays O(n log n): its 64-ring run must cost far less than n^2.
+    assert messages[64][1] < 64 * 64

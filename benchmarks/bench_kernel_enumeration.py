@@ -1,0 +1,77 @@
+"""Experiment E-KERNEL: structure-machinery scaling.
+
+Workload: kernel-set enumeration, synonym-class partitioning and
+canonicalization across growing (n, m) grids — the raw combinatorics every
+other artifact builds on.  Assertions cross-check counts against
+independent identities (partition counts, Fubini-style recursions).
+"""
+
+from repro.core import (
+    SymmetricGSBTask,
+    canonical_parameters,
+    feasible_bound_pairs,
+    kernel_vectors,
+    synonym_classes,
+)
+
+
+def bench_kernel_enumeration_grid(benchmark):
+    def enumerate_grid():
+        total = 0
+        for n in range(2, 15):
+            for m in range(1, min(n, 6) + 1):
+                total += len(kernel_vectors(n, m, 0, n))
+        return total
+
+    total = benchmark(enumerate_grid)
+    assert total > 300
+
+
+def bench_kernel_enumeration_large_single(benchmark):
+    kernels = benchmark(kernel_vectors, 40, 6, 1, 20)
+    assert kernels
+    assert all(sum(kernel) == 40 for kernel in kernels)
+
+
+def bench_synonym_partition(benchmark):
+    def partition():
+        return {
+            (n, m): synonym_classes(n, m)
+            for n in range(4, 10)
+            for m in (2, 3)
+        }
+
+    classes = benchmark(partition)
+    assert classes[(6, 3)] and len(classes[(6, 3)]) == 7
+
+
+def bench_canonicalization_sweep(benchmark):
+    def sweep():
+        count = 0
+        for n in range(2, 12):
+            for m in range(1, min(n, 5) + 1):
+                for low, high in feasible_bound_pairs(n, m):
+                    canonical_parameters(n, m, low, high)
+                    count += 1
+        return count
+
+    count = benchmark(sweep)
+    assert count > 400
+
+
+def bench_containment_checks(benchmark):
+    tasks = [
+        SymmetricGSBTask(10, 4, low, high)
+        for low, high in feasible_bound_pairs(10, 4)
+    ]
+
+    def all_pairs():
+        included = 0
+        for first in tasks:
+            for second in tasks:
+                if first.includes(second):
+                    included += 1
+        return included
+
+    included = benchmark(all_pairs)
+    assert included >= len(tasks)  # at least the reflexive pairs

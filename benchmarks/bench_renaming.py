@@ -1,0 +1,97 @@
+"""Experiment E-RENAME: the renaming substrates.
+
+Paper context: Theorems 1-2 assume a (2n-1)-renaming subroutine; this
+bench measures the two implemented substrates — adaptive snapshot renaming
+(optimal 2p-1 namespace) and the Moir-Anderson splitter grid (quadratic
+namespace, register-cheap) — plus the trivial identity renaming baseline.
+Shape expectation: grid < adaptive in per-run step counts, both correct;
+identity renaming is free.
+"""
+
+import random
+
+from repro.algorithms import (
+    adaptive_renaming_algorithm,
+    grid_system_factory,
+    identity_renaming_algorithm,
+    max_grid_name,
+    moir_anderson_algorithm,
+)
+from repro.core import renaming
+from repro.shm import RandomScheduler, check_algorithm, run_algorithm
+from repro.shm.runtime import default_identities
+
+
+def _run_many(algorithm, n, system_factory, seeds):
+    steps = 0
+    for seed in seeds:
+        arrays, objects = system_factory()
+        result = run_algorithm(
+            algorithm,
+            default_identities(n, random.Random(seed)),
+            RandomScheduler(seed),
+            arrays=arrays,
+            objects=objects,
+            record_trace=False,
+        )
+        assert all(output is not None for output in result.outputs)
+        assert len(set(result.outputs)) == n
+        steps += result.steps
+    return steps
+
+
+def bench_adaptive_renaming_n8(benchmark):
+    steps = benchmark(
+        _run_many,
+        adaptive_renaming_algorithm(),
+        8,
+        lambda: ({"RENAME": None}, {}),
+        range(20),
+    )
+    assert steps > 0
+
+
+def bench_grid_renaming_n8(benchmark):
+    steps = benchmark(
+        _run_many,
+        moir_anderson_algorithm(),
+        8,
+        grid_system_factory(8),
+        range(20),
+    )
+    assert steps > 0
+
+
+def bench_identity_renaming_n8(benchmark):
+    steps = benchmark(
+        _run_many,
+        identity_renaming_algorithm(),
+        8,
+        lambda: ({}, {}),
+        range(20),
+    )
+    assert steps == 0  # communication-free
+
+
+def bench_renaming_namespace_correctness(benchmark):
+    def battery():
+        adaptive = check_algorithm(
+            renaming(6, 11),
+            adaptive_renaming_algorithm(),
+            6,
+            system_factory=lambda: ({"RENAME": None}, {}),
+            runs=30,
+            seed=1,
+        )
+        grid = check_algorithm(
+            renaming(6, max_grid_name(6)),
+            moir_anderson_algorithm(),
+            6,
+            system_factory=grid_system_factory(6),
+            runs=30,
+            seed=2,
+        )
+        return adaptive, grid
+
+    adaptive, grid = benchmark(battery)
+    assert adaptive.ok and grid.ok

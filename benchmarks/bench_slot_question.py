@@ -1,0 +1,70 @@
+"""Experiment E-SLOT: Section 6's general question, at its two endpoints.
+
+"Is there a general algorithm that solves (2n-k)-renaming from the k-slot
+task?" — the paper answers k = n-1 (Figure 2) and k = 2 (via WSB [29]) and
+leaves the middle open.  This bench runs both endpoints and asserts the
+open middle raises, reproducing the question's boundary exactly.
+"""
+
+
+from repro.algorithms import (
+    OpenProblem,
+    renaming_from_slot,
+    renaming_target,
+    slot_system_factory,
+)
+from repro.shm import check_algorithm
+
+
+def bench_slot_endpoint_figure2(benchmark):
+    n = 6
+    k = n - 1
+
+    def run():
+        return check_algorithm(
+            renaming_target(n, k),
+            renaming_from_slot(n, k),
+            n,
+            system_factory=slot_system_factory(n, k, seed=1),
+            runs=40,
+            seed=2,
+        )
+
+    report = benchmark(run)
+    assert report.ok
+
+
+def bench_slot_endpoint_wsb_route(benchmark):
+    n = 6
+    k = 2
+
+    def run():
+        return check_algorithm(
+            renaming_target(n, k),
+            renaming_from_slot(n, k),
+            n,
+            system_factory=slot_system_factory(n, k, seed=3),
+            runs=40,
+            seed=4,
+        )
+
+    report = benchmark(run)
+    assert report.ok
+
+
+def bench_slot_open_middle_boundary(benchmark):
+    def probe():
+        closed, open_count = 0, 0
+        for n in range(4, 10):
+            for k in range(2, n):
+                try:
+                    renaming_from_slot(n, k)
+                    closed += 1
+                except OpenProblem:
+                    open_count += 1
+        return closed, open_count
+
+    closed, open_count = benchmark(probe)
+    # Exactly the two endpoints per n are implemented.
+    assert closed == sum(1 for n in range(4, 10) for k in (2, n - 1))
+    assert open_count == sum(max(0, n - 4) for n in range(4, 10))

@@ -1,0 +1,71 @@
+"""Experiments E-NOCOMM and E-GCD: Theorems 9 and 10.
+
+* E-NOCOMM — Theorem 9's communication-free characterization validated
+  against exhaustive decision-function search on small tasks, plus the
+  closed-form classification sweep over a family grid.
+* E-GCD — Theorem 10's binomial condition tabulated for n <= 64 and
+  cross-checked against the prime-power characterization (Ram's theorem).
+"""
+
+from repro.analysis import binomial_table, check_ram_theorem
+from repro.core import (
+    SymmetricGSBTask,
+    brute_force_communication_free,
+    classify,
+    is_communication_free_solvable,
+)
+from repro.core.solvability import Solvability
+
+
+def bench_theorem9_vs_brute_force(benchmark):
+    def compare():
+        mismatches = []
+        for n in (2, 3):
+            for m in (1, 2, 3):
+                for low in range(n + 1):
+                    for high in range(low, n + 1):
+                        task = SymmetricGSBTask(n, m, low, high)
+                        if not task.is_feasible:
+                            continue
+                        closed = is_communication_free_solvable(task)
+                        brute = brute_force_communication_free(task)
+                        if closed != brute:
+                            mismatches.append(task.parameters)
+        return mismatches
+
+    mismatches = benchmark(compare)
+    assert mismatches == []
+
+
+def bench_classification_sweep(benchmark):
+    def sweep():
+        census = {}
+        for n in range(2, 9):
+            for m in range(1, n + 1):
+                for low in range(n + 1):
+                    for high in range(low, n + 1):
+                        task = SymmetricGSBTask(n, m, low, high)
+                        verdict, _ = classify(task)
+                        census[verdict] = census.get(verdict, 0) + 1
+        return census
+
+    census = benchmark(sweep)
+    assert census[Solvability.TRIVIAL] > 0
+    assert census[Solvability.UNSOLVABLE] > 0
+    assert census[Solvability.INFEASIBLE] > 0
+    # The paper leaves a genuine middle ground open.
+    assert census[Solvability.OPEN] > 0
+
+
+def bench_binomial_gcd_table(benchmark):
+    def build():
+        rows = binomial_table(max_n=64)
+        violations = check_ram_theorem(max_n=64)
+        return rows, violations
+
+    rows, violations = benchmark(build)
+    assert violations == []
+    solvable = [row.n for row in rows if row.wsb_solvable]
+    assert solvable[:5] == [6, 10, 12, 14, 15]
+    prime_powers = [row.n for row in rows if row.prime_power]
+    assert set(prime_powers) & set(solvable) == set()

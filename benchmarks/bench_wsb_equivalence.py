@@ -1,0 +1,68 @@
+"""Experiment E-WSB: the WSB / (2n-2)-renaming / 2-slot equivalences.
+
+Paper artifacts: Section 5.3 (WSB from (2n-2)-renaming and the [29]
+equivalence) and Section 6 (2-slot = WSB; the general slot-renaming
+question).  Workloads: both reduction directions on the simulator across
+sizes, plus the structural synonym identities.
+"""
+
+from repro.algorithms import (
+    renaming_2n2_from_wsb,
+    renaming_oracle_system_factory,
+    wsb_from_renaming,
+    wsb_oracle_system_factory,
+)
+from repro.core import k_slot, renaming, weak_symmetry_breaking
+from repro.shm import check_algorithm
+
+
+def bench_wsb_from_renaming_direction(benchmark):
+    def run():
+        reports = []
+        for n in (4, 6, 8):
+            reports.append(
+                check_algorithm(
+                    weak_symmetry_breaking(n),
+                    wsb_from_renaming(),
+                    n,
+                    system_factory=renaming_oracle_system_factory(
+                        n, 2 * n - 2, seed=n
+                    ),
+                    runs=30,
+                    seed=n,
+                )
+            )
+        return reports
+
+    reports = benchmark(run)
+    assert all(report.ok for report in reports)
+
+
+def bench_renaming_from_wsb_direction(benchmark):
+    def run():
+        reports = []
+        for n in (4, 6, 8):
+            reports.append(
+                check_algorithm(
+                    renaming(n, 2 * n - 2),
+                    renaming_2n2_from_wsb(),
+                    n,
+                    system_factory=wsb_oracle_system_factory(n, seed=n),
+                    runs=30,
+                    seed=n * 3,
+                )
+            )
+        return reports
+
+    reports = benchmark(run)
+    assert all(report.ok for report in reports)
+
+
+def bench_two_slot_is_wsb_structurally(benchmark):
+    def check():
+        return all(
+            k_slot(n, 2).same_task(weak_symmetry_breaking(n))
+            for n in range(3, 24)
+        )
+
+    assert benchmark(check)

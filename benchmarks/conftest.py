@@ -1,0 +1,20 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one of the paper's artifacts (or a derived
+experiment from DESIGN.md's index) and *asserts* the expected shape before
+timing it, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction's acceptance run.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def paper_n():
+    """The paper's running example size (Table 1 / Figure 1)."""
+    return 6
+
+
+@pytest.fixture(scope="session")
+def paper_m():
+    return 3

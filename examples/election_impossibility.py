@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Theorem 11, mechanized: why wait-free election is impossible.
+
+Walks the proof's four steps on real protocol complexes, then contrasts
+two worlds:
+
+* **wait-free shared memory** — no comparison-based protocol elects a
+  leader, at any of the round counts we can check exhaustively;
+* **failure-free message passing** — Chang-Roberts elects one on a ring
+  (the paper's point: crashes + symmetry are what make election hard).
+
+Run: ``python examples/election_impossibility.py``
+"""
+
+from repro.core import election, renaming
+from repro.graphs import LEADER, run_chang_roberts
+from repro.topology import (
+    ISProtocolComplex,
+    election_impossibility,
+    search_decision_map,
+)
+
+
+def mechanized_theorem_11() -> None:
+    print("=== Theorem 11 on immediate-snapshot protocol complexes ===\n")
+    for n, rounds in [(2, 1), (2, 2), (3, 1), (3, 2)]:
+        report = election_impossibility(n, rounds)
+        print(report.summary())
+        print()
+        assert report.election_impossible
+
+
+def search_is_not_broken() -> None:
+    print("=== positive control: the same search finds solvable maps ===\n")
+    result = search_decision_map(renaming(2, 3), ISProtocolComplex(2, 1))
+    print(
+        f"(2n-1)-renaming, n=2, 1 round: solvable={result.solvable} "
+        f"({result.assignments_tried} assignments tried)"
+    )
+    assert result.solvable
+    print("decision map found (canonical view class -> name):")
+    for view, value in sorted(result.decision_map.items(), key=str):
+        print(f"  {view} -> {value}")
+
+    # And a finding of this reproduction: at n=3 one round is NOT enough
+    # for (2n-1)-renaming -- six canonical classes need pairwise-distinct
+    # names but only five exist.
+    result = search_decision_map(renaming(3, 5), ISProtocolComplex(3, 1))
+    print(
+        f"\n(2n-1)-renaming, n=3, 1 round: solvable={result.solvable} "
+        "(needs more rounds; see EXPERIMENTS.md, finding F-A)"
+    )
+    assert not result.solvable
+
+
+def message_passing_contrast() -> None:
+    print("\n=== contrast: failure-free message passing elects fine ===\n")
+    n = 9
+    result = run_chang_roberts(n, seed=4)
+    leader = [node for node, value in result.outputs.items() if value == LEADER]
+    print(
+        f"Chang-Roberts on a {n}-ring: leader {leader[0]} elected in "
+        f"{result.rounds} rounds with {result.messages} messages"
+    )
+    outputs = [result.outputs[node] for node in range(n)]
+    assert election(n).is_legal_output(outputs)
+    print("outputs form a legal election GSB vector: exactly one 1, rest 2")
+
+
+def main() -> None:
+    mechanized_theorem_11()
+    search_is_not_broken()
+    message_passing_contrast()
+
+
+if __name__ == "__main__":
+    main()

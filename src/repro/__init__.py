@@ -1,0 +1,35 @@
+"""repro — a reproduction of "The Universe of Symmetry Breaking Tasks".
+
+Imbs, Rajsbaum & Raynal (IRISA PI-1965 / PODC 2011) introduce *generalized
+symmetry breaking* (GSB) tasks and characterize their structure, synonyms,
+canonical representatives, and wait-free solvability.  This package
+mechanizes the whole development:
+
+* :mod:`repro.core` — the GSB family, kernel vectors, anchoring, canonical
+  representatives, the containment order, and the solvability classifier.
+* :mod:`repro.shm` — the asynchronous wait-free shared-memory model the
+  paper's algorithms run in (registers, snapshots, schedulers, oracles).
+* :mod:`repro.algorithms` — the paper's protocols and reductions (Figure 2,
+  Theorem 8 universality, WSB/renaming constructions, renaming substrates).
+* :mod:`repro.topology` — protocol complexes and the mechanized election
+  impossibility argument (Theorem 11).
+* :mod:`repro.graphs` — a synchronous-round message-passing companion
+  substrate (Luby MIS, coloring, ring election) on networkx graphs.
+* :mod:`repro.analysis` — regenerates the paper's Table 1 and Figure 1 and
+  the derived experiment reports.
+
+Quickstart::
+
+    from repro import core
+
+    task = core.SymmetricGSBTask(6, 3, 1, 6)
+    task.kernel_set                      # ((4,1,1), (3,2,1), (2,2,2))
+    core.canonical_representative(task)  # GSB<6,3,1,4>
+    core.classify(task)                  # solvability + justification
+"""
+
+from . import core
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "__version__"]

@@ -1,0 +1,173 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+Usage::
+
+    python -m repro table1 [--n 6 --m 3]
+    python -m repro figure1 [--n 6 --m 3] [--dot]
+    python -m repro atlas --n 8 --m 4
+    python -m repro named --n 6
+    python -m repro binomials [--max-n 32]
+    python -m repro classify N M L U
+    python -m repro verify
+
+``verify`` is the one-shot acceptance check: Table 1 and Figure 1 must
+match the published content, and Figure 2 must pass exhaustive model
+checking at n = 3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_table1(args) -> int:
+    from .analysis import render_table1, table1, table1_matches_paper
+
+    table = table1(args.n, args.m)
+    print(render_table1(table))
+    if (args.n, args.m) == (6, 3):
+        ok, problems = table1_matches_paper(table)
+        print(f"\nmatches the published Table 1: {ok}")
+        if problems:
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+    return 0
+
+
+def _cmd_figure1(args) -> int:
+    from .analysis import figure1, render_figure1, to_dot
+
+    figure = figure1(args.n, args.m)
+    if args.dot:
+        print(to_dot(figure))
+    else:
+        print(render_figure1(figure))
+    return 0
+
+
+def _cmd_atlas(args) -> int:
+    from .analysis import render_family_atlas
+
+    print(render_family_atlas(args.n, args.m))
+    return 0
+
+
+def _cmd_named(args) -> int:
+    from .analysis import render_named_tasks
+
+    print(render_named_tasks(args.n))
+    return 0
+
+
+def _cmd_binomials(args) -> int:
+    from .analysis import render_binomial_table
+
+    print(render_binomial_table(max_n=args.max_n))
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    from .core import SymmetricGSBTask, canonical_representative, classify
+
+    task = SymmetricGSBTask(args.task_n, args.task_m, args.task_l, args.task_u)
+    verdict, reason = classify(task)
+    print(f"task: {task}")
+    if task.is_feasible:
+        print(f"kernel set: {list(task.kernel_set)}")
+        print(f"canonical representative: {canonical_representative(task)}")
+    print(f"classification: {verdict.value}")
+    print(f"because: {reason}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .algorithms import figure2_renaming, figure2_system_factory, figure2_task
+    from .analysis import figure1_matches_paper, table1_matches_paper
+    from .shm import check_algorithm_exhaustive
+
+    failures = 0
+
+    ok, problems = table1_matches_paper()
+    print(f"Table 1 regeneration: {'OK' if ok else problems}")
+    failures += not ok
+
+    ok, problems = figure1_matches_paper()
+    print(f"Figure 1 regeneration: {'OK' if ok else problems}")
+    failures += not ok
+
+    report = check_algorithm_exhaustive(
+        figure2_task(3),
+        figure2_renaming(),
+        3,
+        system_factory=figure2_system_factory(3, seed=0),
+    )
+    print(
+        f"Figure 2 model check (n=3, {report.runs} runs): "
+        f"{'OK' if report.ok else report.violations[:3]}"
+    )
+    failures += not report.ok
+
+    print(f"\n{'all artifacts verified' if not failures else 'FAILURES'}")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The Universe of Symmetry Breaking Tasks'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1_parser = subparsers.add_parser("table1", help="regenerate Table 1")
+    table1_parser.add_argument("--n", type=int, default=6)
+    table1_parser.add_argument("--m", type=int, default=3)
+    table1_parser.set_defaults(handler=_cmd_table1)
+
+    figure1_parser = subparsers.add_parser("figure1", help="regenerate Figure 1")
+    figure1_parser.add_argument("--n", type=int, default=6)
+    figure1_parser.add_argument("--m", type=int, default=3)
+    figure1_parser.add_argument("--dot", action="store_true")
+    figure1_parser.set_defaults(handler=_cmd_figure1)
+
+    atlas_parser = subparsers.add_parser("atlas", help="annotated family atlas")
+    atlas_parser.add_argument("--n", type=int, required=True)
+    atlas_parser.add_argument("--m", type=int, required=True)
+    atlas_parser.set_defaults(handler=_cmd_atlas)
+
+    named_parser = subparsers.add_parser("named", help="named-task verdicts")
+    named_parser.add_argument("--n", type=int, default=6)
+    named_parser.set_defaults(handler=_cmd_named)
+
+    binomials_parser = subparsers.add_parser(
+        "binomials", help="Theorem 10 gcd table"
+    )
+    binomials_parser.add_argument("--max-n", type=int, default=32)
+    binomials_parser.set_defaults(handler=_cmd_binomials)
+
+    classify_parser = subparsers.add_parser(
+        "classify", help="classify a <n,m,l,u> task"
+    )
+    classify_parser.add_argument("task_n", type=int, metavar="N")
+    classify_parser.add_argument("task_m", type=int, metavar="M")
+    classify_parser.add_argument("task_l", type=int, metavar="L")
+    classify_parser.add_argument("task_u", type=int, metavar="U")
+    classify_parser.set_defaults(handler=_cmd_classify)
+
+    verify_parser = subparsers.add_parser(
+        "verify", help="one-shot artifact acceptance check"
+    )
+    verify_parser.set_defaults(handler=_cmd_verify)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""The paper's protocols and reductions (Sections 5-6).
+
+Communication-free solvers, the renaming substrates (adaptive snapshot
+renaming, splitter grids), the Figure 2 slot-to-renaming algorithm, the
+Theorem 8 universality construction, and the WSB equivalences — all as
+generator protocols for :mod:`repro.shm`.
+"""
+
+from .adaptive_renaming import (
+    adaptive_renaming,
+    adaptive_renaming_algorithm,
+    renaming_system_factory,
+)
+from .figure2 import (
+    KS_OBJECT,
+    STATE_ARRAY,
+    figure2_register_system_factory,
+    figure2_renaming,
+    figure2_renaming_register_snapshot,
+    figure2_slot_task,
+    figure2_system_factory,
+    figure2_task,
+)
+from .identity_reduction import (
+    INTERMEDIATE_ARRAY,
+    large_identity_space,
+    sample_large_identities,
+    with_intermediate_renaming,
+    wrapped_system_factory,
+)
+from .slot_question import (
+    SLOT_OBJECT,
+    OpenProblem,
+    renaming_from_slot,
+    renaming_target,
+    slot_source,
+    slot_system_factory,
+    solved_endpoints,
+)
+from .from_perfect import (
+    PR_OBJECT,
+    election_from_perfect_renaming,
+    gsb_from_perfect_renaming,
+    perfect_renaming_system_factory,
+)
+from .reductions import (
+    REDUCTIONS,
+    Reduction,
+    get_reduction,
+    reduction_names,
+)
+from .splitters import (
+    DOWN,
+    RIGHT,
+    STOP,
+    X_ARRAY,
+    Y_ARRAY,
+    grid_cell_index,
+    grid_name,
+    grid_system_factory,
+    max_grid_name,
+    moir_anderson_algorithm,
+    moir_anderson_renaming,
+    splitter,
+)
+from .trivial import (
+    decision_only,
+    homonymous_renaming_algorithm,
+    identity_renaming_algorithm,
+    no_communication_algorithm,
+)
+from .wsb import (
+    DOWN_ARRAY,
+    RENAMING_OBJECT,
+    UP_ARRAY,
+    WSB_OBJECT,
+    kwsb_from_renaming,
+    kwsb_task,
+    renaming_2n2_from_wsb,
+    renaming_2n2_task,
+    renaming_oracle_system_factory,
+    wsb_from_renaming,
+    wsb_oracle_system_factory,
+    wsb_task,
+)
+
+__all__ = [
+    "DOWN",
+    "INTERMEDIATE_ARRAY",
+    "OpenProblem",
+    "SLOT_OBJECT",
+    "figure2_register_system_factory",
+    "figure2_renaming_register_snapshot",
+    "large_identity_space",
+    "renaming_from_slot",
+    "renaming_target",
+    "sample_large_identities",
+    "slot_source",
+    "slot_system_factory",
+    "solved_endpoints",
+    "with_intermediate_renaming",
+    "wrapped_system_factory",
+    "DOWN_ARRAY",
+    "KS_OBJECT",
+    "PR_OBJECT",
+    "REDUCTIONS",
+    "RENAMING_OBJECT",
+    "RIGHT",
+    "STATE_ARRAY",
+    "STOP",
+    "UP_ARRAY",
+    "WSB_OBJECT",
+    "X_ARRAY",
+    "Y_ARRAY",
+    "Reduction",
+    "adaptive_renaming",
+    "adaptive_renaming_algorithm",
+    "decision_only",
+    "election_from_perfect_renaming",
+    "figure2_renaming",
+    "figure2_slot_task",
+    "figure2_system_factory",
+    "figure2_task",
+    "get_reduction",
+    "grid_cell_index",
+    "grid_name",
+    "grid_system_factory",
+    "gsb_from_perfect_renaming",
+    "homonymous_renaming_algorithm",
+    "identity_renaming_algorithm",
+    "kwsb_from_renaming",
+    "kwsb_task",
+    "max_grid_name",
+    "moir_anderson_algorithm",
+    "moir_anderson_renaming",
+    "no_communication_algorithm",
+    "perfect_renaming_system_factory",
+    "reduction_names",
+    "renaming_2n2_from_wsb",
+    "renaming_2n2_task",
+    "renaming_oracle_system_factory",
+    "renaming_system_factory",
+    "splitter",
+    "wsb_from_renaming",
+    "wsb_oracle_system_factory",
+    "wsb_task",
+]

@@ -1,0 +1,89 @@
+"""Snapshot-based adaptive renaming (the classic propose/rank/retry loop).
+
+The paper's Theorems 1 and 2 reduce identity-space size and
+comparison-basedness to "run any (2n-1)-renaming algorithm first"; this
+module provides that algorithm.  It is the classical one (Attiya et al.
+[7], presented with snapshots as in [11]): a process proposes a name,
+publishes (identity, proposal), snapshots, and either decides its proposal
+(no conflict) or re-proposes the r-th smallest *free* name, where r is the
+rank of its identity among the participants it sees.
+
+With p participating processes the decided names fall in ``[1..2p-1]``
+(adaptive), hence ``[1..2n-1]`` always — and the algorithm is
+comparison-based: identities are only ranked.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..shm.ops import Op, Snapshot, Write
+from ..shm.runtime import Algorithm, ProcessContext
+
+#: Default shared array name (cells hold (identity, proposal) pairs).
+ARRAY = "RENAME"
+
+
+def adaptive_renaming(
+    ctx: ProcessContext, array: str = ARRAY
+) -> Generator[Op, Any, int]:
+    """Sub-protocol: acquire a new name in ``[1..2p-1]``.
+
+    Usable via ``yield from`` inside larger protocols (the WSB-to-renaming
+    construction runs one instance per WSB side).
+    """
+    proposal = 1
+    while True:
+        yield Write(array, (ctx.identity, proposal))
+        view = yield Snapshot(array)
+        conflict = any(
+            cell is not None and cell[1] == proposal
+            for pid, cell in enumerate(view)
+            if pid != ctx.pid
+        )
+        if not conflict:
+            return proposal
+        participants = sorted(
+            cell[0] for cell in view if cell is not None
+        )
+        rank = participants.index(ctx.identity) + 1
+        taken = {
+            cell[1]
+            for pid, cell in enumerate(view)
+            if pid != ctx.pid and cell is not None
+        }
+        proposal = _nth_free_name(rank, taken)
+
+
+def _nth_free_name(rank: int, taken: set[int]) -> int:
+    """The rank-th positive integer not in ``taken``."""
+    name = 0
+    remaining = rank
+    while remaining:
+        name += 1
+        if name not in taken:
+            remaining -= 1
+    return name
+
+
+def adaptive_renaming_algorithm(array: str = ARRAY) -> Algorithm:
+    """Top-level algorithm solving non-adaptive ``<n, 2n-1, 0, 1>`` renaming.
+
+    (And adaptively ``(2p-1)``-renaming for any participating set of size
+    p, which the tests verify per-run.)
+    """
+
+    def algorithm(ctx: ProcessContext):
+        name = yield from adaptive_renaming(ctx, array)
+        return name
+
+    return algorithm
+
+
+def renaming_system_factory(n: int, array: str = ARRAY):
+    """System factory for the harness: one shared proposal array."""
+
+    def factory():
+        return {array: None}, {}
+
+    return factory

@@ -1,0 +1,150 @@
+"""The paper's Figure 2 algorithm: (n+1)-renaming from an (n-1)-slot task.
+
+Theorem 12: in ``ASM(n, n-1)[<n, n-1, 1, n>-GSB]`` — registers plus a
+one-shot object ``KS`` solving the (n-1)-slot task — the algorithm below
+solves ``(n+1)``-renaming:
+
+| (01) my_slot  <- KS.slot_request()
+| (02) STATE[i] <- (my_slot, id_i);  (slots, ids) <- STATE.snapshot()
+| (03) if forall j != i: slots[j] != my_slot
+| (04)    then return my_slot
+| (05)    else let j != i with slots[j] = my_slot
+| (06)         if id_i < ids[j] then return n else return n+1
+
+The slot object hands n processes slots in ``[1..n-1]`` with every slot
+used at least once, so exactly one slot is duplicated; the snapshot's total
+order resolves that single collision onto the two reserve names n and n+1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.gsb import SymmetricGSBTask
+from ..core.named import k_slot, renaming
+from ..shm.oracles import AssignmentStrategy, GSBOracle
+from ..shm.ops import Invoke, Snapshot, Write
+from ..shm.runtime import Algorithm, ProcessContext
+
+#: Shared names used by the protocol.
+KS_OBJECT = "KS"
+STATE_ARRAY = "STATE"
+
+
+def figure2_renaming(
+    ks_object: str = KS_OBJECT, state_array: str = STATE_ARRAY
+) -> Algorithm:
+    """The Figure 2 protocol, one line per numbered step of the paper."""
+
+    def new_name(ctx: ProcessContext):
+        my_slot = yield Invoke(ks_object, GSBOracle.ACQUIRE)             # (01)
+        yield Write(state_array, (my_slot, ctx.identity))                # (02a)
+        view = yield Snapshot(state_array)                               # (02b)
+        slots = [cell[0] if cell is not None else None for cell in view]
+        ids = [cell[1] if cell is not None else None for cell in view]
+        conflicts = [
+            j for j in range(ctx.n) if j != ctx.pid and slots[j] == my_slot
+        ]
+        if not conflicts:                                                # (03)
+            return my_slot                                               # (04)
+        j = conflicts[0]                                                 # (05)
+        if ctx.identity < ids[j]:                                        # (06)
+            return ctx.n
+        return ctx.n + 1
+
+    return new_name
+
+
+def figure2_renaming_register_snapshot(
+    ks_object: str = KS_OBJECT, state_array: str = STATE_ARRAY
+) -> Algorithm:
+    """Figure 2 with the snapshot *implemented from registers*.
+
+    Section 2.1 assumes snapshot-returning reads without loss of
+    generality; this variant discharges the assumption inside the
+    algorithm itself by replacing line (02)'s write+snapshot with an
+    Afek-et-al update+scan (``repro.shm.snapshot_impl``).  The state array
+    must be initialized with :func:`snapshot_array_initial`.  Used by the
+    ablation benchmark to measure what the WLOG costs in register steps.
+    """
+    from ..shm.snapshot_impl import RegisterSnapshot
+
+    def new_name(ctx: ProcessContext):
+        my_slot = yield Invoke(ks_object, GSBOracle.ACQUIRE)             # (01)
+        snap = RegisterSnapshot(ctx, state_array)
+        yield from snap.update((my_slot, ctx.identity))                  # (02a)
+        view = yield from snap.scan()                                    # (02b)
+        slots = [cell[0] if cell is not None else None for cell in view]
+        ids = [cell[1] if cell is not None else None for cell in view]
+        conflicts = [
+            j for j in range(ctx.n) if j != ctx.pid and slots[j] == my_slot
+        ]
+        if not conflicts:                                                # (03)
+            return my_slot                                               # (04)
+        j = conflicts[0]                                                 # (05)
+        if ctx.identity < ids[j]:                                        # (06)
+            return ctx.n
+        return ctx.n + 1
+
+    return new_name
+
+
+def figure2_register_system_factory(
+    n: int,
+    seed: int = 0,
+    strategy: AssignmentStrategy | None = None,
+    ks_object: str = KS_OBJECT,
+    state_array: str = STATE_ARRAY,
+) -> Callable[[], tuple[dict, dict]]:
+    """System factory for the register-snapshot variant."""
+    from ..shm.snapshot_impl import snapshot_array_initial
+
+    if n < 2:
+        raise ValueError(f"Figure 2 needs n >= 2, got n={n}")
+    counter = [0]
+
+    def factory() -> tuple[dict, dict]:
+        counter[0] += 1
+        oracle = GSBOracle(
+            figure2_slot_task(n), strategy=strategy, seed=seed + counter[0]
+        )
+        return {state_array: snapshot_array_initial(n)}, {ks_object: oracle}
+
+    return factory
+
+
+def figure2_task(n: int) -> SymmetricGSBTask:
+    """The task Figure 2 solves: ``(n+1)``-renaming."""
+    return renaming(n, n + 1)
+
+
+def figure2_slot_task(n: int) -> SymmetricGSBTask:
+    """The task Figure 2 consumes: the ``(n-1)``-slot task."""
+    return k_slot(n, n - 1)
+
+
+def figure2_system_factory(
+    n: int,
+    seed: int = 0,
+    strategy: AssignmentStrategy | None = None,
+    ks_object: str = KS_OBJECT,
+    state_array: str = STATE_ARRAY,
+) -> Callable[[], tuple[dict, dict]]:
+    """System factory: the STATE snapshot array plus a fresh KS oracle.
+
+    A distinct ``seed`` (or an explicit adversarial ``strategy``) varies
+    which slot collides and in which arrival positions.
+    """
+    if n < 2:
+        raise ValueError(f"Figure 2 needs n >= 2, got n={n}")
+
+    counter = [0]
+
+    def factory() -> tuple[dict, dict]:
+        counter[0] += 1
+        oracle = GSBOracle(
+            figure2_slot_task(n), strategy=strategy, seed=seed + counter[0]
+        )
+        return {state_array: None}, {ks_object: oracle}
+
+    return factory

@@ -1,0 +1,72 @@
+"""Theorem 8 as a protocol: any GSB task from perfect renaming.
+
+Perfect renaming ``<n, n, 1, 1>`` is *universal* for the GSB family.  The
+protocol is a single oracle invocation followed by local post-processing
+(the output maps of :mod:`repro.core.universality`):
+
+* symmetric tasks decide ``((name - 1) mod m) + 1``;
+* asymmetric tasks decide ``V[name]`` for a predetermined legal vector V.
+
+No registers are needed at all — universality is purely a property of the
+name bijection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.gsb import GSBTask
+from ..core.named import perfect_renaming
+from ..core.universality import output_map
+from ..shm.oracles import AssignmentStrategy, GSBOracle
+from ..shm.ops import Invoke
+from ..shm.runtime import Algorithm, ProcessContext
+
+#: Name of the perfect-renaming oracle object.
+PR_OBJECT = "PR"
+
+
+def gsb_from_perfect_renaming(
+    task: GSBTask, pr_object: str = PR_OBJECT
+) -> Algorithm:
+    """Protocol solving ``task`` in ``ASM[perfect renaming]`` (Theorem 8)."""
+    decide = output_map(task)
+
+    def algorithm(ctx: ProcessContext):
+        name = yield Invoke(pr_object, GSBOracle.ACQUIRE)
+        return decide(name)
+
+    return algorithm
+
+
+def election_from_perfect_renaming(n: int, pr_object: str = PR_OBJECT) -> Algorithm:
+    """Election via Theorem 8: the process renamed 1 becomes the leader.
+
+    A readable special case of the asymmetric construction (the
+    deterministic output vector of election is ``[1, 2, ..., 2]``).
+    """
+
+    def algorithm(ctx: ProcessContext):
+        name = yield Invoke(pr_object, GSBOracle.ACQUIRE)
+        return 1 if name == 1 else 2
+
+    return algorithm
+
+
+def perfect_renaming_system_factory(
+    n: int,
+    seed: int = 0,
+    strategy: AssignmentStrategy | None = None,
+    pr_object: str = PR_OBJECT,
+) -> Callable[[], tuple[dict, dict]]:
+    """System factory: a fresh perfect-renaming oracle per run."""
+    counter = [0]
+
+    def factory() -> tuple[dict, dict]:
+        counter[0] += 1
+        oracle = GSBOracle(
+            perfect_renaming(n), strategy=strategy, seed=seed + counter[0]
+        )
+        return {}, {pr_object: oracle}
+
+    return factory

@@ -1,0 +1,76 @@
+"""The Theorem 1 / Theorem 2 constructions: rename first, then solve.
+
+Both theorems share one construction — acquire an intermediate identity in
+``[1..2n-1]`` with a comparison-based (2p-1)-renaming algorithm, then run
+the target algorithm using the intermediate identity as if it were the
+initial one:
+
+* **Theorem 1**: a GSB task solvable for identities in ``[1..2n-1]`` is
+  solvable for identities from any larger space ``[1..N]`` — the wrapper
+  collapses the space.
+* **Theorem 2**: solvable implies comparison-based solvable — adaptive
+  renaming is comparison-based, and the wrapped algorithm only ever sees
+  the intermediate identity, so the composition is comparison-based even
+  when the inner algorithm is not (e.g. identity renaming, which reads its
+  identity's *value*).
+
+The wrapper runs the inner algorithm in-process by re-binding its context
+to the new identity; inner shared-memory operations pass through
+unchanged.
+"""
+
+from __future__ import annotations
+
+from ..shm.runtime import Algorithm, ProcessContext
+from .adaptive_renaming import adaptive_renaming
+
+#: Shared array used by the intermediate renaming stage.
+INTERMEDIATE_ARRAY = "INTERMEDIATE_RENAME"
+
+
+def with_intermediate_renaming(
+    inner: Algorithm, array: str = INTERMEDIATE_ARRAY
+) -> Algorithm:
+    """Wrap ``inner`` behind a comparison-based intermediate renaming.
+
+    The returned algorithm first acquires a new identity in ``[1..2n-1]``
+    via snapshot-based adaptive renaming, then delegates every step to
+    ``inner`` running with that identity.
+    """
+
+    def algorithm(ctx: ProcessContext):
+        intermediate = yield from adaptive_renaming(ctx, array)
+        renamed_ctx = ProcessContext(
+            pid=ctx.pid, identity=intermediate, n=ctx.n
+        )
+        result = yield from inner(renamed_ctx)
+        return result
+
+    return algorithm
+
+
+def wrapped_system_factory(base_factory, array: str = INTERMEDIATE_ARRAY):
+    """Extend a system factory with the intermediate renaming array."""
+
+    def factory():
+        arrays, objects = base_factory()
+        arrays = dict(arrays)
+        arrays[array] = None
+        return arrays, objects
+
+    return factory
+
+
+def large_identity_space(n: int, spread: int = 10) -> range:
+    """An identity universe much larger than ``[1..2n-1]`` (Theorem 1's N)."""
+    return range(1, spread * n + 1)
+
+
+def sample_large_identities(n: int, seed: int = 0, spread: int = 10):
+    """Distinct identities drawn from a large space, for Theorem 1 tests."""
+    import random
+
+    universe = list(large_identity_space(n, spread))
+    rng = random.Random(seed)
+    rng.shuffle(universe)
+    return tuple(universe[:n])

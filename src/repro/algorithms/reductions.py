@@ -1,0 +1,292 @@
+"""Declarative registry of every implemented task reduction.
+
+Each :class:`Reduction` packages the target task, the protocol, and the
+system (arrays + oracles) it runs in, so examples, tests and benchmarks can
+iterate over the whole catalogue uniformly — the executable version of the
+paper's Section 5/6 reduction map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.gsb import GSBTask
+from ..core.named import (
+    election,
+    k_slot,
+    k_weak_symmetry_breaking,
+    perfect_renaming,
+    renaming,
+    weak_symmetry_breaking,
+    x_bounded_homonymous_renaming,
+)
+from ..shm.runtime import Algorithm
+from .adaptive_renaming import adaptive_renaming_algorithm
+from .figure2 import figure2_renaming, figure2_system_factory, figure2_task
+from .from_perfect import (
+    election_from_perfect_renaming,
+    gsb_from_perfect_renaming,
+    perfect_renaming_system_factory,
+)
+from .splitters import grid_system_factory, max_grid_name, moir_anderson_algorithm
+from .trivial import (
+    homonymous_renaming_algorithm,
+    identity_renaming_algorithm,
+    no_communication_algorithm,
+)
+from .wsb import (
+    kwsb_from_renaming,
+    renaming_2n2_from_wsb,
+    renaming_oracle_system_factory,
+    wsb_from_renaming,
+    wsb_oracle_system_factory,
+)
+
+SystemFactory = Callable[[], tuple[dict, dict]]
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """One solvability/reduction result, packaged to run.
+
+    Attributes:
+        name: registry key.
+        paper_ref: theorem/figure the reduction mechanizes.
+        description: one-line statement.
+        min_n: smallest process count the construction supports.
+        target: task solved, as a function of n.
+        algorithm: protocol factory, as a function of n.
+        system: per-run system factory builder ``(n, seed) -> factory``.
+    """
+
+    name: str
+    paper_ref: str
+    description: str
+    min_n: int
+    target: Callable[[int], GSBTask]
+    algorithm: Callable[[int], Algorithm]
+    system: Callable[[int, int], SystemFactory]
+
+
+def _registers_only(n: int, seed: int) -> SystemFactory:
+    return lambda: ({}, {})
+
+
+def _renaming_array(n: int, seed: int) -> SystemFactory:
+    return lambda: ({"RENAME": None}, {})
+
+
+REDUCTIONS: dict[str, Reduction] = {}
+
+
+def _register(reduction: Reduction) -> None:
+    REDUCTIONS[reduction.name] = reduction
+
+
+_register(
+    Reduction(
+        name="identity-renaming",
+        paper_ref="Section 5.2",
+        description="(2n-1)-renaming with no communication: output own identity",
+        min_n=1,
+        target=lambda n: renaming(n, 2 * n - 1),
+        algorithm=lambda n: identity_renaming_algorithm(),
+        system=_registers_only,
+    )
+)
+
+_register(
+    Reduction(
+        name="homonymous-renaming-x2",
+        paper_ref="Corollary 2",
+        description="2-bounded homonymous renaming: decide ceil(id/2)",
+        min_n=2,
+        target=lambda n: x_bounded_homonymous_renaming(n, 2),
+        algorithm=lambda n: homonymous_renaming_algorithm(2),
+        system=_registers_only,
+    )
+)
+
+_register(
+    Reduction(
+        name="adaptive-renaming",
+        paper_ref="Theorems 1-2 substrate",
+        description="snapshot-based (2p-1)-renaming from registers",
+        min_n=1,
+        target=lambda n: renaming(n, 2 * n - 1),
+        algorithm=lambda n: adaptive_renaming_algorithm(),
+        system=_renaming_array,
+    )
+)
+
+_register(
+    Reduction(
+        name="moir-anderson-grid",
+        paper_ref="background substrate",
+        description="splitter-grid renaming into [1..n(n+1)/2]",
+        min_n=1,
+        target=lambda n: renaming(n, max_grid_name(n)),
+        algorithm=lambda n: moir_anderson_algorithm(),
+        system=lambda n, seed: grid_system_factory(n),
+    )
+)
+
+_register(
+    Reduction(
+        name="figure2-slot-renaming",
+        paper_ref="Figure 2 / Theorem 12",
+        description="(n+1)-renaming from the (n-1)-slot task plus one snapshot",
+        min_n=2,
+        target=figure2_task,
+        algorithm=lambda n: figure2_renaming(),
+        system=lambda n, seed: figure2_system_factory(n, seed),
+    )
+)
+
+_register(
+    Reduction(
+        name="wsb-from-2n2-renaming",
+        paper_ref="Section 5.3",
+        description="WSB from (2n-2)-renaming by name parity",
+        min_n=2,
+        target=lambda n: weak_symmetry_breaking(n),
+        algorithm=lambda n: wsb_from_renaming(),
+        system=lambda n, seed: renaming_oracle_system_factory(n, 2 * n - 2, seed),
+    )
+)
+
+_register(
+    Reduction(
+        name="2n2-renaming-from-wsb",
+        paper_ref="Section 6 / [29]",
+        description="(2n-2)-renaming from WSB via two-sided adaptive renaming",
+        min_n=2,
+        target=lambda n: renaming(n, 2 * n - 2),
+        algorithm=lambda n: renaming_2n2_from_wsb(),
+        system=lambda n, seed: wsb_oracle_system_factory(n, seed),
+    )
+)
+
+_register(
+    Reduction(
+        name="kwsb-from-renaming",
+        paper_ref="Corollary 4",
+        description="2-WSB from 2(n-2)-renaming with no further communication",
+        min_n=4,
+        target=lambda n: k_weak_symmetry_breaking(n, 2),
+        algorithm=lambda n: kwsb_from_renaming(n, 2),
+        system=lambda n, seed: renaming_oracle_system_factory(n, 2 * (n - 2), seed),
+    )
+)
+
+_register(
+    Reduction(
+        name="election-from-perfect",
+        paper_ref="Theorem 8 (asymmetric)",
+        description="election from perfect renaming: name 1 leads",
+        min_n=2,
+        target=election,
+        algorithm=lambda n: election_from_perfect_renaming(n),
+        system=lambda n, seed: perfect_renaming_system_factory(n, seed),
+    )
+)
+
+_register(
+    Reduction(
+        name="slot-from-perfect",
+        paper_ref="Theorem 8 (symmetric)",
+        description="(n-1)-slot task from perfect renaming by folding names mod n-1",
+        min_n=3,
+        target=lambda n: k_slot(n, n - 1),
+        algorithm=lambda n: gsb_from_perfect_renaming(k_slot(n, n - 1)),
+        system=lambda n, seed: perfect_renaming_system_factory(n, seed),
+    )
+)
+
+_register(
+    Reduction(
+        name="perfect-from-perfect",
+        paper_ref="Theorem 8 (identity case)",
+        description="perfect renaming from the perfect renaming oracle itself",
+        min_n=1,
+        target=perfect_renaming,
+        algorithm=lambda n: gsb_from_perfect_renaming(perfect_renaming(n)),
+        system=lambda n, seed: perfect_renaming_system_factory(n, seed),
+    )
+)
+
+
+def _register_extended() -> None:
+    """Registry entries added by the extension modules.
+
+    Imported lazily to keep module-import order simple; the functions
+    below close over the extension constructors.
+    """
+    from .figure2 import (
+        figure2_register_system_factory,
+        figure2_renaming_register_snapshot,
+    )
+    from .identity_reduction import (
+        with_intermediate_renaming,
+        wrapped_system_factory,
+    )
+    from .slot_question import (
+        renaming_from_slot,
+        renaming_target,
+        slot_system_factory,
+    )
+
+    _register(
+        Reduction(
+            name="renaming-from-2-slot",
+            paper_ref="Section 6 endpoint (k=2)",
+            description="(2n-2)-renaming from the 2-slot task (= WSB route)",
+            min_n=3,
+            target=lambda n: renaming_target(n, 2),
+            algorithm=lambda n: renaming_from_slot(n, 2),
+            system=lambda n, seed: slot_system_factory(n, 2, seed),
+        )
+    )
+    _register(
+        Reduction(
+            name="figure2-register-snapshot",
+            paper_ref="Figure 2 + Section 2.1 WLOG",
+            description="Figure 2 with the snapshot implemented from registers",
+            min_n=2,
+            target=figure2_task,
+            algorithm=lambda n: figure2_renaming_register_snapshot(),
+            system=lambda n, seed: figure2_register_system_factory(n, seed),
+        )
+    )
+    _register(
+        Reduction(
+            name="theorem2-wrapped-identity-renaming",
+            paper_ref="Theorems 1-2",
+            description=(
+                "identity renaming made comparison-based by an intermediate "
+                "adaptive renaming stage"
+            ),
+            min_n=1,
+            target=lambda n: renaming(n, 2 * n - 1),
+            algorithm=lambda n: with_intermediate_renaming(
+                identity_renaming_algorithm()
+            ),
+            system=lambda n, seed: wrapped_system_factory(lambda: ({}, {})),
+        )
+    )
+
+
+_register_extended()
+
+
+def reduction_names() -> list[str]:
+    return sorted(REDUCTIONS)
+
+
+def get_reduction(name: str) -> Reduction:
+    if name not in REDUCTIONS:
+        raise KeyError(
+            f"unknown reduction {name!r}; known: {', '.join(reduction_names())}"
+        )
+    return REDUCTIONS[name]

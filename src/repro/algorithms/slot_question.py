@@ -1,0 +1,96 @@
+"""Section 6's general question: (2n-k)-renaming from the k-slot task.
+
+The paper solves two endpoints and leaves the middle open:
+
+* **k = n-1** — Figure 2: ``(n+1)``-renaming from the (n-1)-slot task
+  (note ``2n - k = n + 1``);
+* **k = 2** — the 2-slot task *is* WSB, and WSB is equivalent to
+  ``(2n-2)``-renaming [29], so the Section 5.3/6 construction applies.
+
+:func:`renaming_from_slot` dispatches to the implemented endpoint and
+raises :class:`OpenProblem` for 2 < k < n-1 — faithfully reproducing the
+paper's open-problem boundary (Section 7).
+"""
+
+from __future__ import annotations
+
+from ..core.gsb import SymmetricGSBTask
+from ..core.named import k_slot, renaming
+from ..shm.oracles import AssignmentStrategy, GSBOracle
+from ..shm.runtime import Algorithm
+from .figure2 import figure2_renaming
+from .wsb import DOWN_ARRAY, UP_ARRAY, renaming_2n2_from_wsb
+
+#: Object name used for the slot oracle in both endpoints.
+SLOT_OBJECT = "SLOT"
+
+
+class OpenProblem(NotImplementedError):
+    """Raised for reductions the paper leaves open (Section 7)."""
+
+
+def renaming_target(n: int, k: int) -> SymmetricGSBTask:
+    """The task the question asks for: ``(2n-k)``-renaming."""
+    return renaming(n, 2 * n - k)
+
+
+def slot_source(n: int, k: int) -> SymmetricGSBTask:
+    """The task assumed as an object: the k-slot task."""
+    return k_slot(n, k)
+
+
+def renaming_from_slot(n: int, k: int, slot_object: str = SLOT_OBJECT) -> Algorithm:
+    """(2n-k)-renaming in ``ASM[k-slot]``, for the two solved endpoints.
+
+    Raises :class:`OpenProblem` for 2 < k < n - 1, where the paper poses
+    the equivalence as a "difficult but promising challenge".
+    """
+    if not 2 <= k <= n - 1:
+        raise ValueError(f"the question is posed for 2 <= k <= n-1, got k={k}")
+    if k == n - 1:
+        # Figure 2: 2n - (n-1) = n + 1.
+        return figure2_renaming(ks_object=slot_object)
+    if k == 2:
+        # 2-slot = WSB; run the WSB -> (2n-2)-renaming construction with
+        # the slot object in the WSB role (outputs are already in {1, 2}).
+        return renaming_2n2_from_wsb(wsb_object=slot_object)
+    raise OpenProblem(
+        f"(2n-k)-renaming from the k-slot task is open for k={k} "
+        f"(2 < k < n-1 = {n - 1}); the paper solves only the endpoints"
+    )
+
+
+def slot_system_factory(
+    n: int,
+    k: int,
+    seed: int = 0,
+    strategy: AssignmentStrategy | None = None,
+    slot_object: str = SLOT_OBJECT,
+):
+    """System factory for :func:`renaming_from_slot` at either endpoint."""
+    counter = [0]
+
+    def factory():
+        counter[0] += 1
+        oracle = GSBOracle(k_slot(n, k), strategy=strategy, seed=seed + counter[0])
+        arrays: dict = {}
+        if k == n - 1:
+            arrays["STATE"] = None
+        if k == 2:
+            arrays[UP_ARRAY] = None
+            arrays[DOWN_ARRAY] = None
+        return arrays, {slot_object: oracle}
+
+    return factory
+
+
+def solved_endpoints(n: int) -> list[int]:
+    """The k values for which the reduction is implemented."""
+    endpoints = []
+    if n >= 3:
+        endpoints.append(2)
+    if n - 1 > 2:
+        endpoints.append(n - 1)
+    elif n - 1 == 2 and 2 not in endpoints:
+        endpoints.append(2)
+    return sorted(set(endpoints))

@@ -1,0 +1,120 @@
+"""Splitters and Moir-Anderson grid renaming.
+
+A second, independent renaming substrate (background for Section 5's
+renaming discussion).  A *splitter* (Lamport; Moir-Anderson) is a pair of
+MWMR registers with the guarantee that of the p processes entering it, at
+most one *stops*, at most p-1 go *down* and at most p-1 go *right*.
+Arranged in a triangular grid, splitters give each participant a distinct
+grid cell within the first p diagonals, i.e. a name in ``[1..p(p+1)/2]``
+— adaptive, though with a quadratic namespace (renaming proper trades this
+for the optimal 2p-1).
+
+Grid cell (r, c) is numbered along diagonals:
+``name(r, c) = (r+c)(r+c+1)/2 + r + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..shm.ops import Op, Read, WriteCell
+from ..shm.registers import ArraySpec
+from ..shm.runtime import Algorithm, ProcessContext
+
+#: Shared array names used by the grid.
+X_ARRAY = "SPLITTER_X"
+Y_ARRAY = "SPLITTER_Y"
+
+STOP = "stop"
+DOWN = "down"
+RIGHT = "right"
+
+
+def splitter(
+    ctx: ProcessContext, cell_index: int, x_array: str = X_ARRAY, y_array: str = Y_ARRAY
+) -> Generator[Op, Any, str]:
+    """Run one splitter; returns STOP, DOWN or RIGHT.
+
+    The classic wait-free splitter:
+    ``X := id; if Y then RIGHT; Y := true; if X = id then STOP else DOWN``.
+    """
+    yield WriteCell(x_array, cell_index, ctx.identity)
+    door = yield Read(y_array, cell_index)
+    if door:
+        return RIGHT
+    yield WriteCell(y_array, cell_index, True)
+    last = yield Read(x_array, cell_index)
+    if last == ctx.identity:
+        return STOP
+    return DOWN
+
+
+def grid_cell_index(row: int, col: int, n: int) -> int:
+    """Row-major index of grid cell (r, c) in the n x n backing arrays."""
+    return row * n + col
+
+
+def grid_name(row: int, col: int) -> int:
+    """Diagonal numbering of grid cells, starting at 1 for (0, 0)."""
+    diagonal = row + col
+    return diagonal * (diagonal + 1) // 2 + row + 1
+
+
+def moir_anderson_renaming(
+    ctx: ProcessContext, x_array: str = X_ARRAY, y_array: str = Y_ARRAY
+) -> Generator[Op, Any, int]:
+    """Sub-protocol: acquire a grid name (at most ``p(p+1)/2`` with p
+    participants).
+
+    Moves down on DOWN and right on RIGHT; each splitter "captures" or
+    deflects processes so that a process entering cell (r, c) has already
+    been deflected r + c times, and at most n - (r + c) processes reach
+    that diagonal — the walk stays within the first n diagonals.
+    """
+    row, col = 0, 0
+    while True:
+        if row + col >= ctx.n:
+            raise AssertionError(
+                "process left the splitter grid; more than n participants?"
+            )
+        outcome = yield from splitter(
+            ctx, grid_cell_index(row, col, ctx.n), x_array, y_array
+        )
+        if outcome == STOP:
+            return grid_name(row, col)
+        if outcome == DOWN:
+            row += 1
+        else:
+            col += 1
+
+
+def moir_anderson_algorithm(
+    x_array: str = X_ARRAY, y_array: str = Y_ARRAY
+) -> Algorithm:
+    """Top-level grid-renaming algorithm (names in ``[1..n(n+1)/2]``)."""
+
+    def algorithm(ctx: ProcessContext):
+        name = yield from moir_anderson_renaming(ctx, x_array, y_array)
+        return name
+
+    return algorithm
+
+
+def grid_system_factory(n: int, x_array: str = X_ARRAY, y_array: str = Y_ARRAY):
+    """System factory: two n*n multi-writer arrays (X ids, Y doors)."""
+
+    def factory():
+        return (
+            {
+                x_array: ArraySpec(initial=None, n=n * n, multi_writer=True),
+                y_array: ArraySpec(initial=False, n=n * n, multi_writer=True),
+            },
+            {},
+        )
+
+    return factory
+
+
+def max_grid_name(participants: int) -> int:
+    """Largest name the grid can assign to one of ``p`` participants."""
+    return participants * (participants + 1) // 2

@@ -1,0 +1,128 @@
+"""Weak symmetry breaking constructions (Sections 5.3 and 6).
+
+Three reductions around the WSB / (2n-2)-renaming / 2-slot equivalence the
+paper leans on:
+
+* **WSB from (2n-2)-renaming** — decide the parity of the new name.  The
+  name space ``[1..2n-2]`` holds only n-1 odd and n-1 even names, so n
+  distinct names can never share a parity.
+* **(2n-2)-renaming from WSB** — the GRH [29] direction: split processes
+  into the two WSB sides, then run one *adaptive* snapshot renaming
+  instance per side, one claiming names bottom-up and the other top-down.
+  Side sizes p0 + p1 = n with p0, p1 <= n-1 give bottom names
+  ``<= 2*p0 - 1 < 2*p0 = 2n - 2*p1 <=`` top names: no collision, all
+  within ``[1..2n-2]``.
+* **k-WSB from 2(n-k)-renaming** (Corollary 4) — with distinct names in
+  ``[1..2(n-k)]``, decide 1 on the low half, 2 on the high half; each half
+  has n-k names, so each value is decided at most n-k (hence at least k)
+  times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.gsb import SymmetricGSBTask
+from ..core.named import k_weak_symmetry_breaking, renaming, weak_symmetry_breaking
+from ..shm.oracles import AssignmentStrategy, GSBOracle
+from ..shm.ops import Invoke
+from ..shm.runtime import Algorithm, ProcessContext
+from .adaptive_renaming import adaptive_renaming
+
+#: Shared object / array names.
+RENAMING_OBJECT = "RENAMING"
+WSB_OBJECT = "WSB"
+UP_ARRAY = "UP"
+DOWN_ARRAY = "DOWN"
+
+
+def wsb_from_renaming(renaming_object: str = RENAMING_OBJECT) -> Algorithm:
+    """WSB in ``ASM[(2n-2)-renaming]``: decide the name's parity."""
+
+    def algorithm(ctx: ProcessContext):
+        name = yield Invoke(renaming_object, GSBOracle.ACQUIRE)
+        return (name % 2) + 1
+
+    return algorithm
+
+
+def kwsb_from_renaming(
+    n: int, k: int, renaming_object: str = RENAMING_OBJECT
+) -> Algorithm:
+    """Corollary 4: k-WSB in ``ASM[2(n-k)-renaming]`` with no communication."""
+    half = n - k
+
+    def algorithm(ctx: ProcessContext):
+        name = yield Invoke(renaming_object, GSBOracle.ACQUIRE)
+        return 1 if name <= half else 2
+
+    return algorithm
+
+
+def renaming_2n2_from_wsb(
+    wsb_object: str = WSB_OBJECT,
+    up_array: str = UP_ARRAY,
+    down_array: str = DOWN_ARRAY,
+) -> Algorithm:
+    """(2n-2)-renaming in ``ASM[WSB]`` via two-sided adaptive renaming."""
+
+    def algorithm(ctx: ProcessContext):
+        side = yield Invoke(wsb_object, GSBOracle.ACQUIRE)
+        if side == 1:
+            name = yield from adaptive_renaming(ctx, up_array)
+            return name
+        name = yield from adaptive_renaming(ctx, down_array)
+        return 2 * ctx.n - 1 - name
+
+    return algorithm
+
+
+def wsb_task(n: int) -> SymmetricGSBTask:
+    return weak_symmetry_breaking(n)
+
+
+def kwsb_task(n: int, k: int) -> SymmetricGSBTask:
+    return k_weak_symmetry_breaking(n, k)
+
+
+def renaming_2n2_task(n: int) -> SymmetricGSBTask:
+    return renaming(n, 2 * n - 2)
+
+
+def renaming_oracle_system_factory(
+    n: int,
+    m: int,
+    seed: int = 0,
+    strategy: AssignmentStrategy | None = None,
+    renaming_object: str = RENAMING_OBJECT,
+) -> Callable[[], tuple[dict, dict]]:
+    """System factory with a fresh m-renaming oracle per run."""
+    counter = [0]
+
+    def factory() -> tuple[dict, dict]:
+        counter[0] += 1
+        oracle = GSBOracle(renaming(n, m), strategy=strategy, seed=seed + counter[0])
+        return {}, {renaming_object: oracle}
+
+    return factory
+
+
+def wsb_oracle_system_factory(
+    n: int,
+    seed: int = 0,
+    strategy: AssignmentStrategy | None = None,
+    wsb_object: str = WSB_OBJECT,
+    up_array: str = UP_ARRAY,
+    down_array: str = DOWN_ARRAY,
+) -> Callable[[], tuple[dict, dict]]:
+    """System factory: WSB oracle plus the two per-side renaming arrays."""
+    counter = [0]
+
+    def factory() -> tuple[dict, dict]:
+        counter[0] += 1
+        oracle = GSBOracle(
+            weak_symmetry_breaking(n), strategy=strategy, seed=seed + counter[0]
+        )
+        return {up_array: None, down_array: None}, {wsb_object: oracle}
+
+    return factory

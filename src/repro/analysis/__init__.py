@@ -1,0 +1,72 @@
+"""Report generators: the paper's Table 1 and Figure 1, plus derived atlases.
+
+Every generator returns plain data structures with ``render_*`` helpers for
+ASCII output, and ``matches_paper`` validators pinning the regenerated
+artifacts to the published contents.
+"""
+
+from .atlas import (
+    NamedTaskVerdict,
+    entry_lookup,
+    family_solvability_census,
+    named_task_verdicts,
+    render_family_atlas,
+    render_named_tasks,
+)
+from .binomials import (
+    BinomialRow,
+    binomial_table,
+    check_ram_theorem,
+    render_binomial_table,
+    solvable_wsb_values,
+)
+from .figure1 import (
+    PAPER_FIGURE1_EDGES,
+    PAPER_FIGURE1_NODES,
+    Figure1,
+    figure1,
+    render_figure1,
+    to_dot,
+)
+from .figure1 import matches_paper as figure1_matches_paper
+from .reporting import kernel_label, render_table, task_label
+from .table1 import (
+    PAPER_TABLE1,
+    PAPER_TABLE1_OMITTED_ROWS,
+    Table1,
+    Table1Row,
+    render_table1,
+    table1,
+)
+from .table1 import matches_paper as table1_matches_paper
+
+__all__ = [
+    "BinomialRow",
+    "Figure1",
+    "NamedTaskVerdict",
+    "PAPER_FIGURE1_EDGES",
+    "PAPER_FIGURE1_NODES",
+    "PAPER_TABLE1",
+    "PAPER_TABLE1_OMITTED_ROWS",
+    "Table1",
+    "Table1Row",
+    "binomial_table",
+    "check_ram_theorem",
+    "entry_lookup",
+    "family_solvability_census",
+    "figure1",
+    "figure1_matches_paper",
+    "kernel_label",
+    "named_task_verdicts",
+    "render_binomial_table",
+    "render_family_atlas",
+    "render_figure1",
+    "render_named_tasks",
+    "render_table",
+    "render_table1",
+    "solvable_wsb_values",
+    "table1",
+    "table1_matches_paper",
+    "task_label",
+    "to_dot",
+]

@@ -1,0 +1,124 @@
+"""The task atlas: a whole-family classification report.
+
+Combines the structure machinery (kernels, synonyms, canonical forms,
+anchoring) with the solvability classifier into a single report per
+``<n, m, -, ->`` family, plus a cross-family summary of the named tasks —
+the executable version of the paper's Sections 3-5 narrative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.family import FamilyEntry, family_entries, family_statistics
+from ..core.gsb import GSBTask
+from ..core.named import (
+    election,
+    k_slot,
+    k_weak_symmetry_breaking,
+    perfect_renaming,
+    renaming,
+    weak_symmetry_breaking,
+    x_bounded_homonymous_renaming,
+)
+from ..core.solvability import Solvability, classify
+from .reporting import kernel_label, render_table, task_label
+
+
+@dataclass(frozen=True)
+class NamedTaskVerdict:
+    """Classification of one named task instance."""
+
+    name: str
+    task: GSBTask
+    solvability: Solvability
+    reason: str
+
+
+def named_task_verdicts(n: int) -> list[NamedTaskVerdict]:
+    """Classify the paper's named tasks for one n."""
+    instances: list[tuple[str, GSBTask]] = [
+        ("election", election(n)),
+        ("WSB", weak_symmetry_breaking(n)),
+        ("(2n-1)-renaming", renaming(n, 2 * n - 1)),
+        ("(2n-2)-renaming", renaming(n, 2 * n - 2)),
+        ("perfect renaming", perfect_renaming(n)),
+        ("(n-1)-slot", k_slot(n, max(n - 1, 1))),
+        ("2-slot", k_slot(n, 2)),
+        ("2-bounded homonymous renaming", x_bounded_homonymous_renaming(n, 2)),
+    ]
+    if n >= 4:
+        instances.append(("2-WSB", k_weak_symmetry_breaking(n, 2)))
+    verdicts = []
+    for name, task in instances:
+        solvability, reason = classify(task)
+        verdicts.append(
+            NamedTaskVerdict(
+                name=name, task=task, solvability=solvability, reason=reason
+            )
+        )
+    return verdicts
+
+
+def render_named_tasks(n: int) -> str:
+    """ASCII table of named-task classifications."""
+    verdicts = named_task_verdicts(n)
+    return f"Named GSB tasks at n={n}\n" + render_table(
+        ["task", "spec", "solvability", "why"],
+        [
+            [verdict.name, repr(verdict.task), verdict.solvability.value,
+             verdict.reason]
+            for verdict in verdicts
+        ],
+    )
+
+
+def render_family_atlas(n: int, m: int) -> str:
+    """Full annotated family table for one (n, m)."""
+    entries = family_entries(n, m)
+    rows = []
+    for entry in entries:
+        rows.append(
+            [
+                task_label(entry.parameters),
+                "yes" if entry.canonical else "",
+                task_label((n, m, *entry.canonical_parameters)),
+                entry.anchoring,
+                " ".join(kernel_label(kernel) for kernel in entry.kernel_set),
+                entry.solvability.value,
+            ]
+        )
+    stats = family_statistics(n, m)
+    stat_lines = "\n".join(f"  {key}: {value}" for key, value in stats.items())
+    return (
+        f"GSB family atlas for n={n}, m={m}\n"
+        + render_table(
+            ["task", "canonical", "representative", "anchoring", "kernels",
+             "solvability"],
+            rows,
+        )
+        + "\n\nstatistics:\n"
+        + stat_lines
+    )
+
+
+def family_solvability_census(
+    n_range: range, m_range: range
+) -> dict[Solvability, int]:
+    """Count classifications over a grid of families (bench workload)."""
+    census: dict[Solvability, int] = {}
+    for n in n_range:
+        for m in m_range:
+            if m > n:
+                continue
+            for entry in family_entries(n, m):
+                census[entry.solvability] = census.get(entry.solvability, 0) + 1
+    return census
+
+
+def entry_lookup(n: int, m: int, low: int, high: int) -> FamilyEntry:
+    """Find one annotated family entry (raises if infeasible)."""
+    for entry in family_entries(n, m):
+        if entry.parameters == (n, m, low, high):
+            return entry
+    raise KeyError(f"<{n},{m},{low},{high}> is not a feasible task")

@@ -1,0 +1,47 @@
+"""Plain-text table rendering shared by the report generators."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    aligns: Sequence[str] | None = None,
+) -> str:
+    """Fixed-width ASCII table.
+
+    Args:
+        headers: column titles.
+        rows: cell values (str()-ed).
+        aligns: per-column 'l' or 'r'; defaults to left.
+    """
+    if aligns is None:
+        aligns = ["l"] * len(headers)
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = []
+        for cell, width, align in zip(cells, widths, aligns):
+            parts.append(cell.rjust(width) if align == "r" else cell.ljust(width))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "|" + "|".join("-" * (width + 2) for width in widths) + "|"
+    lines = [fmt(headers), separator]
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def kernel_label(kernel: Sequence[int]) -> str:
+    """Render a kernel vector the way the paper prints them: [4,2,0]."""
+    return "[" + ",".join(str(entry) for entry in kernel) + "]"
+
+
+def task_label(parameters: Sequence[int]) -> str:
+    """Render task parameters the way the paper prints them: <6,3,0,4>."""
+    return "<" + ",".join(str(value) for value in parameters) + ">"

@@ -1,0 +1,161 @@
+"""Regeneration of the paper's Table 1 (kernels of <n,m,l,u>-GSB tasks).
+
+Table 1 lists, for n=6 and m=3, every feasible ``<6,3,l,u>`` task as a row,
+every kernel vector of the loosest task as a column, an ``x`` where the
+row's kernel set contains the column, and a ``yes`` flag on canonical rows.
+
+:func:`table1` computes the same data for any (n, m);
+:func:`render_table1` prints it in the paper's layout; and
+:func:`PAPER_TABLE1` records the expected content of the published table
+for the regression test.  The generator found one row the published table
+omits — the feasible synonym ``<6,3,2,6>`` — which EXPERIMENTS.md records
+as a (minor) discrepancy; ``include_paper_omissions=False`` reproduces the
+paper's 14 rows exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.family import all_kernel_columns, family_entries
+from ..core.kernel import KernelVector
+from .reporting import kernel_label, render_table, task_label
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1."""
+
+    parameters: tuple[int, int, int, int]
+    canonical: bool
+    marks: tuple[bool, ...]  # one per kernel column
+
+    @property
+    def kernel_count(self) -> int:
+        return sum(self.marks)
+
+
+@dataclass(frozen=True)
+class Table1:
+    """The full table: kernel columns plus marked rows."""
+
+    n: int
+    m: int
+    columns: tuple[KernelVector, ...]
+    rows: tuple[Table1Row, ...]
+
+    def row(self, low: int, high: int) -> Table1Row:
+        for row in self.rows:
+            if row.parameters == (self.n, self.m, low, high):
+                return row
+        raise KeyError(f"no row <{self.n},{self.m},{low},{high}>")
+
+    def kernel_sets(self) -> dict[tuple[int, int], set[KernelVector]]:
+        """(l, u) -> kernel set, reconstructed from the marks."""
+        return {
+            (row.parameters[2], row.parameters[3]): {
+                column
+                for column, marked in zip(self.columns, row.marks)
+                if marked
+            }
+            for row in self.rows
+        }
+
+
+#: Rows of the published Table 1 (n=6, m=3): (l, u) -> (canonical, kernels).
+PAPER_TABLE1: dict[tuple[int, int], tuple[bool, set[KernelVector]]] = {
+    (0, 6): (True, {(6, 0, 0), (5, 1, 0), (4, 2, 0), (4, 1, 1), (3, 3, 0),
+                    (3, 2, 1), (2, 2, 2)}),
+    (1, 6): (False, {(4, 1, 1), (3, 2, 1), (2, 2, 2)}),
+    (0, 5): (True, {(5, 1, 0), (4, 2, 0), (4, 1, 1), (3, 3, 0), (3, 2, 1),
+                    (2, 2, 2)}),
+    (1, 5): (False, {(4, 1, 1), (3, 2, 1), (2, 2, 2)}),
+    (2, 5): (False, {(2, 2, 2)}),
+    (0, 4): (True, {(4, 2, 0), (4, 1, 1), (3, 3, 0), (3, 2, 1), (2, 2, 2)}),
+    (1, 4): (True, {(4, 1, 1), (3, 2, 1), (2, 2, 2)}),
+    (2, 4): (False, {(2, 2, 2)}),
+    (0, 3): (True, {(3, 3, 0), (3, 2, 1), (2, 2, 2)}),
+    (1, 3): (True, {(3, 2, 1), (2, 2, 2)}),
+    (2, 3): (False, {(2, 2, 2)}),
+    (0, 2): (False, {(2, 2, 2)}),
+    (1, 2): (False, {(2, 2, 2)}),
+    (2, 2): (True, {(2, 2, 2)}),
+}
+
+#: The feasible row the published table omits (a synonym of <6,3,2,2>).
+PAPER_TABLE1_OMITTED_ROWS: set[tuple[int, int]] = {(2, 6)}
+
+
+def table1(
+    n: int = 6, m: int = 3, include_paper_omissions: bool = True
+) -> Table1:
+    """Compute Table 1 for (n, m); defaults regenerate the paper's table."""
+    columns = all_kernel_columns(n, m)
+    rows = []
+    for entry in family_entries(n, m):
+        low, high = entry.parameters[2], entry.parameters[3]
+        if (
+            not include_paper_omissions
+            and (n, m) == (6, 3)
+            and (low, high) in PAPER_TABLE1_OMITTED_ROWS
+        ):
+            continue
+        kernel_set = set(entry.kernel_set)
+        rows.append(
+            Table1Row(
+                parameters=entry.parameters,
+                canonical=entry.canonical,
+                marks=tuple(column in kernel_set for column in columns),
+            )
+        )
+    return Table1(n=n, m=m, columns=columns, rows=tuple(rows))
+
+
+def render_table1(table: Table1 | None = None) -> str:
+    """ASCII rendering in the paper's layout."""
+    if table is None:
+        table = table1()
+    headers = ["task", "canonical"] + [kernel_label(col) for col in table.columns]
+    rows = []
+    for row in table.rows:
+        rows.append(
+            [task_label(row.parameters), "yes" if row.canonical else ""]
+            + ["x" if marked else "" for marked in row.marks]
+        )
+    title = f"Table 1: kernels of <{table.n},{table.m},l,u>-GSB tasks"
+    return title + "\n" + render_table(headers, rows)
+
+
+def matches_paper(table: Table1 | None = None) -> tuple[bool, list[str]]:
+    """Compare a regenerated (6,3) table against the published content.
+
+    Returns (ok, discrepancies); the known omitted row is reported but not
+    counted as a failure.
+    """
+    if table is None:
+        table = table1()
+    if (table.n, table.m) != (6, 3):
+        raise ValueError("the published table is for n=6, m=3")
+    problems = []
+    regenerated = table.kernel_sets()
+    canonical_flags = {
+        (row.parameters[2], row.parameters[3]): row.canonical for row in table.rows
+    }
+    for key, (canonical, kernels) in PAPER_TABLE1.items():
+        if key not in regenerated:
+            problems.append(f"missing row {key}")
+            continue
+        if regenerated[key] != kernels:
+            problems.append(
+                f"row {key}: regenerated kernels {sorted(regenerated[key])} "
+                f"!= paper {sorted(kernels)}"
+            )
+        if canonical_flags[key] != canonical:
+            problems.append(
+                f"row {key}: canonical flag {canonical_flags[key]} "
+                f"!= paper {canonical}"
+            )
+    extra = set(regenerated) - set(PAPER_TABLE1) - PAPER_TABLE1_OMITTED_ROWS
+    if extra:
+        problems.append(f"unexpected extra rows {sorted(extra)}")
+    return (not problems, problems)

@@ -1,0 +1,125 @@
+"""Bound vectors for generalized symmetry breaking tasks.
+
+A GSB task constrains, for each output value ``v`` in ``[1..m]``, the number
+of processes that decide ``v`` to lie between a lower bound ``l_v`` and an
+upper bound ``u_v`` (Section 3.1 of the paper).  :class:`BoundVector` is the
+validated pair of those two integer vectors; it is the shared foundation of
+both symmetric and asymmetric GSB task objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+class GSBSpecificationError(ValueError):
+    """Raised when GSB task parameters are malformed.
+
+    Malformed means structurally invalid (negative bounds, mismatched vector
+    lengths, lower bound above upper bound) as opposed to infeasible, which
+    is a legitimate state reported by feasibility predicates.
+    """
+
+
+@dataclass(frozen=True)
+class BoundVector:
+    """Per-value occupancy bounds of an (asymmetric) GSB task.
+
+    Attributes:
+        lower: tuple with ``lower[v-1]`` = minimum number of processes that
+            must decide value ``v``.
+        upper: tuple with ``upper[v-1]`` = maximum number of processes that
+            may decide value ``v``.
+    """
+
+    lower: tuple[int, ...]
+    upper: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lower) != len(self.upper):
+            raise GSBSpecificationError(
+                f"lower has {len(self.lower)} entries but upper has "
+                f"{len(self.upper)}; a bound vector needs one (l, u) pair "
+                "per output value"
+            )
+        if not self.lower:
+            raise GSBSpecificationError("a GSB task needs at least one output value")
+        for v, (low, high) in enumerate(zip(self.lower, self.upper), start=1):
+            if low < 0:
+                raise GSBSpecificationError(f"lower bound of value {v} is negative: {low}")
+            if high < 0:
+                raise GSBSpecificationError(f"upper bound of value {v} is negative: {high}")
+            if low > high:
+                raise GSBSpecificationError(
+                    f"value {v} has lower bound {low} > upper bound {high}"
+                )
+
+    @classmethod
+    def symmetric(cls, m: int, low: int, high: int) -> "BoundVector":
+        """Build the bound vector of a symmetric ``<n, m, low, high>`` task."""
+        if m < 1:
+            raise GSBSpecificationError(f"m must be at least 1, got {m}")
+        return cls(lower=(low,) * m, upper=(high,) * m)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, int]]) -> "BoundVector":
+        """Build a bound vector from an iterable of ``(l_v, u_v)`` pairs."""
+        lows, highs = [], []
+        for low, high in pairs:
+            lows.append(low)
+            highs.append(high)
+        return cls(lower=tuple(lows), upper=tuple(highs))
+
+    @property
+    def m(self) -> int:
+        """Number of output values."""
+        return len(self.lower)
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when every value has the same (l, u) pair."""
+        return len(set(self.lower)) == 1 and len(set(self.upper)) == 1
+
+    def pair(self, value: int) -> tuple[int, int]:
+        """Return the ``(l, u)`` pair of output ``value`` (1-based)."""
+        self._check_value(value)
+        return self.lower[value - 1], self.upper[value - 1]
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """Iterate over ``(l_v, u_v)`` in value order."""
+        return zip(self.lower, self.upper)
+
+    def clamped(self, n: int) -> "BoundVector":
+        """Return a copy with upper bounds clamped to ``n``.
+
+        ``u_v > n`` never changes a task on ``n`` processes, so clamping
+        yields an equivalent, tidier specification.  When a lower bound
+        itself exceeds n (an infeasible but well-formed task) the upper
+        bound is kept at the lower bound so the pair stays structurally
+        valid — the task is infeasible either way.
+        """
+        return BoundVector(
+            lower=self.lower,
+            upper=tuple(
+                max(min(high, n), low)
+                for low, high in zip(self.lower, self.upper)
+            ),
+        )
+
+    def admits_counts(self, counts: Sequence[int]) -> bool:
+        """Check whether a per-value occupancy vector satisfies the bounds."""
+        if len(counts) != self.m:
+            raise GSBSpecificationError(
+                f"count vector has {len(counts)} entries, expected {self.m}"
+            )
+        return all(
+            low <= count <= high
+            for count, (low, high) in zip(counts, self.pairs())
+        )
+
+    def _check_value(self, value: int) -> None:
+        if not 1 <= value <= self.m:
+            raise GSBSpecificationError(
+                f"output value {value} outside the legal range [1..{self.m}]"
+            )

@@ -1,0 +1,102 @@
+"""Canonical representatives of symmetric GSB tasks (Theorem 7).
+
+Many ``<n, m, l, u>`` parameter choices denote the same task (synonyms,
+Section 4).  Theorem 7 identifies a unique representative per synonym
+class: the fixed point of
+
+    f(l, u) = (max(l, n - u(m-1)), min(u, n - l(m-1)))
+
+reached by iterating f.  This module implements the fixed-point computation
+plus an independent brute-force representative (tightest bounds whose task
+is a synonym) used to validate Theorem 7 in tests.
+"""
+
+from __future__ import annotations
+
+from .feasibility import is_feasible_symmetric
+from .gsb import SymmetricGSBTask
+
+
+def tighten_once(n: int, m: int, low: int, high: int) -> tuple[int, int]:
+    """One application of Theorem 7's ``f`` to the pair ``(l, u)``."""
+    return (
+        max(low, n - high * (m - 1)),
+        min(high, n - low * (m - 1)),
+    )
+
+
+def canonical_parameters(
+    n: int, m: int, low: int, high: int
+) -> tuple[int, int]:
+    """The fixed point of ``f`` starting from ``(l, u)``.
+
+    Only meaningful for feasible tasks; raises otherwise.  Iteration always
+    terminates because each application weakly increases l and weakly
+    decreases u within ``[0..n]``.
+    """
+    low = max(low, 0)
+    high = min(high, n)
+    if not is_feasible_symmetric(n, m, low, high):
+        raise ValueError(
+            f"<{n},{m},{low},{high}> is infeasible; canonicalization "
+            "is defined for feasible tasks only"
+        )
+    while True:
+        tightened = tighten_once(n, m, low, high)
+        if tightened == (low, high):
+            return tightened
+        low, high = tightened
+
+
+def canonical_representative(task: SymmetricGSBTask) -> SymmetricGSBTask:
+    """The canonical synonym of ``task`` per Theorem 7."""
+    n, m, low, high = task.parameters
+    new_low, new_high = canonical_parameters(n, m, low, high)
+    return SymmetricGSBTask(n, m, new_low, new_high, label=task.label)
+
+
+def is_canonical(task: SymmetricGSBTask) -> bool:
+    """Whether the task's own parameters are the canonical ones.
+
+    These are exactly the rows marked "yes" in Table 1.
+    """
+    n, m, low, high = task.parameters
+    if not task.is_feasible:
+        return False
+    return tighten_once(n, m, low, high) == (low, high)
+
+
+def brute_force_representative(task: SymmetricGSBTask) -> SymmetricGSBTask:
+    """Independent canonicalization by search, for validating Theorem 7.
+
+    Among all ``(l', u')`` defining a synonym of ``task``, pick the one with
+    maximal l' and, among those, minimal u'.  Theorem 7 says this equals the
+    fixed point of f.
+    """
+    n, m, _, _ = task.parameters
+    best: tuple[int, int] | None = None
+    for low in range(n + 1):
+        for high in range(low, n + 1):
+            candidate = SymmetricGSBTask(n, m, low, high)
+            if not candidate.same_task(task):
+                continue
+            if best is None or (low, -high) > (best[0], -best[1]):
+                best = (low, high)
+    if best is None:
+        raise ValueError(f"no synonym parameters found for {task}")
+    return SymmetricGSBTask(n, m, best[0], best[1], label=task.label)
+
+
+def synonym_class(task: SymmetricGSBTask) -> list[SymmetricGSBTask]:
+    """All ``<n, m, l, u>`` parameterizations denoting the same task.
+
+    Enumerates l in ``[0..n]`` and u in ``[l..n]``; the class always
+    contains the canonical representative.
+    """
+    n, m, _, _ = task.parameters
+    return [
+        candidate
+        for low in range(n + 1)
+        for high in range(low, n + 1)
+        if (candidate := SymmetricGSBTask(n, m, low, high)).same_task(task)
+    ]

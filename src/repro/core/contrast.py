@@ -1,0 +1,168 @@
+"""Tasks that are *not* GSB tasks (Sections 1 and 3.2).
+
+The paper delimits the GSB family with two contrasts, both made executable
+here:
+
+* **Agreement / colorless tasks** (consensus, k-set agreement) relate
+  outputs to *inputs*: ``Delta(I)`` genuinely depends on I, whereas a GSB
+  task has ``Delta(I) = O`` for every I ("output independence").
+  Moreover a colorless task's input vectors may repeat values, while GSB
+  inputs are distinct identities — so colorless tasks are never GSB tasks.
+* **Adaptive tasks** (test-and-set) constrain executions by their
+  *participating set*: test-and-set requires some participant to output 1
+  even when fewer than n processes take steps, while the election GSB
+  task only constrains full output vectors.  Election is exactly the
+  non-adaptive weakening of test-and-set.
+
+These classes exist for contrast tests and documentation; the paper proves
+nothing about them beyond the delimitation, and neither do we.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from .gsb import GSBTask
+from .task import Task
+
+
+class ConsensusTask(Task):
+    """Consensus [25]: all processes decide one process's input value.
+
+    Unlike GSB tasks, inputs here are *proposal values* (repetitions
+    allowed), and the legal outputs depend on them.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError(f"need at least one process, got {n}")
+        self._n = n
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def is_legal_output(
+        self, output: Sequence[int], input_vector: Sequence[int] | None = None
+    ) -> bool:
+        if input_vector is None:
+            raise ValueError("consensus legality depends on the input vector")
+        if len(output) != self._n or len(input_vector) != self._n:
+            return False
+        first = output[0]
+        return all(value == first for value in output) and first in set(
+            input_vector
+        )
+
+    def output_value_range(self) -> range:
+        raise NotImplementedError(
+            "consensus outputs range over the inputs; use is_legal_output"
+        )
+
+
+class KSetAgreementTask(Task):
+    """k-set agreement [21]: at most k distinct decided values, all inputs."""
+
+    def __init__(self, n: int, k: int):
+        if not 1 <= k <= n:
+            raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+        self._n = n
+        self.k = k
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def is_legal_output(
+        self, output: Sequence[int], input_vector: Sequence[int] | None = None
+    ) -> bool:
+        if input_vector is None:
+            raise ValueError("k-set agreement legality depends on the inputs")
+        if len(output) != self._n or len(input_vector) != self._n:
+            return False
+        decided = set(output)
+        return len(decided) <= self.k and decided <= set(input_vector)
+
+    def output_value_range(self) -> range:
+        raise NotImplementedError(
+            "k-set agreement outputs range over the inputs; use is_legal_output"
+        )
+
+
+class TestAndSetTask:
+    """One-shot test-and-set: adaptive, hence not a GSB task (Section 1).
+
+    In every execution, among the *participating* processes exactly one
+    outputs 1 and the others output 2 — the constraint binds even when
+    fewer than n processes take steps, which no static `<n,m,l,u>` bound
+    vector can express.  Election is its non-adaptive weakening: only the
+    full n-process output vector is constrained.
+    """
+
+    __test__ = False  # not a pytest test class despite the Test* name
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError(f"need at least one process, got {n}")
+        self.n = n
+
+    def is_legal_participating_output(
+        self, outputs: Sequence[int | None], participants: Iterable[int]
+    ) -> bool:
+        """All participants decided; exactly one of them decided 1."""
+        participants = set(participants)
+        decided = {
+            pid: value
+            for pid, value in enumerate(outputs)
+            if value is not None
+        }
+        if set(decided) != participants:
+            return False
+        winners = [pid for pid, value in decided.items() if value == 1]
+        losers = [pid for pid, value in decided.items() if value == 2]
+        return len(winners) == 1 and len(winners) + len(losers) == len(decided)
+
+
+def is_output_independent(
+    task: Task, input_vectors: Sequence[Sequence[int]], values: Sequence[int]
+) -> bool:
+    """Whether the legal output set is the same for every given input.
+
+    The defining "output independence" of GSB tasks (Section 1): for GSB
+    tasks this holds for *any* choice of inputs; for consensus and k-set
+    agreement it fails already on small samples.  Exponential in n — use
+    small tasks.
+    """
+    reference: set[tuple[int, ...]] | None = None
+    for input_vector in input_vectors:
+        legal = {
+            candidate
+            for candidate in itertools.product(values, repeat=task.n)
+            if task.is_legal_output(list(candidate), input_vector)
+        }
+        if reference is None:
+            reference = legal
+        elif legal != reference:
+            return False
+    return True
+
+
+def colorless_input_closure_counterexample(task: GSBTask) -> tuple | None:
+    """Why a GSB task is never colorless (Section 3.2's argument).
+
+    Colorless tasks are closed under input duplication: if an input vector
+    containing v is legal, so is the all-v vector.  GSB inputs are
+    *distinct identities*, so the all-v vector is never a legal input.
+    Returns the offending (legal_input, duplicated_input) pair, or None
+    when the task has no legal input at all.
+    """
+    from .task import identity_space, is_input_vector
+
+    space = list(identity_space(task.n))
+    legal_input = tuple(space[: task.n])
+    if not is_input_vector(legal_input, task.n):
+        return None
+    duplicated = (legal_input[0],) * task.n
+    assert not is_input_vector(duplicated, task.n)
+    return (legal_input, duplicated)

@@ -1,0 +1,96 @@
+"""Enumeration of whole ``<n, m, -, ->`` GSB families (Table 1 support).
+
+The family view groups every feasible ``(l, u)`` pair for fixed (n, m),
+annotates each with its kernel set, anchoring profile, canonical flag and
+solvability class, and exposes the kernel-column layout used by the paper's
+Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .anchoring import anchoring_profile
+from .canonical import canonical_parameters, is_canonical
+from .feasibility import feasible_bound_pairs
+from .gsb import SymmetricGSBTask
+from .kernel import KernelVector, kernel_vectors
+from .solvability import Solvability, classify
+
+
+@dataclass(frozen=True)
+class FamilyEntry:
+    """One row of a family table: a feasible ``<n, m, l, u>`` task."""
+
+    task: SymmetricGSBTask
+    kernel_set: tuple[KernelVector, ...]
+    canonical: bool
+    canonical_parameters: tuple[int, int]
+    anchoring: str
+    solvability: Solvability = field(compare=False)
+    solvability_reason: str = field(compare=False)
+
+    @property
+    def parameters(self) -> tuple[int, int, int, int]:
+        return self.task.parameters
+
+
+def family_entries(n: int, m: int) -> list[FamilyEntry]:
+    """All feasible ``<n, m, l, u>`` tasks with their annotations.
+
+    Rows are ordered the way Table 1 lists them: by decreasing kernel-set
+    size first (the <n,m,0,n> task with the full column set first), then by
+    (l, u).
+    """
+    entries = []
+    for low, high in feasible_bound_pairs(n, m):
+        task = SymmetricGSBTask(n, m, low, high)
+        solvability, reason = classify(task)
+        entries.append(
+            FamilyEntry(
+                task=task,
+                kernel_set=task.kernel_set,
+                canonical=is_canonical(task),
+                canonical_parameters=canonical_parameters(n, m, low, high),
+                anchoring=anchoring_profile(task),
+                solvability=solvability,
+                solvability_reason=reason,
+            )
+        )
+    entries.sort(key=_table_order_key)
+    return entries
+
+
+def _table_order_key(entry: FamilyEntry) -> tuple:
+    n, m, low, high = entry.parameters
+    # Table 1 interleaves rows by decreasing upper bound then increasing
+    # lower bound: (0,6), (1,6), (0,5), (1,5), (2,5), (0,4), ...
+    return (-high, low)
+
+
+def all_kernel_columns(n: int, m: int) -> tuple[KernelVector, ...]:
+    """Kernel vectors of the loosest task ``<n, m, 0, n>``.
+
+    Every sibling task's kernel set is a subset of this one, so these are
+    the columns of Table 1, in descending lexicographic order.
+    """
+    return kernel_vectors(n, m, 0, n)
+
+
+def canonical_entries(n: int, m: int) -> list[FamilyEntry]:
+    """Only the canonical rows of the family (Figure 1's nodes)."""
+    return [entry for entry in family_entries(n, m) if entry.canonical]
+
+
+def family_statistics(n: int, m: int) -> dict[str, int]:
+    """Summary counts used by the atlas report."""
+    entries = family_entries(n, m)
+    by_class: dict[str, int] = {}
+    for entry in entries:
+        by_class[entry.solvability.value] = by_class.get(entry.solvability.value, 0) + 1
+    return {
+        "feasible_parameterizations": len(entries),
+        "synonym_classes": len({entry.canonical_parameters for entry in entries}),
+        "kernel_columns": len(all_kernel_columns(n, m)),
+        **{f"solvability[{name}]": count for name, count in sorted(by_class.items())},
+    }

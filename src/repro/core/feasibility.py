@@ -1,0 +1,113 @@
+"""Feasibility of GSB tasks (Lemmas 1 and 2).
+
+A GSB task is *feasible* when its set of output vectors is non-empty.
+Lemma 1 characterizes feasibility of the asymmetric task by
+``sum(l_v) <= n <= sum(u_v)``; Lemma 2 specializes to the symmetric case
+as ``m*l <= n <= m*u``.  Both closed forms are provided, together with a
+brute-force witness search used by the test suite to validate them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .bounds import BoundVector
+from .gsb import GSBTask, SymmetricGSBTask
+
+
+def is_feasible_asymmetric(n: int, bounds: BoundVector) -> bool:
+    """Lemma 1 closed form for per-value bounds."""
+    clamped = bounds.clamped(n)
+    return sum(clamped.lower) <= n <= sum(clamped.upper)
+
+
+def is_feasible_symmetric(n: int, m: int, low: int, high: int) -> bool:
+    """Lemma 2 closed form: ``m*l <= n <= m*u`` (with bounds clamped)."""
+    low = max(low, 0)
+    high = min(high, n)
+    if low > high:
+        return False
+    return m * low <= n <= m * high
+
+
+def feasibility_witness(task: GSBTask) -> tuple[int, ...] | None:
+    """A legal output vector if one exists, else None.
+
+    Constructive proof of Lemma 1's "if" direction: fill every value to its
+    lower bound, then distribute the surplus greedily within upper bounds.
+    """
+    bounds = task.bounds
+    counts = list(bounds.lower)
+    surplus = task.n - sum(counts)
+    if surplus < 0:
+        return None
+    for value in range(task.m):
+        if surplus == 0:
+            break
+        room = bounds.upper[value] - counts[value]
+        take = min(room, surplus)
+        counts[value] += take
+        surplus -= take
+    if surplus > 0:
+        return None
+    output: list[int] = []
+    for value, count in enumerate(counts, start=1):
+        output.extend([value] * count)
+    return tuple(output)
+
+
+def check_lemma_1(task: GSBTask) -> bool:
+    """Closed form agrees with witness existence (used in property tests)."""
+    closed_form = is_feasible_asymmetric(task.n, task.bounds)
+    witness = feasibility_witness(task)
+    if closed_form != (witness is not None):
+        return False
+    if witness is not None and not task.is_legal_output(witness):
+        return False
+    return True
+
+
+def check_lemma_2(task: SymmetricGSBTask) -> bool:
+    """Symmetric closed form agrees with the general one and with kernels."""
+    symmetric = is_feasible_symmetric(task.n, task.m, task.low, task.high)
+    general = is_feasible_asymmetric(task.n, task.bounds)
+    has_kernel = len(task.kernel_set) > 0
+    return symmetric == general == has_kernel
+
+
+def infeasible_reason(task: GSBTask) -> str | None:
+    """Human-readable reason a task is infeasible, or None when feasible."""
+    clamped = task.bounds.clamped(task.n)
+    total_low = sum(clamped.lower)
+    total_high = sum(clamped.upper)
+    if total_low > task.n:
+        return (
+            f"lower bounds demand at least {total_low} decisions "
+            f"but only {task.n} processes decide"
+        )
+    if total_high < task.n:
+        return (
+            f"upper bounds admit at most {total_high} decisions "
+            f"but all {task.n} processes must decide"
+        )
+    return None
+
+
+def assert_feasible(task: GSBTask) -> None:
+    """Raise ValueError with the reason when ``task`` is infeasible."""
+    reason = infeasible_reason(task)
+    if reason is not None:
+        raise ValueError(f"{task} is infeasible: {reason}")
+
+
+def feasible_bound_pairs(n: int, m: int) -> list[tuple[int, int]]:
+    """All ``(l, u)`` with ``0 <= l <= u <= n`` making ``<n,m,l,u>`` feasible.
+
+    This is the row index set of Table 1 for the given (n, m).
+    """
+    return [
+        (low, high)
+        for low in range(n + 1)
+        for high in range(low, n + 1)
+        if is_feasible_symmetric(n, m, low, high)
+    ]

@@ -1,0 +1,310 @@
+"""Generalized symmetry breaking tasks (Definition 2).
+
+:class:`GSBTask` is the general, possibly asymmetric form: per-value bounds
+on how many processes may decide each value.  :class:`SymmetricGSBTask` is
+the common symmetric special case ``<n, m, l, u>`` the paper mostly studies;
+it carries the kernel-set machinery of Section 4.
+
+Task identity ("synonyms", Section 4) is semantic: two GSB tasks are the
+same task when they admit exactly the same output vectors, which reduces to
+equality of their admitted counting-vector sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from functools import cached_property
+from typing import Iterator, Sequence
+
+from .bounds import BoundVector, GSBSpecificationError
+from .kernel import (
+    KernelVector,
+    asymmetric_counting_vectors,
+    counting_vector,
+    kernel_of_counting,
+    kernel_vectors,
+)
+from .task import Task
+
+
+class GSBTask(Task):
+    """An ``<n, m, l-vector, u-vector>`` generalized symmetry breaking task.
+
+    The task is *inputless*: its legal outputs do not depend on the input
+    vector (which only carries process identities).  Legal outputs are the
+    n-vectors over ``[1..m]`` in which each value ``v`` occurs between
+    ``l_v`` and ``u_v`` times.
+
+    Args:
+        n: number of processes.
+        bounds: per-value occupancy bounds.
+        label: optional human-readable name (e.g. ``"election"``).
+    """
+
+    def __init__(self, n: int, bounds: BoundVector, label: str | None = None):
+        if n < 1:
+            raise GSBSpecificationError(f"need at least one process, got n={n}")
+        self._n = n
+        self._bounds = bounds.clamped(n)
+        self.label = label
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of output values."""
+        return self._bounds.m
+
+    @property
+    def bounds(self) -> BoundVector:
+        """Per-value occupancy bounds (upper bounds clamped to n)."""
+        return self._bounds
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when all values share the same bound pair (Section 3.1)."""
+        return self._bounds.is_symmetric
+
+    @cached_property
+    def is_feasible(self) -> bool:
+        """Lemma 1: feasible iff ``sum(l_v) <= n <= sum(u_v)``."""
+        return sum(self._bounds.lower) <= self._n <= sum(self._bounds.upper)
+
+    def as_symmetric(self) -> "SymmetricGSBTask":
+        """View this task as symmetric; raises if the bounds are not uniform."""
+        if not self.is_symmetric:
+            raise GSBSpecificationError(
+                f"{self} has value-dependent bounds; it is an asymmetric GSB task"
+            )
+        low, high = self._bounds.pair(1)
+        return SymmetricGSBTask(self._n, self.m, low, high, label=self.label)
+
+    # ------------------------------------------------------------------
+    # Output-vector semantics
+    # ------------------------------------------------------------------
+
+    def is_legal_output(
+        self, output: Sequence[int], input_vector: Sequence[int] | None = None
+    ) -> bool:
+        """Definition 2 membership: counting vector within bounds.
+
+        The input vector is accepted (for harness uniformity) and ignored:
+        ``Delta(I) = O`` for every I.
+        """
+        if len(output) != self._n:
+            return False
+        if any(not 1 <= value <= self.m for value in output):
+            return False
+        return self._bounds.admits_counts(counting_vector(output, self.m))
+
+    def is_legal_partial_output(
+        self,
+        output: Sequence[int | None],
+        input_vector: Sequence[int] | None = None,
+    ) -> bool:
+        """Polynomial partial check: can undecided entries be filled legally?
+
+        A partial vector extends to a legal output iff, writing ``c_v`` for
+        the count of already-decided v's and ``r`` for the number of
+        undecided entries, every ``c_v <= u_v`` and the deficits
+        ``sum(max(l_v - c_v, 0))`` fit within r without overflowing the
+        remaining headroom ``sum(u_v - c_v)``.
+        """
+        if len(output) != self._n:
+            return False
+        decided = [value for value in output if value is not None]
+        if any(not 1 <= value <= self.m for value in decided):
+            return False
+        counts = counting_vector(decided, self.m) if decided else (0,) * self.m
+        remaining = self._n - len(decided)
+        deficit = 0
+        headroom = 0
+        for count, (low, high) in zip(counts, self._bounds.pairs()):
+            if count > high:
+                return False
+            deficit += max(low - count, 0)
+            headroom += high - count
+        return deficit <= remaining <= headroom
+
+    def output_value_range(self) -> range:
+        """Decided values live in ``[1..m]``."""
+        return range(1, self.m + 1)
+
+    def counting_vectors(self) -> Iterator[tuple[int, ...]]:
+        """All admitted counting vectors (possibly empty if infeasible)."""
+        yield from asymmetric_counting_vectors(
+            self._n, self._bounds.lower, self._bounds.upper
+        )
+
+    def output_vectors(self) -> Iterator[tuple[int, ...]]:
+        """All legal output vectors.  Exponential; use only for small n, m."""
+        for vector in itertools.product(range(1, self.m + 1), repeat=self._n):
+            if self._bounds.admits_counts(counting_vector(vector, self.m)):
+                yield vector
+
+    def count_output_vectors(self) -> int:
+        """Number of legal output vectors, via multinomials per counting vector."""
+        total = 0
+        for counts in self.counting_vectors():
+            ways = math.factorial(self._n)
+            for entry in counts:
+                ways //= math.factorial(entry)
+            total += ways
+        return total
+
+    def deterministic_output_vector(self) -> tuple[int, ...]:
+        """Lexicographically smallest legal output vector.
+
+        Theorem 8's asymmetric construction needs all processes to agree on
+        one predetermined element of O; smallest-lexicographic is the
+        deterministic rule used throughout this library.
+        """
+        if not self.is_feasible:
+            raise GSBSpecificationError(f"{self} is infeasible; O is empty")
+        vector: list[int] = []
+        counts = [0] * self.m
+        for position in range(self._n):
+            for value in range(1, self.m + 1):
+                counts[value - 1] += 1
+                remaining = self._n - position - 1
+                if self._completable(counts, remaining):
+                    vector.append(value)
+                    break
+                counts[value - 1] -= 1
+            else:
+                raise AssertionError(
+                    "feasible task ran out of values while building an output"
+                )
+        return tuple(vector)
+
+    def _completable(self, counts: Sequence[int], remaining: int) -> bool:
+        deficit = 0
+        headroom = 0
+        for count, (low, high) in zip(counts, self._bounds.pairs()):
+            if count > high:
+                return False
+            deficit += max(low - count, 0)
+            headroom += high - count
+        return deficit <= remaining <= headroom
+
+    # ------------------------------------------------------------------
+    # Task identity and comparison
+    # ------------------------------------------------------------------
+
+    def same_task(self, other: "GSBTask") -> bool:
+        """Synonym test: identical sets of legal output vectors.
+
+        Comparing admitted counting-vector sets is equivalent and avoids
+        the m**n blowup of materializing output vectors.
+        """
+        if self._n != other._n or self.m != other.m:
+            return False
+        return set(self.counting_vectors()) == set(other.counting_vectors())
+
+    def includes(self, other: "GSBTask") -> bool:
+        """True when every output of ``other`` is an output of this task.
+
+        ``other.includes(self)`` false and ``self.includes(other)`` true
+        means ``other`` is strictly harder (Section 4: any algorithm solving
+        the smaller task solves the larger one).
+        """
+        if self._n != other._n or self.m != other.m:
+            return False
+        ours = set(self.counting_vectors())
+        return all(counts in ours for counts in other.counting_vectors())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GSBTask):
+            return NotImplemented
+        return self.same_task(other)
+
+    def __hash__(self) -> int:
+        return hash((self._n, self.m, tuple(sorted(self.counting_vectors()))))
+
+    def __repr__(self) -> str:
+        if self.is_symmetric:
+            low, high = self._bounds.pair(1)
+            spec = f"<{self._n},{self.m},{low},{high}>"
+        else:
+            spec = (
+                f"<{self._n},{self.m},"
+                f"{list(self._bounds.lower)},{list(self._bounds.upper)}>"
+            )
+        suffix = f" ({self.label})" if self.label else ""
+        return f"GSB{spec}{suffix}"
+
+
+class SymmetricGSBTask(GSBTask):
+    """The symmetric ``<n, m, l, u>`` GSB task of Section 3.1.
+
+    All m values share the same occupancy bounds, which makes the kernel-set
+    representation of Section 4 available.
+    """
+
+    def __init__(
+        self, n: int, m: int, low: int, high: int, label: str | None = None
+    ):
+        # The paper freely writes bounds like max(0, l-1); floor l at 0 so
+        # such expressions construct directly.
+        low = max(low, 0)
+        super().__init__(n, BoundVector.symmetric(m, low, high), label=label)
+        self._low = low
+        self._high = min(high, n)
+
+    @property
+    def low(self) -> int:
+        """Common lower bound l (floored at 0)."""
+        return self._low
+
+    @property
+    def high(self) -> int:
+        """Common upper bound u (clamped to n)."""
+        return self._high
+
+    @property
+    def parameters(self) -> tuple[int, int, int, int]:
+        """The 4-tuple ``(n, m, l, u)``."""
+        return (self._n, self.m, self._low, self._high)
+
+    @cached_property
+    def kernel_set(self) -> tuple[KernelVector, ...]:
+        """Kernel vectors in descending lexicographic order (Definition 4)."""
+        return kernel_vectors(self._n, self.m, self._low, self._high)
+
+    def kernel_of(self, output: Sequence[int]) -> KernelVector:
+        """Kernel vector of one legal output vector."""
+        if not self.is_legal_output(output):
+            raise ValueError(f"{list(output)} is not a legal output of {self}")
+        return kernel_of_counting(counting_vector(output, self.m))
+
+    def same_task(self, other: GSBTask) -> bool:
+        """Kernel sets characterize symmetric tasks, so compare those."""
+        if isinstance(other, SymmetricGSBTask):
+            return (
+                self._n == other._n
+                and self.m == other.m
+                and self.kernel_set == other.kernel_set
+            )
+        return super().same_task(other)
+
+    def includes(self, other: GSBTask) -> bool:
+        if isinstance(other, SymmetricGSBTask):
+            if self._n != other._n or self.m != other.m:
+                return False
+            return set(other.kernel_set) <= set(self.kernel_set)
+        return super().includes(other)
+
+    def __hash__(self) -> int:
+        return hash((self._n, self.m, self.kernel_set))
+
+    def __repr__(self) -> str:
+        suffix = f" ({self.label})" if self.label else ""
+        return f"GSB<{self._n},{self.m},{self._low},{self._high}>{suffix}"

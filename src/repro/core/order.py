@@ -1,0 +1,170 @@
+"""The containment partial order on GSB tasks (Section 4.4).
+
+Writing ``S(T)`` for the output-vector set of T, a task T1 is *at least as
+hard* as T2 when ``S(T1) subset-of S(T2)``: any algorithm solving T1 also
+solves T2 (every T1-legal output is T2-legal).  Lemmas 4 and 5 show
+hardness is monotone in the bounds; Theorem 5 identifies the hardest
+``<n, m, -, ->`` task; Theorem 6 gives bound-tightening inclusions; and
+Figure 1 draws the Hasse diagram of canonical ``<6, 3, -, ->`` tasks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from .canonical import canonical_representative, is_canonical
+from .feasibility import feasible_bound_pairs
+from .gsb import SymmetricGSBTask
+
+
+def is_harder(task: SymmetricGSBTask, other: SymmetricGSBTask) -> bool:
+    """True when ``task`` is at least as hard: ``S(task) subset S(other)``."""
+    return other.includes(task)
+
+
+def is_strictly_harder(task: SymmetricGSBTask, other: SymmetricGSBTask) -> bool:
+    """Strict hardness: containment holds and the tasks differ."""
+    return is_harder(task, other) and not task.same_task(other)
+
+
+def check_lemma_4(task: SymmetricGSBTask, wider_high: int) -> bool:
+    """Lemma 4: raising u enlarges (weakly) the output set."""
+    n, m, low, high = task.parameters
+    if wider_high < high:
+        raise ValueError(f"lemma 4 needs u' >= u, got {wider_high} < {high}")
+    wider = SymmetricGSBTask(n, m, low, wider_high)
+    return wider.includes(task)
+
+
+def check_lemma_5(task: SymmetricGSBTask, smaller_low: int) -> bool:
+    """Lemma 5: lowering l enlarges (weakly) the output set."""
+    n, m, low, high = task.parameters
+    if smaller_low > low:
+        raise ValueError(f"lemma 5 needs l' <= l, got {smaller_low} > {low}")
+    wider = SymmetricGSBTask(n, m, smaller_low, high)
+    return wider.includes(task)
+
+
+def hardest(n: int, m: int) -> SymmetricGSBTask:
+    """Theorem 5: ``<n, m, floor(n/m), ceil(n/m)>`` is the hardest feasible
+    ``<n, m, -, ->`` task: it is included in every feasible sibling."""
+    if not 1 <= m <= n:
+        raise ValueError(f"need 1 <= m <= n, got m={m}, n={n}")
+    return SymmetricGSBTask(n, m, n // m, math.ceil(n / m))
+
+
+def check_theorem_5(n: int, m: int) -> bool:
+    """The hardest task is included in every feasible ``<n, m, l, u>``."""
+    bottom = hardest(n, m)
+    return all(
+        SymmetricGSBTask(n, m, low, high).includes(bottom)
+        for low, high in feasible_bound_pairs(n, m)
+    )
+
+
+def check_theorem_6(task: SymmetricGSBTask) -> bool:
+    """Theorem 6 inclusions for one feasible task.
+
+    (i)  l' = n - u(m-1) >= l  implies  S(<n,m,l',u>) subset S(task);
+    (ii) u' = n - l(m-1) <= u  implies  S(<n,m,l,u'>) subset S(task).
+    """
+    n, m, low, high = task.parameters
+    tightened_low = n - high * (m - 1)
+    if tightened_low >= low:
+        inner = SymmetricGSBTask(n, m, tightened_low, high)
+        if not task.includes(inner):
+            return False
+    tightened_high = n - low * (m - 1)
+    if tightened_high <= high:
+        inner = SymmetricGSBTask(n, m, low, tightened_high)
+        if not task.includes(inner):
+            return False
+    return True
+
+
+def canonical_family(n: int, m: int) -> list[SymmetricGSBTask]:
+    """All canonical feasible ``<n, m, -, ->`` tasks (Figure 1's nodes).
+
+    One representative per synonym class, ordered by (l, u).
+    """
+    return [
+        task
+        for low, high in feasible_bound_pairs(n, m)
+        if is_canonical(task := SymmetricGSBTask(n, m, low, high))
+    ]
+
+
+def containment_digraph(tasks: Sequence[SymmetricGSBTask]) -> nx.DiGraph:
+    """Full strict-containment relation as a DAG.
+
+    Edge ``a -> b`` means ``S(a)`` strictly contains ``S(b)`` — i.e. b is
+    strictly harder — matching Figure 1's arrow convention
+    ("A -> B means A strictly includes B").
+    Nodes are the tasks' ``(l, u)`` canonical parameters.
+    """
+    graph = nx.DiGraph()
+    for task in tasks:
+        graph.add_node(_node_key(task), task=task)
+    for outer in tasks:
+        for inner in tasks:
+            if outer is inner:
+                continue
+            if is_strictly_harder(inner, outer):
+                graph.add_edge(_node_key(outer), _node_key(inner))
+    return graph
+
+
+def hasse_diagram(tasks: Sequence[SymmetricGSBTask]) -> nx.DiGraph:
+    """Transitive reduction of the containment DAG: Figure 1's edges."""
+    full = containment_digraph(tasks)
+    reduced = nx.transitive_reduction(full)
+    # transitive_reduction drops node attributes; restore them.
+    for node, data in full.nodes(data=True):
+        reduced.add_node(node, **data)
+    return reduced
+
+
+def figure1_hasse(n: int = 6, m: int = 3) -> nx.DiGraph:
+    """The Hasse diagram of canonical ``<n, m, -, ->`` tasks.
+
+    With the paper's defaults (n=6, m=3) this regenerates Figure 1:
+    seven canonical tasks with the chain
+    ``(0,6) -> (0,5) -> (0,4) -> {(1,4), (0,3)} -> (1,3) -> (2,2)``.
+    """
+    return hasse_diagram(canonical_family(n, m))
+
+
+def chains(graph: nx.DiGraph) -> list[list[tuple[int, int]]]:
+    """All maximal source-to-sink chains of a Hasse diagram."""
+    sources = [node for node in graph if graph.in_degree(node) == 0]
+    sinks = [node for node in graph if graph.out_degree(node) == 0]
+    found = []
+    for source in sources:
+        for sink in sinks:
+            found.extend(nx.all_simple_paths(graph, source, sink))
+    return [list(path) for path in found]
+
+
+def incomparable_pairs(
+    tasks: Iterable[SymmetricGSBTask],
+) -> list[tuple[SymmetricGSBTask, SymmetricGSBTask]]:
+    """Task pairs with neither containment (Section 7 asks about these).
+
+    For n=6, m=3 the paper points out <6,3,1,4> and <6,3,0,3> are
+    incomparable.
+    """
+    tasks = list(tasks)
+    pairs = []
+    for i, first in enumerate(tasks):
+        for second in tasks[i + 1 :]:
+            if not first.includes(second) and not second.includes(first):
+                pairs.append((first, second))
+    return pairs
+
+
+def _node_key(task: SymmetricGSBTask) -> tuple[int, int]:
+    canonical = canonical_representative(task)
+    return (canonical.low, canonical.high)

@@ -1,0 +1,312 @@
+"""Solvability of GSB tasks (Section 5).
+
+Three tiers of difficulty appear in the paper:
+
+* **Trivial** tasks are solvable with no communication at all; Theorem 9
+  characterizes them (for m > 1) as ``l = 0 and u >= ceil((2n-1)/m)``.
+* **Wait-free solvable** tasks need communication but have a read/write
+  protocol: e.g. WSB and (2n-2)-renaming exactly when the binomial
+  coefficients ``C(n, i)`` for ``1 <= i <= floor(n/2)`` are setwise coprime
+  (Theorem 10 direction via [17]; sufficiency also due to
+  Castaneda-Rajsbaum [17]).
+* **Unsolvable** tasks: election (Theorem 11), perfect renaming
+  (Corollary 5), and every ``<n, m, l>=1, u>`` task when the binomial set
+  is not coprime (Theorem 10, extended to l >= 1 via Lemma 5).
+
+Everything else the paper leaves open; the classifier reports OPEN for
+those, which is itself a faithful reproduction of the paper's Section 7.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from enum import Enum
+from functools import lru_cache
+from typing import Iterator
+
+from .canonical import canonical_parameters
+from .gsb import GSBTask, SymmetricGSBTask
+from .kernel import counting_vector
+from .task import identity_space
+
+
+class Solvability(Enum):
+    """Wait-free solvability classification of a GSB task."""
+
+    INFEASIBLE = "infeasible"
+    TRIVIAL = "trivial"  # solvable with no communication (Theorem 9)
+    SOLVABLE = "wait-free solvable"
+    UNSOLVABLE = "not wait-free solvable"
+    OPEN = "open"
+
+
+# ----------------------------------------------------------------------
+# Theorem 9: communication-free solvability
+# ----------------------------------------------------------------------
+
+def is_communication_free_solvable(task: GSBTask) -> bool:
+    """Whether a feasible GSB task is solvable with no communication.
+
+    Symmetric case is Theorem 9's closed form.  The asymmetric case uses
+    the same partition argument: a no-communication algorithm is a decision
+    function ``delta`` over the 2n-1 identities, valid iff its group sizes
+    ``g_v`` satisfy, for every value v, ``min(g_v, n) <= u_v`` and
+    ``g_v - (n-1) >= l_v`` whenever ``l_v >= 1`` (the adversary picks which
+    n identities participate, so it can include a whole group or exclude
+    up to n-1 of its members).
+    """
+    if not task.is_feasible:
+        return False
+    if task.m == 1:
+        return True
+    if task.is_symmetric:
+        symmetric = task.as_symmetric()
+        low, high = symmetric.low, symmetric.high
+        return low == 0 and high >= math.ceil((2 * task.n - 1) / task.m)
+    return _communication_free_group_sizes(task) is not None
+
+
+def communication_free_decision_function(task: GSBTask) -> dict[int, int] | None:
+    """A witness decision function ``identity -> value``, or None.
+
+    Constructive half of Theorem 9: deterministically partition the
+    identity space ``[1..2n-1]`` into groups whose sizes make every
+    participating-set count legal.
+    """
+    if not task.is_feasible:
+        return None
+    if task.m == 1:
+        return {identity: 1 for identity in identity_space(task.n)}
+    sizes = _communication_free_group_sizes(task)
+    if sizes is None:
+        return None
+    delta: dict[int, int] = {}
+    identities = iter(identity_space(task.n))
+    for value, size in enumerate(sizes, start=1):
+        for _ in range(size):
+            delta[next(identities)] = value
+    return delta
+
+
+def _communication_free_group_sizes(task: GSBTask) -> tuple[int, ...] | None:
+    """Group sizes making a partition-based solver valid, or None.
+
+    For the symmetric case the balanced partition of Theorem 9's proof is
+    tried first; otherwise a bounded search over compositions of 2n-1 runs
+    (small m keeps this cheap).
+    """
+    n, m = task.n, task.m
+    total = 2 * n - 1
+    bounds = task.bounds
+
+    def valid(sizes: tuple[int, ...]) -> bool:
+        for size, (low, high) in zip(sizes, bounds.pairs()):
+            if min(size, n) > high:
+                return False
+            if low >= 1 and size - (n - 1) < low:
+                return False
+        return True
+
+    balanced = _balanced_partition_sizes(total, m)
+    if valid(balanced):
+        return balanced
+    for sizes in _size_compositions(total, m, n, bounds):
+        if valid(sizes):
+            return sizes
+    return None
+
+
+def _balanced_partition_sizes(total: int, m: int) -> tuple[int, ...]:
+    quotient, remainder = divmod(total, m)
+    return (quotient + 1,) * remainder + (quotient,) * (m - remainder)
+
+
+def _size_compositions(total, m, n, bounds) -> Iterator[tuple[int, ...]]:
+    """Candidate group-size vectors, pruned per-value by the validity bounds."""
+    per_value_ranges = []
+    for low, high in bounds.pairs():
+        smallest = (low + n - 1) if low >= 1 else 0
+        largest = total if high >= n else high
+        if smallest > largest:
+            return
+        per_value_ranges.append(range(smallest, largest + 1))
+    for sizes in itertools.product(*per_value_ranges):
+        if sum(sizes) == total:
+            yield sizes
+
+
+def brute_force_communication_free(task: GSBTask) -> bool:
+    """Exhaustive search over all decision functions (tiny tasks only).
+
+    Used by tests to validate Theorem 9 and the group-size argument.
+    Cost is m ** (2n-1) * C(2n-1, n); keep n <= 4 and m <= 3.
+    """
+    n, m = task.n, task.m
+    identities = list(identity_space(n))
+    for assignment in itertools.product(range(1, m + 1), repeat=len(identities)):
+        delta = dict(zip(identities, assignment))
+        if decision_function_is_valid(task, delta):
+            return True
+    return False
+
+
+def decision_function_is_valid(task: GSBTask, delta: dict[int, int]) -> bool:
+    """Whether ``delta`` solves ``task`` for every participating id set."""
+    identities = list(identity_space(task.n))
+    if set(delta) != set(identities):
+        return False
+    for chosen in itertools.combinations(identities, task.n):
+        outputs = [delta[identity] for identity in chosen]
+        if not task.is_legal_output(outputs):
+            return False
+    return True
+
+
+def homonymous_decision_function(n: int, x: int) -> dict[int, int]:
+    """Corollary 2's solver for x-bounded homonymous renaming.
+
+    Process with identity ``id`` decides ``ceil(id / x)``.
+    """
+    if x < 1:
+        raise ValueError(f"x must be at least 1, got {x}")
+    return {identity: math.ceil(identity / x) for identity in identity_space(n)}
+
+
+# ----------------------------------------------------------------------
+# Theorem 10: the binomial-coefficient coprimality condition
+# ----------------------------------------------------------------------
+
+@lru_cache(maxsize=None)
+def binomial_gcd(n: int) -> int:
+    """``gcd{ C(n, i) : 1 <= i <= floor(n/2) }`` (0 when the set is empty)."""
+    if n < 2:
+        return 0
+    return math.gcd(*(math.comb(n, i) for i in range(1, n // 2 + 1)))
+
+
+def binomials_coprime(n: int) -> bool:
+    """Whether the binomial set of Theorem 10 is "prime" (setwise coprime).
+
+    By Ram's classical theorem this holds exactly when n is *not* a prime
+    power; :func:`is_prime_power` provides the independent cross-check used
+    in tests.  For n < 2 the set is empty and we treat it as coprime
+    (the tasks involved are trivial).
+    """
+    if n < 2:
+        return True
+    return binomial_gcd(n) == 1
+
+
+def is_prime_power(n: int) -> bool:
+    """Whether ``n = p**k`` for a prime p and k >= 1."""
+    if n < 2:
+        return False
+    for prime in _primes_up_to(n):
+        if n % prime == 0:
+            while n % prime == 0:
+                n //= prime
+            return n == 1
+    return False
+
+
+def _primes_up_to(n: int) -> Iterator[int]:
+    sieve = [True] * (n + 1)
+    for candidate in range(2, n + 1):
+        if sieve[candidate]:
+            yield candidate
+            for multiple in range(candidate * candidate, n + 1, candidate):
+                sieve[multiple] = False
+
+
+def wsb_wait_free_solvable(n: int) -> bool:
+    """Solvability of WSB / (2n-2)-renaming / 2-slot, by the gcd condition.
+
+    Unsolvability when the binomial set is not coprime is Theorem 10 (via
+    [17, 29]); solvability when it is coprime is Castaneda-Rajsbaum's
+    matching upper bound, which the paper cites as [17].
+    """
+    if n < 2:
+        return True
+    return binomials_coprime(n)
+
+
+# ----------------------------------------------------------------------
+# Classification
+# ----------------------------------------------------------------------
+
+def classify(task: GSBTask) -> tuple[Solvability, str]:
+    """Wait-free solvability classification with a one-line justification.
+
+    The classifier applies, in order: feasibility (Lemma 1), Theorem 9,
+    Corollary 5 (perfect renaming), Theorem 11 (election), Theorem 10
+    (extended to l >= 1 through Lemma 5), and the WSB/(2n-2)-renaming
+    characterization.  Anything beyond those results is reported OPEN,
+    matching the paper's open-problem list.
+    """
+    if not task.is_feasible:
+        return Solvability.INFEASIBLE, "empty output set (Lemma 1)"
+    if task.n == 1:
+        return Solvability.TRIVIAL, "single process decides alone"
+    if is_communication_free_solvable(task):
+        return Solvability.TRIVIAL, "communication-free (Theorem 9)"
+    if task.is_symmetric:
+        return _classify_symmetric(task.as_symmetric())
+    if _is_election(task):
+        return Solvability.UNSOLVABLE, "election (Theorem 11)"
+    return Solvability.OPEN, "asymmetric task outside the paper's results"
+
+
+def _classify_symmetric(task: SymmetricGSBTask) -> tuple[Solvability, str]:
+    n, m, _, _ = task.parameters
+    low_c, high_c = canonical_parameters(n, m, task.low, task.high)
+    if (m, low_c, high_c) == (n, 1, 1):
+        return Solvability.UNSOLVABLE, "perfect renaming (Corollary 5)"
+    if low_c >= 1 and m > 1 and not binomials_coprime(n):
+        return (
+            Solvability.UNSOLVABLE,
+            f"l >= 1 and gcd{{C({n},i)}} = {binomial_gcd(n)} != 1 "
+            "(Theorem 10 with Lemma 5)",
+        )
+    if _is_wsb(task) :
+        if binomials_coprime(n):
+            return (
+                Solvability.SOLVABLE,
+                "WSB with coprime binomials (Castaneda-Rajsbaum via [17, 29])",
+            )
+        return (
+            Solvability.UNSOLVABLE,
+            "WSB with non-coprime binomials (Theorem 10)",
+        )
+    if _is_renaming(task, 2 * n - 2):
+        if binomials_coprime(n):
+            return (
+                Solvability.SOLVABLE,
+                "(2n-2)-renaming, equivalent to WSB [29], binomials coprime",
+            )
+        return (
+            Solvability.UNSOLVABLE,
+            "(2n-2)-renaming with non-coprime binomials [17]",
+        )
+    return Solvability.OPEN, "between trivial and perfect renaming; open in the paper"
+
+
+def _is_wsb(task: SymmetricGSBTask) -> bool:
+    n = task.n
+    if n < 2 or task.m != 2:
+        return False
+    return canonical_parameters(n, 2, task.low, task.high) == canonical_parameters(
+        n, 2, 1, n - 1
+    )
+
+
+def _is_renaming(task: SymmetricGSBTask, m: int) -> bool:
+    if task.m != m:
+        return False
+    return canonical_parameters(task.n, m, task.low, task.high) == (0, 1)
+
+
+def _is_election(task: GSBTask) -> bool:
+    if task.m != 2 or task.n < 2:
+        return False
+    return set(task.counting_vectors()) == {(1, task.n - 1)}

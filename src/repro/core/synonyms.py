@@ -1,0 +1,76 @@
+"""Synonym structure of the symmetric GSB family (Section 4).
+
+Two parameter 4-tuples are *synonyms* when they denote the same task
+(identical output-vector sets, equivalently identical kernel sets).  This
+module groups a whole ``<n, m, -, ->`` family into synonym classes and
+exposes the specific equivalences quoted in the paper, e.g. that the k-slot
+task ``<n, k, 1, n>`` and ``<n, k, 1, n-k+1>`` are synonyms, and that WSB
+is the 2-slot task.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .canonical import canonical_parameters
+from .feasibility import feasible_bound_pairs
+from .gsb import SymmetricGSBTask
+from .kernel import KernelVector
+from .named import k_slot, weak_symmetry_breaking
+
+
+def are_synonyms(task: SymmetricGSBTask, other: SymmetricGSBTask) -> bool:
+    """Synonym test (same-task); thin readable alias used by reports."""
+    return task.same_task(other)
+
+
+def synonym_classes(
+    n: int, m: int
+) -> dict[tuple[int, int], list[tuple[int, int]]]:
+    """Partition all feasible ``(l, u)`` pairs into synonym classes.
+
+    Returns a mapping from canonical ``(l, u)`` parameters to the sorted
+    list of all parameter pairs denoting that task.  For n=6, m=3 this
+    reproduces the grouping visible in Table 1 (14 rows, 7 classes).
+    """
+    classes: dict[tuple[int, int], list[tuple[int, int]]] = defaultdict(list)
+    for low, high in feasible_bound_pairs(n, m):
+        classes[canonical_parameters(n, m, low, high)].append((low, high))
+    return {key: sorted(values) for key, values in classes.items()}
+
+
+def synonym_classes_by_kernel(
+    n: int, m: int
+) -> dict[tuple[KernelVector, ...], list[tuple[int, int]]]:
+    """Same partition keyed by kernel set instead of canonical parameters.
+
+    Used by tests to validate that canonical parameters and kernel sets
+    induce the same partition (Theorem 7 consistency).
+    """
+    classes: dict[tuple[KernelVector, ...], list[tuple[int, int]]] = defaultdict(list)
+    for low, high in feasible_bound_pairs(n, m):
+        task = SymmetricGSBTask(n, m, low, high)
+        classes[task.kernel_set].append((low, high))
+    return {key: sorted(values) for key, values in classes.items()}
+
+
+def slot_synonym_pair(n: int, k: int) -> tuple[SymmetricGSBTask, SymmetricGSBTask]:
+    """The paper's k-slot synonym: ``<n,k,1,n>`` equals ``<n,k,1,n-k+1>``."""
+    return k_slot(n, k), SymmetricGSBTask(n, k, 1, n - k + 1)
+
+
+def wsb_is_two_slot(n: int) -> bool:
+    """Section 3.2: the WSB task is exactly the 2-slot task."""
+    return weak_symmetry_breaking(n).same_task(k_slot(n, 2))
+
+
+def paper_wsb_synonyms(n: int) -> list[SymmetricGSBTask]:
+    """The three parameterizations of WSB quoted in Section 4.
+
+    ``<n,2,1,n-1>``, ``<n,2,0,n-1>``, and ``<n,2,1,n>`` are synonyms.
+    """
+    return [
+        SymmetricGSBTask(n, 2, 1, n - 1, label="WSB"),
+        SymmetricGSBTask(n, 2, 0, n - 1),
+        SymmetricGSBTask(n, 2, 1, n),
+    ]

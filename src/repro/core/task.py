@@ -1,0 +1,94 @@
+"""Decision tasks in the style of Section 2.3.
+
+A one-shot decision task is a triple ``(I, O, Delta)`` of input vectors,
+output vectors and a relation associating legal outputs with each input.
+This module provides the minimal abstract interface the shared-memory
+harness validates runs against, plus the identity-input machinery shared by
+all GSB tasks: inputs are vectors of *distinct* identities drawn from
+``[1..N]`` with ``N = 2n - 1`` (Theorem 1 shows larger identity spaces add
+no power, so the paper — and this library — fix N at that value).
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Iterator, Sequence
+
+
+def identity_space(n: int) -> range:
+    """The identity universe ``[1..2n-1]`` fixed by Theorem 1."""
+    if n < 1:
+        raise ValueError(f"need at least one process, got n={n}")
+    return range(1, 2 * n)
+
+
+def input_vectors(n: int) -> Iterator[tuple[int, ...]]:
+    """All input vectors: n distinct identities from ``[1..2n-1]``, ordered.
+
+    The i-th entry is the identity of process index i.  There are
+    ``(2n-1)! / (n-1)!`` such vectors; callers should only materialize them
+    for small n.
+    """
+    yield from itertools.permutations(identity_space(n), n)
+
+
+def is_input_vector(vector: Sequence[int], n: int) -> bool:
+    """Whether ``vector`` is a legal identity assignment for n processes."""
+    if len(vector) != n:
+        return False
+    if len(set(vector)) != n:
+        return False
+    space = identity_space(n)
+    return all(identity in space for identity in vector)
+
+
+class Task(ABC):
+    """Abstract one-shot decision task on ``n`` processes.
+
+    Subclasses define which output vectors are legal for a given input
+    vector.  GSB tasks ignore the input vector entirely (their defining
+    "output independence"), but the interface keeps the input so that
+    non-GSB tasks can also be validated by the same harness.
+    """
+
+    @property
+    @abstractmethod
+    def n(self) -> int:
+        """Number of processes."""
+
+    @abstractmethod
+    def is_legal_output(
+        self, output: Sequence[int], input_vector: Sequence[int] | None = None
+    ) -> bool:
+        """Whether a complete decided vector satisfies the task relation."""
+
+    def is_legal_partial_output(
+        self,
+        output: Sequence[int | None],
+        input_vector: Sequence[int] | None = None,
+    ) -> bool:
+        """Whether a partial decision vector extends to a legal output.
+
+        ``None`` entries stand for processes that have not (yet) decided —
+        e.g. crashed processes.  The default implementation tries all
+        completions, which is exponential; subclasses with structure
+        (like GSB tasks) override it with a polynomial check.
+        """
+        undecided = [index for index, value in enumerate(output) if value is None]
+        if not undecided:
+            return self.is_legal_output([v for v in output], input_vector)
+        values = self.output_value_range()
+        for completion in itertools.product(values, repeat=len(undecided)):
+            candidate = list(output)
+            for index, value in zip(undecided, completion):
+                candidate[index] = value
+            if self.is_legal_output(candidate, input_vector):
+                return True
+        return False
+
+    def output_value_range(self) -> range:
+        """Values a completion may use; subclasses narrow this."""
+        raise NotImplementedError(
+            "is_legal_partial_output needs output_value_range or an override"
+        )

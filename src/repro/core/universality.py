@@ -1,0 +1,120 @@
+"""Universality of perfect renaming (Theorem 8).
+
+Perfect renaming ``<n, n, 1, 1>`` is universal for the whole GSB family:
+given any solution handing each process a distinct name in ``[1..n]``, every
+GSB task is solved by a *local, communication-free* post-processing of the
+name.  This module provides those post-processing maps as pure functions
+(the protocol wrapper lives in :mod:`repro.algorithms.from_perfect`):
+
+* symmetric ``<n, m, l, u>``: decide ``((name - 1) mod m) + 1``;
+* asymmetric ``<n, m, l-vec, u-vec>``: all processes agree (deterministically,
+  with no communication) on one legal output vector V and the process named
+  ``d`` decides ``V[d]``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .feasibility import assert_feasible
+from .gsb import GSBTask, SymmetricGSBTask
+from .kernel import counting_vector, kernel_of_counting
+
+
+def symmetric_output_map(task: SymmetricGSBTask) -> Callable[[int], int]:
+    """Theorem 8's map for symmetric tasks: fold names mod m.
+
+    The resulting counting vector is the balanced one —
+    ``ceil(n/m)`` occurrences for the first ``n mod m`` values and
+    ``floor(n/m)`` for the rest — which feasibility (``l <= n/m <= u``)
+    places inside the task's bounds.
+    """
+    assert_feasible(task)
+    m = task.m
+
+    def decide(perfect_name: int) -> int:
+        _check_name(perfect_name, task.n)
+        return ((perfect_name - 1) % m) + 1
+
+    return decide
+
+
+def asymmetric_output_map(task: GSBTask) -> Callable[[int], int]:
+    """Theorem 8's map for asymmetric tasks: index a predetermined vector.
+
+    All processes deterministically order O and pick its first element
+    (here: lexicographically smallest); the process whose perfect name is
+    ``d`` decides ``V[d]``.  Because names form a bijection onto [1..n],
+    the decided vector is a permutation of V, whose counting vector equals
+    V's and is therefore legal.
+    """
+    assert_feasible(task)
+    vector = task.deterministic_output_vector()
+
+    def decide(perfect_name: int) -> int:
+        _check_name(perfect_name, task.n)
+        return vector[perfect_name - 1]
+
+    return decide
+
+
+def output_map(task: GSBTask) -> Callable[[int], int]:
+    """The appropriate Theorem 8 map for ``task``.
+
+    Symmetric tasks use the mod-m fold (it needs no enumeration of O);
+    asymmetric tasks use the predetermined-vector map.
+    """
+    if task.is_symmetric and isinstance(task, SymmetricGSBTask):
+        return symmetric_output_map(task)
+    return asymmetric_output_map(task)
+
+
+def solve_from_perfect_names(
+    task: GSBTask, perfect_names: Sequence[int]
+) -> tuple[int, ...]:
+    """Apply Theorem 8 end to end on a full vector of perfect names.
+
+    ``perfect_names[i]`` is process i's output from perfect renaming; the
+    result is the vector of GSB decisions.  Raises if the names are not a
+    permutation of ``[1..n]`` (i.e. not a legal perfect-renaming output).
+    """
+    if sorted(perfect_names) != list(range(1, task.n + 1)):
+        raise ValueError(
+            f"{list(perfect_names)} is not a permutation of [1..{task.n}]; "
+            "not a legal perfect renaming output"
+        )
+    decide = output_map(task)
+    return tuple(decide(name) for name in perfect_names)
+
+
+def check_theorem_8(task: GSBTask) -> bool:
+    """Validate Theorem 8 for one task over *all* perfect-name permutations.
+
+    Exponential in n; used by tests with small n and by property tests
+    with sampled permutations for larger n.
+    """
+    import itertools
+
+    decide = output_map(task)
+    for names in itertools.permutations(range(1, task.n + 1)):
+        output = [decide(name) for name in names]
+        if not task.is_legal_output(output):
+            return False
+    return True
+
+
+def expected_symmetric_kernel(task: SymmetricGSBTask) -> tuple[int, ...]:
+    """The kernel vector Theorem 8's symmetric map always produces.
+
+    ``[ceil(n/m)] * (n mod m) + [floor(n/m)] * (m - n mod m)`` — the
+    balanced kernel vector, for cross-checking simulation outputs.
+    """
+    counts = counting_vector(
+        [((name - 1) % task.m) + 1 for name in range(1, task.n + 1)], task.m
+    )
+    return kernel_of_counting(counts)
+
+
+def _check_name(name: int, n: int) -> None:
+    if not 1 <= name <= n:
+        raise ValueError(f"perfect renaming name {name} outside [1..{n}]")

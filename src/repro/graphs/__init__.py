@@ -1,0 +1,61 @@
+"""Synchronous message-passing symmetry breaking on networkx graphs.
+
+The LOCAL-model companion substrate: round-synchronous simulator, Luby's
+MIS, randomized (Delta+1)-coloring, Cole-Vishkin ring 3-coloring, and
+comparison-based ring leader election (Chang-Roberts, Hirschberg-Sinclair).
+"""
+
+from .coloring import (
+    ColeVishkinRing,
+    RandomizedColoring,
+    check_coloring,
+    cole_vishkin_iterations,
+    run_cole_vishkin,
+    run_randomized_coloring,
+)
+from .luby import IN_MIS, OUT_OF_MIS, LubyMIS, check_mis, mis_nodes, run_luby_mis
+from .ring_election import (
+    FOLLOWER,
+    LEADER,
+    ChangRoberts,
+    HirschbergSinclair,
+    check_election_outputs,
+    run_chang_roberts,
+    run_hirschberg_sinclair,
+)
+from .sync_net import (
+    NodeAlgorithm,
+    NodeContext,
+    SyncNetwork,
+    SyncRunResult,
+    random_graph,
+    ring_graph,
+)
+
+__all__ = [
+    "FOLLOWER",
+    "IN_MIS",
+    "LEADER",
+    "OUT_OF_MIS",
+    "ChangRoberts",
+    "ColeVishkinRing",
+    "HirschbergSinclair",
+    "LubyMIS",
+    "NodeAlgorithm",
+    "NodeContext",
+    "RandomizedColoring",
+    "SyncNetwork",
+    "SyncRunResult",
+    "check_coloring",
+    "check_election_outputs",
+    "check_mis",
+    "cole_vishkin_iterations",
+    "mis_nodes",
+    "random_graph",
+    "ring_graph",
+    "run_chang_roberts",
+    "run_cole_vishkin",
+    "run_hirschberg_sinclair",
+    "run_luby_mis",
+    "run_randomized_coloring",
+]

@@ -1,0 +1,177 @@
+"""Distributed graph coloring: randomized (Delta+1) and Cole-Vishkin rings.
+
+Two classic symmetry-breaking colorers for the LOCAL model:
+
+* :class:`RandomizedColoring` — each undecided node proposes a random color
+  from its remaining palette; proposals unique in the neighbourhood (and
+  compatible with finalized neighbours) are kept.  Palettes of size
+  ``deg+1`` guarantee progress; O(log n) rounds with high probability.
+* :func:`run_cole_vishkin` — the deterministic O(log* n) color reduction on
+  *oriented rings*: starting from unique identities, each step recodes a
+  node's color as (position, value) of the lowest bit differing from its
+  predecessor's color, collapsing the palette to 6 colors exponentially
+  fast; three final "shift-down" rounds reach 3 colors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import networkx as nx
+
+from .sync_net import Node, NodeAlgorithm, NodeContext, SyncNetwork, SyncRunResult
+
+
+class RandomizedColoring(NodeAlgorithm):
+    """Randomized (Delta+1)-coloring, propose/announce state machine."""
+
+    def init(self, ctx: NodeContext) -> None:
+        ctx.state["taken"] = set()
+        ctx.state["candidate"] = None
+        ctx.state["announcing"] = False
+
+    def send(self, ctx: NodeContext) -> Any:
+        if ctx.state["announcing"]:
+            return ("final", ctx.state["candidate"])
+        palette = [
+            color
+            for color in range(1, ctx.degree + 2)
+            if color not in ctx.state["taken"]
+        ]
+        ctx.state["candidate"] = ctx.rng.choice(palette)
+        return ("cand", ctx.state["candidate"])
+
+    def receive(self, ctx: NodeContext, messages: Mapping[Node, Any]) -> Any:
+        for kind, payload in messages.values():
+            if kind == "final":
+                ctx.state["taken"].add(payload)
+        if ctx.state["announcing"]:
+            return ctx.state["candidate"]
+        candidate = ctx.state["candidate"]
+        rival_candidates = {
+            payload for kind, payload in messages.values() if kind == "cand"
+        }
+        if candidate not in ctx.state["taken"] and candidate not in rival_candidates:
+            ctx.state["announcing"] = True
+        return None
+
+
+def run_randomized_coloring(
+    graph: nx.Graph, seed: int = 0, max_rounds: int = 10_000
+) -> SyncRunResult:
+    """Run the randomized colorer; outputs are colors in [1..deg+1]."""
+    network = SyncNetwork(graph, RandomizedColoring, seed=seed)
+    return network.run(max_rounds=max_rounds)
+
+
+def check_coloring(graph: nx.Graph, colors: Mapping[Node, int]) -> list[str]:
+    """Proper-coloring validation; returns violations."""
+    problems = []
+    for first, second in graph.edges:
+        if colors.get(first) == colors.get(second):
+            problems.append(
+                f"edge ({first}, {second}) monochromatic in color {colors.get(first)}"
+            )
+    missing = [node for node in graph.nodes if node not in colors]
+    if missing:
+        problems.append(f"uncolored nodes: {missing}")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Cole-Vishkin on oriented rings
+# ----------------------------------------------------------------------
+
+def _cv_step(own: int, predecessor: int) -> int:
+    """One Cole-Vishkin recode: (index, value) of the lowest differing bit."""
+    differing = own ^ predecessor
+    index = (differing & -differing).bit_length() - 1
+    bit = (own >> index) & 1
+    return 2 * index + bit
+
+
+def cole_vishkin_iterations(max_color: int) -> int:
+    """Iterations until the palette collapses to at most 6 colors.
+
+    Tracks the palette bound: b colors (bit length L) recode into at most
+    2L colors; iterate until the bound is <= 6.  This is the O(log*)
+    schedule every node computes locally from the known identity space.
+    """
+    bound = max(max_color + 1, 7)
+    iterations = 0
+    while bound > 6:
+        bound = 2 * (bound - 1).bit_length()
+        iterations += 1
+        if iterations > 64:  # log* of anything physical is tiny
+            raise AssertionError("Cole-Vishkin schedule failed to converge")
+    return iterations
+
+
+class ColeVishkinRing(NodeAlgorithm):
+    """O(log* n) ring 3-coloring (oriented ring; nodes are 0..n-1).
+
+    Phases: ``iterations`` Cole-Vishkin recoding rounds (colors start as
+    identities), then for each color c in 7..3 one shift-down round where
+    nodes colored >= c but not less recolor to the smallest color in
+    {0, 1, 2} unused by their two neighbours.  Output colors are 0, 1, 2.
+    """
+
+    def __init__(self, ring_size: int, iterations: int):
+        self._n = ring_size
+        self._iterations = iterations
+
+    def init(self, ctx: NodeContext) -> None:
+        ctx.state["color"] = ctx.identity
+        ctx.state["cv_left"] = self._iterations
+        ctx.state["reduce"] = 7  # next color class to eliminate
+
+    def _predecessor(self, ctx: NodeContext) -> Node:
+        return (ctx.node - 1) % self._n
+
+    def send(self, ctx: NodeContext) -> Any:
+        return ("color", ctx.state["color"])
+
+    def receive(self, ctx: NodeContext, messages: Mapping[Node, Any]) -> Any:
+        colors = {
+            sender: payload
+            for sender, (kind, payload) in messages.items()
+            if kind == "color"
+        }
+        if ctx.state["cv_left"] > 0:
+            predecessor = self._predecessor(ctx)
+            ctx.state["color"] = _cv_step(ctx.state["color"], colors[predecessor])
+            ctx.state["cv_left"] -= 1
+            return None
+        # Shift-down rounds: eliminate one color class per round.
+        target = ctx.state["reduce"]
+        if ctx.state["color"] >= target:
+            neighbor_colors = set(colors.values())
+            ctx.state["color"] = min(
+                color for color in (0, 1, 2) if color not in neighbor_colors
+            )
+        ctx.state["reduce"] -= 1
+        if ctx.state["reduce"] < 3:
+            return ctx.state["color"]
+        return None
+
+
+def run_cole_vishkin(n: int, seed: int = 0) -> SyncRunResult:
+    """3-color the oriented n-ring deterministically (seed only shuffles ids)."""
+    if n < 3:
+        raise ValueError(f"a ring needs at least 3 nodes, got {n}")
+    import random
+
+    graph = nx.cycle_graph(n)
+    identities = {node: node + 1 for node in graph.nodes}
+    if seed:
+        shuffled = list(identities.values())
+        random.Random(seed).shuffle(shuffled)
+        identities = {node: shuffled[node] for node in graph.nodes}
+    iterations = cole_vishkin_iterations(max(identities.values()))
+    network = SyncNetwork(
+        graph,
+        lambda: ColeVishkinRing(n, iterations),
+        seed=seed,
+        identities=identities,
+    )
+    return network.run(max_rounds=iterations + 10)

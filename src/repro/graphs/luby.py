@@ -1,0 +1,106 @@
+"""Luby's randomized maximal independent set algorithm.
+
+The message-passing archetype of symmetry breaking: initially all nodes are
+identical (up to randomness), and in expected O(log n) phases the network
+breaks the symmetry into an independent dominating set.
+
+Per phase (two communication rounds):
+
+1. **draw** — every undecided node draws a random priority
+   ``(random, identity)`` and broadcasts it; the identity component breaks
+   ties, so priorities are totally ordered;
+2. **announce** — a node whose priority strictly beats every priority it
+   received joins the MIS and decides; a node that hears a neighbour join
+   leaves the computation (one *farewell* round later, so remaining
+   neighbours observe the departure).
+
+Independence: two adjacent undecided nodes always see each other's
+priorities, and exactly one wins.  Maximality: a node only leaves when an
+adjacent node joined.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import networkx as nx
+
+from .sync_net import Node, NodeAlgorithm, NodeContext, SyncNetwork, SyncRunResult
+
+IN_MIS = "in-mis"
+OUT_OF_MIS = "out"
+
+_DRAW = "draw"
+_ANNOUNCE = "announce"
+_FAREWELL = "farewell"
+
+
+class LubyMIS(NodeAlgorithm):
+    """One node of Luby's algorithm (two-round phases plus farewells)."""
+
+    def init(self, ctx: NodeContext) -> None:
+        ctx.state["phase"] = _DRAW
+        ctx.state["priority"] = None
+        ctx.state["won"] = False
+
+    def send(self, ctx: NodeContext) -> Any:
+        phase = ctx.state["phase"]
+        if phase == _DRAW:
+            ctx.state["priority"] = (ctx.rng.random(), ctx.identity)
+            return ("priority", ctx.state["priority"])
+        if phase == _ANNOUNCE:
+            return ("status", IN_MIS if ctx.state["won"] else "undecided")
+        return ("status", OUT_OF_MIS)
+
+    def receive(self, ctx: NodeContext, messages: Mapping[Node, Any]) -> Any:
+        phase = ctx.state["phase"]
+        if phase == _DRAW:
+            rivals = [
+                payload for kind, payload in messages.values() if kind == "priority"
+            ]
+            ctx.state["won"] = all(
+                ctx.state["priority"] > rival for rival in rivals
+            )
+            ctx.state["phase"] = _ANNOUNCE
+            return None
+        if phase == _ANNOUNCE:
+            if ctx.state["won"]:
+                return IN_MIS
+            neighbor_joined = any(
+                kind == "status" and payload == IN_MIS
+                for kind, payload in messages.values()
+            )
+            if neighbor_joined:
+                ctx.state["phase"] = _FAREWELL
+                return None
+            ctx.state["phase"] = _DRAW
+            return None
+        # Farewell: the OUT announcement was sent this round; decide.
+        return OUT_OF_MIS
+
+
+def run_luby_mis(
+    graph: nx.Graph, seed: int = 0, max_rounds: int = 10_000
+) -> SyncRunResult:
+    """Run Luby's MIS on ``graph``; outputs are IN_MIS / OUT_OF_MIS."""
+    network = SyncNetwork(graph, LubyMIS, seed=seed)
+    return network.run(max_rounds=max_rounds)
+
+
+def mis_nodes(result: SyncRunResult) -> set[Node]:
+    """The selected independent set of a finished run."""
+    return {node for node, value in result.outputs.items() if value == IN_MIS}
+
+
+def check_mis(graph: nx.Graph, selected: set[Node]) -> list[str]:
+    """Validate independence and maximality; returns violations."""
+    problems = []
+    for first, second in graph.edges:
+        if first in selected and second in selected:
+            problems.append(f"edge ({first}, {second}) has both endpoints in the MIS")
+    for node in graph.nodes:
+        if node in selected:
+            continue
+        if not any(neighbor in selected for neighbor in graph.neighbors(node)):
+            problems.append(f"node {node} is outside the MIS with no MIS neighbour")
+    return problems

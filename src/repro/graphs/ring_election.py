@@ -1,0 +1,237 @@
+"""Comparison-based leader election on rings (Chang-Roberts, HS).
+
+The message-passing counterpart of the paper's election GSB task: with
+distinct comparable identities and no failures, ring election *is*
+solvable, and the decided vector — exactly one process outputs 1 (leader),
+all others output 2 — is precisely the election task's output set.  The
+examples use this to contrast the failure-free message-passing world with
+the wait-free impossibility of Theorem 11.
+
+* :class:`ChangRoberts` — unidirectional; O(n) rounds, O(n^2) worst-case
+  and O(n log n) expected messages.
+* :class:`HirschbergSinclair` — bidirectional, candidates probe
+  neighbourhoods of doubling radius; O(n log n) worst-case messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import networkx as nx
+
+from .sync_net import Node, NodeAlgorithm, NodeContext, SyncNetwork, SyncRunResult
+
+LEADER = 1
+FOLLOWER = 2
+
+
+class ChangRoberts(NodeAlgorithm):
+    """Chang-Roberts election on an oriented ring (successor = node+1 mod n).
+
+    Identities circulate clockwise; a node forwards only identities larger
+    than its own, and a node receiving its own identity is the leader (its
+    identity survived a full loop).  The leader then circulates an
+    ``elected`` announcement so every node can decide.
+    """
+
+    def __init__(self, ring_size: int):
+        self._n = ring_size
+
+    def init(self, ctx: NodeContext) -> None:
+        ctx.state["outgoing"] = ("token", ctx.identity)
+        ctx.state["final"] = None
+
+    def _successor(self, ctx: NodeContext) -> Node:
+        return (ctx.node + 1) % self._n
+
+    def _predecessor(self, ctx: NodeContext) -> Node:
+        return (ctx.node - 1) % self._n
+
+    def send(self, ctx: NodeContext) -> Any:
+        message = ctx.state["outgoing"]
+        ctx.state["outgoing"] = None
+        # Address the message to the successor only (the simulator
+        # broadcasts, so we tag the intended recipient).
+        if message is None:
+            return None
+        return ("to", self._successor(ctx), message)
+
+    def receive(self, ctx: NodeContext, messages: Mapping[Node, Any]) -> Any:
+        payload = None
+        predecessor = self._predecessor(ctx)
+        if predecessor in messages:
+            _tag, recipient, message = messages[predecessor]
+            if recipient == ctx.node:
+                payload = message
+        if payload is not None:
+            kind, value = payload
+            if kind == "token":
+                if value > ctx.identity:
+                    ctx.state["outgoing"] = ("token", value)
+                elif value == ctx.identity:
+                    # Our identity survived a full loop: we are the leader;
+                    # circulate the announcement before deciding.
+                    ctx.state["outgoing"] = ("elected", ctx.identity)
+                    ctx.state["final"] = LEADER
+                # smaller identities are swallowed
+            elif kind == "elected":
+                if value != ctx.identity:
+                    ctx.state["outgoing"] = ("elected", value)
+                    ctx.state["final"] = FOLLOWER
+                # the announcement returning to the leader needs no forward
+        # Decide once there is nothing left to forward (a decided node
+        # stops participating, so forwards must be flushed first).
+        if ctx.state["final"] is not None and ctx.state["outgoing"] is None:
+            return ctx.state["final"]
+        return None
+
+
+def run_chang_roberts(
+    n: int, seed: int = 0, identities: Mapping[Node, int] | None = None
+) -> SyncRunResult:
+    """Elect a leader on the oriented n-ring; outputs are LEADER/FOLLOWER."""
+    if n < 2:
+        raise ValueError(f"a ring needs at least 2 nodes, got {n}")
+    import random
+
+    graph = nx.cycle_graph(n)
+    if identities is None:
+        values = list(range(1, n + 1))
+        random.Random(seed).shuffle(values)
+        identities = {node: values[node] for node in graph.nodes}
+    network = SyncNetwork(
+        graph, lambda: ChangRoberts(n), seed=seed, identities=identities
+    )
+    return network.run(max_rounds=4 * n + 10)
+
+
+class HirschbergSinclair(NodeAlgorithm):
+    """Hirschberg-Sinclair election on a bidirectional ring.
+
+    Phase k: each remaining candidate sends probes (id, phase, hops) both
+    ways to distance 2^k; relays forward probes carrying identities larger
+    than their own and bounce replies back from the turnaround point.  A
+    candidate receiving both replies enters the next phase; a candidate
+    seeing its own identity arrive as a *probe* (full circle) is elected.
+    """
+
+    def __init__(self, ring_size: int):
+        self._n = ring_size
+
+    def init(self, ctx: NodeContext) -> None:
+        ctx.state["candidate"] = True
+        ctx.state["phase"] = 0
+        ctx.state["replies"] = 0
+        ctx.state["outbox"] = [
+            # (direction, message); direction +1 = successor, -1 = predecessor
+            (+1, ("probe", ctx.identity, 0, 1)),
+            (-1, ("probe", ctx.identity, 0, 1)),
+        ]
+        ctx.state["final"] = None
+
+    def _neighbor(self, ctx: NodeContext, direction: int) -> Node:
+        return (ctx.node + direction) % self._n
+
+    def send(self, ctx: NodeContext) -> Any:
+        outbox = ctx.state["outbox"]
+        ctx.state["outbox"] = []
+        if not outbox:
+            return None
+        return [
+            ("to", self._neighbor(ctx, direction), message)
+            for direction, message in outbox
+        ]
+
+    def receive(self, ctx: NodeContext, messages: Mapping[Node, Any]) -> Any:
+        for sender, bundle in messages.items():
+            if bundle is None:
+                continue
+            for _tag, recipient, message in bundle:
+                if recipient != ctx.node:
+                    continue
+                direction = +1 if sender == self._neighbor(ctx, -1) else -1
+                self._handle(ctx, direction, message)
+        if ctx.state["final"] is not None and not ctx.state["outbox"]:
+            return ctx.state["final"]
+        return None
+
+    def _handle(self, ctx: NodeContext, direction: int, message) -> None:
+        kind = message[0]
+        if kind == "probe":
+            _, identity, phase, hops = message
+            if identity == ctx.identity:
+                # The probe circumnavigated: this node wins.
+                ctx.state["final"] = LEADER
+                ctx.state["outbox"].append((+1, ("elected", identity)))
+                return
+            if identity < ctx.identity:
+                return  # swallow: a bigger candidate exists here
+            if hops < 2 ** phase:
+                ctx.state["outbox"].append(
+                    (direction, ("probe", identity, phase, hops + 1))
+                )
+            else:
+                # Turnaround: send a reply back.
+                ctx.state["outbox"].append((-direction, ("reply", identity, phase)))
+            ctx.state["candidate"] = False
+            return
+        if kind == "reply":
+            _, identity, phase = message
+            if identity != ctx.identity:
+                ctx.state["outbox"].append((direction, ("reply", identity, phase)))
+                return
+            if not ctx.state["candidate"]:
+                return  # a larger identity passed through; stop probing
+            ctx.state["replies"] += 1
+            if ctx.state["replies"] == 2:
+                ctx.state["replies"] = 0
+                ctx.state["phase"] += 1
+                next_phase = ctx.state["phase"]
+                ctx.state["outbox"].extend(
+                    [
+                        (+1, ("probe", ctx.identity, next_phase, 1)),
+                        (-1, ("probe", ctx.identity, next_phase, 1)),
+                    ]
+                )
+            return
+        if kind == "elected":
+            _, identity = message
+            if identity == ctx.identity:
+                return  # announcement returned to the leader
+            ctx.state["final"] = FOLLOWER
+            ctx.state["outbox"].append((+1, ("elected", identity)))
+
+
+def run_hirschberg_sinclair(
+    n: int, seed: int = 0, identities: Mapping[Node, int] | None = None
+) -> SyncRunResult:
+    """HS election on the bidirectional n-ring; outputs LEADER/FOLLOWER."""
+    if n < 2:
+        raise ValueError(f"a ring needs at least 2 nodes, got {n}")
+    import random
+
+    graph = nx.cycle_graph(n)
+    if identities is None:
+        values = list(range(1, n + 1))
+        random.Random(seed).shuffle(values)
+        identities = {node: values[node] for node in graph.nodes}
+    network = SyncNetwork(
+        graph, lambda: HirschbergSinclair(n), seed=seed, identities=identities
+    )
+    return network.run(max_rounds=20 * n + 50)
+
+
+def check_election_outputs(result: SyncRunResult) -> list[str]:
+    """Exactly one LEADER, everyone else FOLLOWER (the election GSB spec)."""
+    problems = []
+    leaders = [node for node, value in result.outputs.items() if value == LEADER]
+    if len(leaders) != 1:
+        problems.append(f"expected exactly one leader, got {leaders}")
+    bad = [
+        node
+        for node, value in result.outputs.items()
+        if value not in (LEADER, FOLLOWER)
+    ]
+    if bad:
+        problems.append(f"nodes with non-election outputs: {bad}")
+    return problems

@@ -1,0 +1,169 @@
+"""Synchronous-round message-passing simulator on networkx graphs.
+
+The paper situates election, renaming and WSB within shared memory; the
+classic *message-passing* face of symmetry breaking (MIS, coloring, ring
+election) runs in the synchronous LOCAL model: in each round every node
+sends a message to each neighbour, receives its neighbours' messages, and
+updates its state.  This simulator executes node algorithms on arbitrary
+networkx graphs with per-node seeded randomness, counting rounds and
+messages.
+
+Node algorithms subclass :class:`NodeAlgorithm`; all nodes run the same
+code (anonymous up to identifier), matching the comparison-based spirit of
+the paper's model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Mapping
+
+import networkx as nx
+
+Node = Hashable
+
+
+class NodeAlgorithm:
+    """One node's local algorithm in the LOCAL model.
+
+    Lifecycle per node: :meth:`init` once, then each round
+    :meth:`send` (produce the per-neighbour or broadcast message) and
+    :meth:`receive` (consume neighbour messages, optionally decide by
+    returning a value).  A node that has decided stops participating but
+    its last messages remain visible in the round they were sent.
+    """
+
+    def init(self, ctx: "NodeContext") -> None:
+        """Initialize local state; called before round 1."""
+
+    def send(self, ctx: "NodeContext") -> Any:
+        """Message broadcast to all neighbours this round (None = silent)."""
+        return None
+
+    def receive(self, ctx: "NodeContext", messages: Mapping[Node, Any]) -> Any:
+        """Handle neighbour messages; return a non-None value to decide."""
+        return None
+
+
+@dataclass
+class NodeContext:
+    """Mutable per-node execution context."""
+
+    node: Node
+    identity: int
+    degree: int
+    neighbors: tuple[Node, ...]
+    rng: random.Random
+    state: dict[str, Any] = field(default_factory=dict)
+    round: int = 0
+
+
+@dataclass
+class SyncRunResult:
+    """Outcome of a synchronous execution."""
+
+    rounds: int
+    messages: int
+    outputs: dict[Node, Any]
+    halted: bool
+
+    def output_values(self) -> list[Any]:
+        return [self.outputs[node] for node in sorted(self.outputs, key=str)]
+
+
+class SyncNetwork:
+    """Executes a :class:`NodeAlgorithm` over a networkx graph.
+
+    Args:
+        graph: the communication topology.
+        algorithm_factory: builds one algorithm instance per node.
+        seed: master seed; each node derives an independent stream.
+        identities: optional node -> distinct integer id mapping (defaults
+            to enumeration order).  Ring-election algorithms compare these.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        algorithm_factory,
+        seed: int = 0,
+        identities: Mapping[Node, int] | None = None,
+    ):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("the communication graph has no nodes")
+        self.graph = graph
+        master = random.Random(seed)
+        nodes = list(graph.nodes)
+        if identities is None:
+            identities = {node: index + 1 for index, node in enumerate(nodes)}
+        if len(set(identities.values())) != len(nodes):
+            raise ValueError("node identities must be distinct")
+        self.contexts: dict[Node, NodeContext] = {}
+        self.algorithms: dict[Node, NodeAlgorithm] = {}
+        for node in nodes:
+            neighbor_list = tuple(graph.neighbors(node))
+            self.contexts[node] = NodeContext(
+                node=node,
+                identity=identities[node],
+                degree=len(neighbor_list),
+                neighbors=neighbor_list,
+                rng=random.Random(master.randrange(2**63)),
+            )
+            self.algorithms[node] = algorithm_factory()
+        self.outputs: dict[Node, Any] = {}
+        self.message_count = 0
+        self.round = 0
+
+    def active_nodes(self) -> list[Node]:
+        return [node for node in self.graph.nodes if node not in self.outputs]
+
+    def run(self, max_rounds: int = 10_000) -> SyncRunResult:
+        """Run rounds until every node decides or the budget is exhausted."""
+        for node in self.graph.nodes:
+            self.algorithms[node].init(self.contexts[node])
+        while self.active_nodes() and self.round < max_rounds:
+            self.step_round()
+        return SyncRunResult(
+            rounds=self.round,
+            messages=self.message_count,
+            outputs=dict(self.outputs),
+            halted=not self.active_nodes(),
+        )
+
+    def step_round(self) -> None:
+        """Execute one synchronous round: all sends, then all receives."""
+        self.round += 1
+        active = set(self.active_nodes())
+        outbox: dict[Node, Any] = {}
+        for node in active:
+            ctx = self.contexts[node]
+            ctx.round = self.round
+            outbox[node] = self.algorithms[node].send(ctx)
+        for node in active:
+            ctx = self.contexts[node]
+            inbox = {}
+            for neighbor in ctx.neighbors:
+                if neighbor in outbox and outbox[neighbor] is not None:
+                    inbox[neighbor] = outbox[neighbor]
+                    self.message_count += 1
+            decision = self.algorithms[node].receive(ctx, inbox)
+            if decision is not None:
+                self.outputs[node] = decision
+
+
+def ring_graph(n: int) -> nx.Graph:
+    """A bidirectional ring on n nodes (0..n-1)."""
+    return nx.cycle_graph(n)
+
+
+def random_graph(n: int, p: float, seed: int = 0) -> nx.Graph:
+    """An Erdos-Renyi graph, isolated-node free for sane degrees."""
+    graph = nx.gnp_random_graph(n, p, seed=seed)
+    isolated = list(nx.isolates(graph))
+    nodes = list(graph.nodes)
+    rng = random.Random(seed)
+    for node in isolated:
+        other = rng.choice([candidate for candidate in nodes if candidate != node])
+        graph.add_edge(node, other)
+    return graph

@@ -1,0 +1,133 @@
+"""The asynchronous wait-free shared-memory substrate (Section 2).
+
+Generator-based processes over single-writer multi-reader atomic register
+arrays, with snapshots (primitive and register-implemented), one-shot
+immediate snapshots, task oracles for the enriched model ``ASM[T]``,
+adversarial schedulers including exhaustive interleaving exploration, and
+the validation harness tying runs back to task specifications.
+"""
+
+from .explore import (
+    ExplorationBudgetExceeded,
+    count_interleavings,
+    explore_all_participant_subsets,
+    explore_interleavings,
+)
+from .harness import (
+    CheckReport,
+    Violation,
+    check_algorithm,
+    check_algorithm_exhaustive,
+    check_comparison_based,
+    check_index_independence,
+    validate_run,
+)
+from .immediate_snapshot import (
+    LevelCell,
+    check_immediate_snapshot_views,
+    immediate_snapshot,
+)
+from .ops import Invoke, Nop, Op, Read, Snapshot, Write
+from .oracles import (
+    AssignmentStrategy,
+    ExplicitStrategy,
+    GSBOracle,
+    LexMinStrategy,
+    OracleUsageError,
+    RandomStrategy,
+    colliding_slot_strategy,
+    perfect_renaming_oracle,
+    renaming_oracle,
+    slot_oracle,
+)
+from .registers import RegisterPermissionError, SharedArray, SharedMemory
+from .runtime import (
+    Action,
+    Algorithm,
+    CrashAction,
+    NonTerminationError,
+    ProcessContext,
+    ProtocolError,
+    RunResult,
+    Runtime,
+    StepAction,
+    StopAction,
+    TraceEvent,
+    default_identities,
+    run_algorithm,
+)
+from .schedulers import (
+    BlockScheduler,
+    CrashScheduler,
+    ListScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    random_crash_schedule,
+)
+from .snapshot_impl import (
+    EMPTY_CELL,
+    RegisterSnapshot,
+    SnapCell,
+    snapshot_array_initial,
+)
+
+__all__ = [
+    "Action",
+    "Algorithm",
+    "AssignmentStrategy",
+    "BlockScheduler",
+    "CheckReport",
+    "CrashAction",
+    "CrashScheduler",
+    "EMPTY_CELL",
+    "ExplicitStrategy",
+    "ExplorationBudgetExceeded",
+    "GSBOracle",
+    "Invoke",
+    "LevelCell",
+    "LexMinStrategy",
+    "ListScheduler",
+    "Nop",
+    "NonTerminationError",
+    "Op",
+    "OracleUsageError",
+    "ProcessContext",
+    "ProtocolError",
+    "RandomScheduler",
+    "RandomStrategy",
+    "Read",
+    "RegisterPermissionError",
+    "RegisterSnapshot",
+    "RoundRobinScheduler",
+    "RunResult",
+    "Runtime",
+    "SharedArray",
+    "SharedMemory",
+    "SnapCell",
+    "Snapshot",
+    "SoloScheduler",
+    "StepAction",
+    "StopAction",
+    "TraceEvent",
+    "Violation",
+    "Write",
+    "check_algorithm",
+    "check_algorithm_exhaustive",
+    "check_comparison_based",
+    "check_immediate_snapshot_views",
+    "check_index_independence",
+    "colliding_slot_strategy",
+    "count_interleavings",
+    "default_identities",
+    "explore_all_participant_subsets",
+    "explore_interleavings",
+    "immediate_snapshot",
+    "perfect_renaming_oracle",
+    "random_crash_schedule",
+    "renaming_oracle",
+    "run_algorithm",
+    "slot_oracle",
+    "snapshot_array_initial",
+    "validate_run",
+]

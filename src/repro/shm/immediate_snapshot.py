@@ -1,0 +1,100 @@
+"""One-shot immediate snapshot (Borowsky-Gafni levels algorithm).
+
+An immediate snapshot is a write-then-read whose views satisfy, for the
+views ``V_i`` (sets of (pid, value) pairs) returned to each participant:
+
+* **self-inclusion** — ``i in V_i``;
+* **containment** — views are totally ordered by inclusion;
+* **immediacy** — ``j in V_i  implies  V_j subseteq V_i``.
+
+These executions are the combinatorial backbone of the paper's Theorem 11
+argument: one communication round of immediate snapshots produces exactly
+the standard chromatic subdivision modelled in
+:mod:`repro.topology.is_complex`.
+
+The implementation is the classical *levels* algorithm: starting at level
+n, a process writes its level, snapshots, and returns the set of processes
+at its level or below once that set's size reaches its level; otherwise it
+descends one level.  Termination is wait-free (a process at level L sees at
+least the processes that stopped at or below L).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from .ops import Op, Snapshot, Write
+from .runtime import ProcessContext
+
+
+@dataclass(frozen=True)
+class LevelCell:
+    """Register contents of one participant of the IS object."""
+
+    level: int
+    value: Any
+
+
+def immediate_snapshot(
+    ctx: ProcessContext, array: str, value: Any
+) -> Generator[Op, Any, dict[int, Any]]:
+    """Participate in a one-shot immediate snapshot.
+
+    Args:
+        ctx: process context.
+        array: shared array (initial value None) dedicated to this IS
+            instance; each process participates at most once.
+        value: the value to contribute.
+
+    Returns:
+        The view: a dict ``pid -> contributed value`` satisfying
+        self-inclusion, containment and immediacy.
+    """
+    level = ctx.n + 1
+    while True:
+        level -= 1
+        if level < 1:
+            raise AssertionError(
+                "immediate snapshot descended below level 1; "
+                "is the array shared with another protocol?"
+            )
+        yield Write(array, LevelCell(level=level, value=value))
+        view = yield Snapshot(array)
+        at_or_below = {
+            pid: cell.value
+            for pid, cell in enumerate(view)
+            if cell is not None and cell.level <= level
+        }
+        if len(at_or_below) >= level:
+            return at_or_below
+
+
+def check_immediate_snapshot_views(views: dict[int, dict[int, Any]]) -> list[str]:
+    """Validate the three IS properties over the views of one run.
+
+    Returns a list of human-readable violations (empty when all hold).
+    ``views`` maps each participating pid to the view it obtained.
+    """
+    problems: list[str] = []
+    for pid, view in views.items():
+        if pid not in view:
+            problems.append(f"self-inclusion: {pid} not in its own view {view}")
+    ordered = sorted(views.items(), key=lambda item: len(item[1]))
+    for (pid_a, view_a), (pid_b, view_b) in zip(ordered, ordered[1:]):
+        if not set(view_a) <= set(view_b):
+            problems.append(
+                f"containment: view of {pid_a} ({sorted(view_a)}) not within "
+                f"view of {pid_b} ({sorted(view_b)})"
+            )
+    for pid_i, view_i in views.items():
+        for pid_j in view_i:
+            if pid_j == pid_i or pid_j not in views:
+                continue
+            if not set(views[pid_j]) <= set(view_i):
+                problems.append(
+                    f"immediacy: {pid_j} in view of {pid_i} but view of "
+                    f"{pid_j} ({sorted(views[pid_j])}) not within "
+                    f"({sorted(view_i)})"
+                )
+    return problems

@@ -1,0 +1,91 @@
+"""Operation vocabulary of the shared-memory model (Section 2.1).
+
+A process algorithm is a Python generator that *yields* operations and
+receives their results; the runtime executes exactly one yielded operation
+per scheduled step, which makes every operation atomic and puts the
+interleaving entirely in the scheduler's hands — the adversary of the
+asynchronous model.
+
+Local computation between yields is free, matching the model where only
+shared-memory accesses are steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class of all atomic shared-memory operations."""
+
+
+@dataclass(frozen=True)
+class Write(Op):
+    """Write ``value`` to the invoking process's own cell of ``array``.
+
+    The model's registers are single-writer multi-reader: process i may
+    write only ``array[i]`` (indexes are an addressing mechanism only), so
+    the op does not carry an index.
+    """
+
+    array: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class Read(Op):
+    """Read one cell of a shared array; yields the cell's current value."""
+
+    array: str
+    index: int
+
+
+@dataclass(frozen=True)
+class WriteCell(Op):
+    """Write an arbitrary cell of a *multi-writer* array.
+
+    The paper's base model has only 1WnR registers, but multi-writer
+    multi-reader registers are wait-free implementable from them (a classic
+    result), so the runtime offers them as a primitive for substrates that
+    are naturally MWMR — e.g. the splitter grid of Moir-Anderson renaming.
+    Arrays must opt in with ``multi_writer=True``; writing a foreign cell
+    of a single-writer array raises.
+    """
+
+    array: str
+    index: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Snapshot(Op):
+    """Atomic snapshot of a whole array; yields a tuple of n values.
+
+    The paper assumes snapshots without loss of generality because they are
+    wait-free implementable from 1WnR registers [1]; this library provides
+    both the primitive (one atomic step, used by most protocols) and the
+    register-only implementation (``snapshot_impl``) with tests showing
+    they are interchangeable.
+    """
+
+    array: str
+
+
+@dataclass(frozen=True)
+class Invoke(Op):
+    """Invoke a method on a shared object (the ``ASM[T]`` enrichment).
+
+    Oracle objects solving a task T execute atomically at the invocation
+    step, which makes them linearizable by construction.
+    """
+
+    obj: str
+    method: str
+    args: tuple = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class Nop(Op):
+    """A step that touches nothing; used by tests to pad schedules."""

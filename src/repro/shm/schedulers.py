@@ -1,0 +1,191 @@
+"""Schedulers: the adversaries of the asynchronous model.
+
+A wait-free algorithm must be correct under *every* scheduler, so the test
+and benchmark harnesses drive each protocol through all of these:
+
+* :class:`RoundRobinScheduler` — the fair, synchronous-looking baseline.
+* :class:`RandomScheduler` — seeded random interleavings.
+* :class:`SoloScheduler` — runs one process to completion first, then the
+  next; produces the "solo execution" configurations that lower-bound
+  arguments (e.g. Theorem 11) reason about.
+* :class:`ListScheduler` — an explicit pid sequence, the building block of
+  exhaustive exploration.
+* :class:`CrashScheduler` — wraps any scheduler and injects crashes at
+  chosen points (the model's t-resilience knob).
+* :class:`BlockScheduler` — immediate-snapshot style block executions:
+  in each round a block of processes writes then reads back-to-back.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from .runtime import (
+    Action,
+    CrashAction,
+    SchedulerState,
+    StepAction,
+    StopAction,
+)
+
+
+class RoundRobinScheduler:
+    """Cycle through enabled processes in index order."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def next_action(self, state: SchedulerState) -> Action:
+        enabled = state.enabled
+        if not enabled:
+            return StopAction()
+        choice = min(
+            enabled, key=lambda pid: ((pid - self._cursor) % (max(enabled) + 1))
+        )
+        self._cursor = choice + 1
+        return StepAction(choice)
+
+
+class RandomScheduler:
+    """Uniformly random choice among enabled processes (seeded)."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def next_action(self, state: SchedulerState) -> Action:
+        enabled = state.enabled
+        if not enabled:
+            return StopAction()
+        return StepAction(self._rng.choice(enabled))
+
+
+class SoloScheduler:
+    """Run processes to completion one at a time, in the given order.
+
+    The first process executes *solo* — it decides without ever seeing
+    another process — then the second runs, and so on.  These runs exhibit
+    the extreme asymmetry that comparison-based impossibility arguments
+    exploit.
+    """
+
+    def __init__(self, order: Sequence[int] | None = None):
+        self._order = list(order) if order is not None else None
+
+    def next_action(self, state: SchedulerState) -> Action:
+        enabled = state.enabled
+        if not enabled:
+            return StopAction()
+        if self._order is None:
+            return StepAction(min(enabled))
+        for pid in self._order:
+            if pid in enabled:
+                return StepAction(pid)
+        return StepAction(min(enabled))
+
+
+class ListScheduler:
+    """Follow an explicit pid sequence; stop when it is exhausted.
+
+    Entries naming processes that are no longer enabled are skipped (their
+    remaining steps are simply lost, as for a crashed process).  When
+    ``then_finish`` is set, remaining enabled processes are round-robined
+    after the list ends instead of stopping — useful to check that a prefix
+    of interest extends to a completed run.
+    """
+
+    def __init__(self, sequence: Iterable[int], then_finish: bool = False):
+        self._sequence = list(sequence)
+        self._position = 0
+        self._then_finish = then_finish
+
+    def next_action(self, state: SchedulerState) -> Action:
+        enabled = state.enabled
+        if not enabled:
+            return StopAction()
+        while self._position < len(self._sequence):
+            pid = self._sequence[self._position]
+            self._position += 1
+            if pid in enabled:
+                return StepAction(pid)
+        if self._then_finish:
+            return StepAction(min(enabled))
+        return StopAction()
+
+
+class CrashScheduler:
+    """Wrap a scheduler, crashing chosen processes at chosen global steps.
+
+    Args:
+        base: the scheduler deciding who steps.
+        crash_at: mapping ``global step index -> pid to crash`` just before
+            that step is scheduled.
+    """
+
+    def __init__(self, base, crash_at: dict[int, int]):
+        self._base = base
+        self._crash_at = dict(crash_at)
+
+    def next_action(self, state: SchedulerState) -> Action:
+        pending = self._crash_at.get(state.step)
+        if pending is not None and pending in state.enabled:
+            del self._crash_at[state.step]
+            return CrashAction(pending)
+        return self._base.next_action(state)
+
+
+class BlockScheduler:
+    """Immediate-snapshot-style block executions.
+
+    The schedule is a sequence of blocks (sets of pids); the scheduler lets
+    every process of the current block take one step before moving to the
+    next block, cycling through the block sequence until all processes
+    decide.  With write-then-snapshot protocols this produces exactly the
+    block executions whose one-round structure is the standard chromatic
+    subdivision (see :mod:`repro.topology.is_complex`).
+    """
+
+    def __init__(self, blocks: Sequence[Sequence[int]]):
+        if not blocks:
+            raise ValueError("need at least one block")
+        self._blocks = [list(block) for block in blocks]
+        self._block_index = 0
+        self._within = 0
+
+    def next_action(self, state: SchedulerState) -> Action:
+        enabled = set(state.enabled)
+        if not enabled:
+            return StopAction()
+        for _ in range(len(self._blocks) * max(len(b) for b in self._blocks) + 1):
+            block = self._blocks[self._block_index]
+            while self._within < len(block):
+                pid = block[self._within]
+                self._within += 1
+                if pid in enabled:
+                    return StepAction(pid)
+            self._within = 0
+            self._block_index = (self._block_index + 1) % len(self._blocks)
+        # All blocks name only disabled pids; fall back to any enabled one
+        # so runs always terminate.
+        return StepAction(min(enabled))
+
+
+def random_crash_schedule(
+    n: int, seed: int, max_crashes: int | None = None
+) -> CrashScheduler:
+    """A random scheduler with random crash injection (t = n-1 resilience).
+
+    At most ``max_crashes`` (default n-1) distinct processes crash, at
+    random early steps — the wait-free model's worst case.
+    """
+    rng = random.Random(seed)
+    limit = n - 1 if max_crashes is None else min(max_crashes, n - 1)
+    crash_count = rng.randint(0, limit)
+    victims = rng.sample(range(n), crash_count)
+    crash_at = {}
+    for victim in victims:
+        step = rng.randint(0, 4 * n)
+        while step in crash_at:
+            step += 1
+        crash_at[step] = victim
+    return CrashScheduler(RandomScheduler(seed + 1), crash_at)

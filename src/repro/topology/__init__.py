@@ -1,0 +1,61 @@
+"""Combinatorial-topology substrate for the impossibility results.
+
+Simplicial complexes, immediate-snapshot protocol complexes (standard
+chromatic subdivisions), comparison-based canonical views, exhaustive
+decision-map search, and the mechanized Theorem 11 election-impossibility
+argument.
+"""
+
+from .decision import (
+    DecisionSearchResult,
+    facet_decisions,
+    search_decision_map,
+    verify_decision_map,
+)
+from .election import (
+    ElectionImpossibilityReport,
+    election_impossibility,
+    forced_ridge_agreement,
+)
+from .is_complex import (
+    ISProtocolComplex,
+    one_round_states,
+    ordered_bell_number,
+    ordered_partitions,
+)
+from .simplicial import SimplicialComplex
+from .views import (
+    View,
+    base_view,
+    canonical_view,
+    identities_in_view,
+    is_solo_view,
+    pids_in_view,
+    render_view,
+    round_view,
+    view_size,
+)
+
+__all__ = [
+    "DecisionSearchResult",
+    "ElectionImpossibilityReport",
+    "ISProtocolComplex",
+    "SimplicialComplex",
+    "View",
+    "base_view",
+    "canonical_view",
+    "election_impossibility",
+    "facet_decisions",
+    "forced_ridge_agreement",
+    "identities_in_view",
+    "is_solo_view",
+    "one_round_states",
+    "ordered_bell_number",
+    "ordered_partitions",
+    "pids_in_view",
+    "render_view",
+    "round_view",
+    "search_decision_map",
+    "verify_decision_map",
+    "view_size",
+]

@@ -1,0 +1,156 @@
+"""Decision maps on protocol complexes.
+
+A wait-free comparison-based protocol that decides after r immediate
+snapshot rounds is exactly a *decision map*: an assignment of an output
+value to every comparison-based canonical vertex class of the r-round
+protocol complex, such that every facet's decision vector is a legal
+output of the task.  Searching that (finite) space therefore decides
+"is T solvable by an r-round comparison-based IIS protocol" exactly —
+refutations for growing r mechanize impossibility evidence, and found maps
+are constructive solvability certificates (e.g. one-round comparison-based
+(2n-1)-renaming for n = 2).
+
+The search is a backtracking CSP over canonical classes with facet
+constraints checked as soon as all their classes are assigned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.gsb import GSBTask
+from .is_complex import ISProtocolComplex
+from .views import View
+
+
+@dataclass
+class DecisionSearchResult:
+    """Outcome of a decision-map search."""
+
+    task: GSBTask
+    rounds: int
+    classes: int
+    facets: int
+    assignments_tried: int
+    decision_map: dict[View, int] | None
+
+    @property
+    def solvable(self) -> bool:
+        return self.decision_map is not None
+
+
+def facet_decisions(
+    facet: Sequence[tuple[int, View]],
+    classes: dict[tuple[int, View], View],
+    assignment: dict[View, int],
+) -> list[int | None]:
+    """Decisions of a facet's vertices under a (partial) assignment."""
+    return [assignment.get(classes[vertex]) for vertex in facet]
+
+
+def search_decision_map(
+    task: GSBTask,
+    complex_: ISProtocolComplex,
+    max_assignments: int = 5_000_000,
+) -> DecisionSearchResult:
+    """Search for a comparison-based decision map solving ``task``.
+
+    Classes are ordered by first appearance in facets so each facet's
+    constraint becomes checkable as early as possible; a facet whose
+    classes are all assigned must already form a legal output vector.
+    """
+    if task.n != complex_.n:
+        raise ValueError(
+            f"task is on {task.n} processes but the complex has {complex_.n}"
+        )
+    classes = complex_.canonical_classes()
+    facets = complex_.facets()
+    class_order: list[View] = []
+    seen: set[View] = set()
+    for facet in facets:
+        for vertex in facet:
+            label = classes[vertex]
+            if label not in seen:
+                seen.add(label)
+                class_order.append(label)
+
+    # Facets as class-index vectors, and for each class the facets touching
+    # it: assigning a class triggers a *partial* legality check on each of
+    # its facets, which prunes far earlier than waiting for full assignment.
+    position = {label: index for index, label in enumerate(class_order)}
+    facet_class_indexes = [
+        [position[classes[vertex]] for vertex in facet] for facet in facets
+    ]
+    facets_touching: list[list[int]] = [[] for _ in class_order]
+    for facet_index, members in enumerate(facet_class_indexes):
+        for class_index in set(members):
+            facets_touching[class_index].append(facet_index)
+
+    values = list(range(1, task.m + 1))
+    assignment: list[int | None] = [None] * len(class_order)
+    tried = 0
+
+    def facet_still_satisfiable(facet_index: int) -> bool:
+        partial = [
+            assignment[class_index]
+            for class_index in facet_class_indexes[facet_index]
+        ]
+        return task.is_legal_partial_output(partial)
+
+    def backtrack(depth: int) -> bool:
+        nonlocal tried
+        if depth == len(class_order):
+            return True
+        # Symmetric tasks are invariant under value permutation: pin the
+        # first class to value 1 without loss of generality.
+        domain = [1] if (depth == 0 and task.is_symmetric) else values
+        for value in domain:
+            tried += 1
+            if tried > max_assignments:
+                raise RuntimeError(
+                    f"decision-map search exceeded {max_assignments} "
+                    "assignments; reduce n or rounds"
+                )
+            assignment[depth] = value
+            if all(
+                facet_still_satisfiable(index) for index in facets_touching[depth]
+            ):
+                if backtrack(depth + 1):
+                    return True
+            assignment[depth] = None
+        return False
+
+    found = backtrack(0)
+    assignment_map = {
+        class_order[index]: value
+        for index, value in enumerate(assignment)
+        if value is not None
+    }
+    return DecisionSearchResult(
+        task=task,
+        rounds=complex_.rounds,
+        classes=len(class_order),
+        facets=len(facets),
+        assignments_tried=tried,
+        decision_map=assignment_map if found else None,
+    )
+
+
+def verify_decision_map(
+    task: GSBTask,
+    complex_: ISProtocolComplex,
+    decision_map: dict[View, int],
+) -> list[str]:
+    """Independent check of a decision map; returns violations (if any)."""
+    classes = complex_.canonical_classes()
+    problems = []
+    for facet in complex_.facets():
+        missing = [vertex for vertex in facet if classes[vertex] not in decision_map]
+        if missing:
+            problems.append(f"facet {facet} has unmapped vertices {missing}")
+            continue
+        output = [decision_map[classes[vertex]] for vertex in facet]
+        if not task.is_legal_output(output):
+            problems.append(f"facet decisions {output} illegal for {task}")
+    return problems

@@ -1,0 +1,117 @@
+"""Tests for snapshot-based adaptive (2p-1)-renaming."""
+
+from repro.core import renaming
+from repro.shm import (
+    CheckReport,
+    RandomScheduler,
+    check_algorithm,
+    check_algorithm_exhaustive,
+    check_comparison_based,
+    check_index_independence,
+    run_algorithm,
+)
+from repro.shm.explore import explore_all_participant_subsets
+from repro.shm.runtime import Runtime, default_identities
+from repro.shm.schedulers import RoundRobinScheduler
+from repro.algorithms import adaptive_renaming_algorithm
+
+
+def factory():
+    return {"RENAME": None}, {}
+
+
+class TestCorrectness:
+    def test_battery(self):
+        for n in (2, 3, 4, 6):
+            report = check_algorithm(
+                renaming(n, 2 * n - 1),
+                adaptive_renaming_algorithm(),
+                n,
+                system_factory=factory,
+                runs=50,
+                seed=n,
+            )
+            assert report.ok, report.violations[:3]
+
+    def test_exhaustive_n2(self):
+        report = check_algorithm_exhaustive(
+            renaming(2, 3), adaptive_renaming_algorithm(), 2,
+            system_factory=factory,
+        )
+        assert report.ok
+        assert report.runs > 10
+
+    def test_adaptivity_2p_minus_1(self):
+        # With p participants, names stay within [1..2p-1]: random
+        # schedules over every participant subset of a 4-process system.
+        import itertools
+        import random
+
+        from repro.shm import ListScheduler
+
+        for size in (1, 2, 3, 4):
+            for participants in itertools.combinations(range(4), size):
+                for seed in range(6):
+                    rng = random.Random(seed)
+                    schedule = [
+                        rng.choice(participants) for _ in range(60 * size)
+                    ]
+                    result = run_algorithm(
+                        adaptive_renaming_algorithm(),
+                        default_identities(4, random.Random(seed + 17)),
+                        ListScheduler(schedule),
+                        arrays={"RENAME": None},
+                    )
+                    names = [result.outputs[pid] for pid in participants]
+                    assert all(name is not None for name in names)
+                    assert all(1 <= name <= 2 * size - 1 for name in names), (
+                        participants, names,
+                    )
+                    assert len(set(names)) == size
+
+    def test_solo_process_gets_name_1(self):
+        result = run_algorithm(
+            adaptive_renaming_algorithm(), [9], RandomScheduler(0),
+            arrays={"RENAME": None},
+        )
+        assert result.outputs == [1]
+
+
+class TestDiscipline:
+    def test_comparison_based(self):
+        report = check_comparison_based(
+            adaptive_renaming_algorithm(), 3, system_factory=factory, runs=15
+        )
+        assert report.ok, report.violations[:3]
+
+    def test_index_independent(self):
+        report = check_index_independence(
+            adaptive_renaming_algorithm(), 3, system_factory=factory, runs=15
+        )
+        assert report.ok, report.violations[:3]
+
+
+class TestSubProtocolUse:
+    def test_composes_in_larger_protocol(self):
+        from repro.algorithms import adaptive_renaming
+        from repro.shm.ops import Write
+
+        def double_renaming(ctx):
+            first = yield from adaptive_renaming(ctx, "RENAME")
+            yield Write("LOG", first)
+            second = yield from adaptive_renaming(ctx, "RENAME2")
+            return (first, second)
+
+        report = CheckReport()
+        for seed in range(10):
+            result = run_algorithm(
+                double_renaming,
+                default_identities(3),
+                RandomScheduler(seed),
+                arrays={"RENAME": None, "RENAME2": None, "LOG": None},
+            )
+            report.runs += 1
+            firsts = [out[0] for out in result.outputs]
+            seconds = [out[1] for out in result.outputs]
+            assert len(set(firsts)) == 3 and len(set(seconds)) == 3
+        assert report.runs == 10

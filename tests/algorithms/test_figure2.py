@@ -1,0 +1,152 @@
+"""Tests for the paper's Figure 2 algorithm (Theorem 12)."""
+
+import pytest
+
+from repro.shm import (
+    ExplicitStrategy,
+    GSBOracle,
+    RandomScheduler,
+    check_algorithm,
+    check_algorithm_exhaustive,
+    colliding_slot_strategy,
+    run_algorithm,
+)
+from repro.shm.runtime import default_identities
+from repro.algorithms import (
+    figure2_renaming,
+    figure2_slot_task,
+    figure2_system_factory,
+    figure2_task,
+)
+
+
+class TestTheorem12:
+    def test_battery_over_sizes(self):
+        for n in (3, 4, 5, 7):
+            report = check_algorithm(
+                figure2_task(n),
+                figure2_renaming(),
+                n,
+                system_factory=figure2_system_factory(n, seed=n),
+                runs=60,
+                seed=n * 3,
+            )
+            assert report.ok, (n, report.violations[:3])
+
+    def test_exhaustive_n3(self):
+        report = check_algorithm_exhaustive(
+            figure2_task(3),
+            figure2_renaming(),
+            3,
+            system_factory=figure2_system_factory(3, seed=0),
+        )
+        assert report.ok
+        # 3 ops per process: multinomial(9; 3,3,3) = 1680 full-set runs,
+        # plus 20 per pair subset and 1 per singleton: 1743 in total.
+        assert report.runs == 1743
+
+    def test_n2_degenerate_case(self):
+        # With n=2 the 1-slot object gives both processes slot 1; the
+        # conflict resolution hands out names 2 and 3.
+        report = check_algorithm_exhaustive(
+            figure2_task(2),
+            figure2_renaming(),
+            2,
+            system_factory=figure2_system_factory(2, seed=0),
+        )
+        assert report.ok
+
+
+class TestProofCaseAnalysis:
+    """The two cases of Theorem 12's proof, forced via oracle strategies."""
+
+    def _run_with_strategy(self, n, strategy, schedule_seed):
+        def factory():
+            oracle = GSBOracle(figure2_slot_task(n), strategy=strategy)
+            return {"STATE": None}, {"KS": oracle}
+
+        arrays, objects = factory()
+        return run_algorithm(
+            figure2_renaming(),
+            default_identities(n),
+            RandomScheduler(schedule_seed),
+            arrays=arrays,
+            objects=objects,
+        )
+
+    def test_colliders_first(self):
+        for seed in range(20):
+            result = self._run_with_strategy(
+                5, colliding_slot_strategy(5, 2, collide_first=True), seed
+            )
+            assert figure2_task(5).is_legal_output(result.outputs)
+
+    def test_colliders_last(self):
+        for seed in range(20):
+            result = self._run_with_strategy(
+                5, colliding_slot_strategy(5, 3, collide_first=False), seed
+            )
+            assert figure2_task(5).is_legal_output(result.outputs)
+
+    def test_both_reserve_names_used_when_both_see_conflict(self):
+        # Force both colliding processes to snapshot after both wrote:
+        # they must take names n and n+1, ordered by identity.
+        from repro.shm import ListScheduler
+
+        n = 4
+        strategy = ExplicitStrategy([2, 2, 1, 3])
+
+        def factory():
+            oracle = GSBOracle(figure2_slot_task(n), strategy=strategy)
+            return {"STATE": None}, {"KS": oracle}
+
+        arrays, objects = factory()
+        # pids 0 and 1 acquire (collide), both write, then both snapshot.
+        schedule = [0, 1, 0, 1, 0, 1, 2, 2, 2, 3, 3, 3]
+        result = run_algorithm(
+            figure2_renaming(),
+            (5, 1, 2, 7),  # identities: pid1 (id 1) < pid0 (id 5)
+            ListScheduler(schedule, then_finish=True),
+            arrays=arrays,
+            objects=objects,
+        )
+        assert result.outputs[1] == n  # smaller identity takes n
+        assert result.outputs[0] == n + 1
+        assert figure2_task(n).is_legal_output(result.outputs)
+
+    def test_early_decider_keeps_slot(self):
+        # The first collider snapshots before the second writes: it keeps
+        # its slot; the later one resolves to a reserve name.
+        from repro.shm import ListScheduler
+
+        n = 4
+        strategy = ExplicitStrategy([2, 2, 1, 3])
+
+        def factory():
+            oracle = GSBOracle(figure2_slot_task(n), strategy=strategy)
+            return {"STATE": None}, {"KS": oracle}
+
+        arrays, objects = factory()
+        schedule = [0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]
+        result = run_algorithm(
+            figure2_renaming(),
+            (5, 1, 2, 7),
+            ListScheduler(schedule, then_finish=True),
+            arrays=arrays,
+            objects=objects,
+        )
+        assert result.outputs[0] == 2  # kept its slot
+        assert result.outputs[1] in (n, n + 1)
+        assert figure2_task(n).is_legal_output(result.outputs)
+
+
+class TestSystemFactory:
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            figure2_system_factory(1)
+
+    def test_fresh_oracle_per_run(self):
+        factory = figure2_system_factory(4, seed=1)
+        _, first = factory()
+        _, second = factory()
+        assert first["KS"] is not second["KS"]

@@ -1,0 +1,69 @@
+"""Tests for Figure 2 on the register-implemented snapshot (WLOG ablation)."""
+
+from repro.shm import check_algorithm
+from repro.algorithms import (
+    figure2_register_system_factory,
+    figure2_renaming_register_snapshot,
+    figure2_task,
+)
+
+
+class TestRegisterSnapshotVariant:
+    def test_battery(self):
+        for n in (3, 4, 5):
+            report = check_algorithm(
+                figure2_task(n),
+                figure2_renaming_register_snapshot(),
+                n,
+                system_factory=figure2_register_system_factory(n, seed=n),
+                runs=40,
+                seed=n,
+            )
+            assert report.ok, (n, report.violations[:2])
+
+    def test_wide_battery_n2(self):
+        # Full exploration is infeasible here (each process takes ~12
+        # register steps, so interleavings number in the millions); a wide
+        # randomized battery with crashes stands in.
+        report = check_algorithm(
+            figure2_task(2),
+            figure2_renaming_register_snapshot(),
+            2,
+            system_factory=figure2_register_system_factory(2, seed=0),
+            runs=200,
+            seed=0,
+        )
+        assert report.ok
+
+    def test_costs_more_register_steps_than_primitive(self):
+        import random
+
+        from repro.algorithms import figure2_renaming, figure2_system_factory
+        from repro.shm import RandomScheduler, run_algorithm
+        from repro.shm.runtime import default_identities
+
+        n = 4
+
+        def steps_of(algorithm, factory):
+            total = 0
+            for seed in range(10):
+                arrays, objects = factory()
+                result = run_algorithm(
+                    algorithm,
+                    default_identities(n, random.Random(seed)),
+                    RandomScheduler(seed),
+                    arrays=arrays,
+                    objects=objects,
+                )
+                assert figure2_task(n).is_legal_output(result.outputs)
+                total += result.steps
+            return total
+
+        primitive = steps_of(figure2_renaming(), figure2_system_factory(n, 1))
+        register = steps_of(
+            figure2_renaming_register_snapshot(),
+            figure2_register_system_factory(n, 1),
+        )
+        # The WLOG costs real register operations: the implemented
+        # snapshot needs at least 2n reads per scan.
+        assert register > 3 * primitive

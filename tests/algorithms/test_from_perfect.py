@@ -1,0 +1,126 @@
+"""Tests for the Theorem 8 universality protocol."""
+
+from repro.core import (
+    SymmetricGSBTask,
+    committee_decision,
+    election,
+    feasible_bound_pairs,
+    k_slot,
+    perfect_renaming,
+)
+from repro.shm import check_algorithm, check_algorithm_exhaustive
+from repro.algorithms import (
+    election_from_perfect_renaming,
+    gsb_from_perfect_renaming,
+    perfect_renaming_system_factory,
+)
+
+
+class TestSymmetricTasks:
+    def test_whole_family_n5(self):
+        # Theorem 8 sweep: every feasible <5, m, l, u> task solved from a
+        # perfect-renaming oracle under adversarial schedules.
+        n = 5
+        for m in range(1, n + 1):
+            for low, high in feasible_bound_pairs(n, m):
+                task = SymmetricGSBTask(n, m, low, high)
+                report = check_algorithm(
+                    task,
+                    gsb_from_perfect_renaming(task),
+                    n,
+                    system_factory=perfect_renaming_system_factory(n, seed=m),
+                    runs=8,
+                    seed=low * 10 + high,
+                )
+                assert report.ok, (task, report.violations[:2])
+
+    def test_exhaustive_hardest_task_n3(self):
+        task = SymmetricGSBTask(3, 3, 1, 1)  # perfect renaming itself
+        report = check_algorithm_exhaustive(
+            task,
+            gsb_from_perfect_renaming(task),
+            3,
+            system_factory=perfect_renaming_system_factory(3, seed=5),
+        )
+        assert report.ok
+
+    def test_slot_task(self):
+        n = 6
+        task = k_slot(n, n - 1)
+        report = check_algorithm(
+            task,
+            gsb_from_perfect_renaming(task),
+            n,
+            system_factory=perfect_renaming_system_factory(n, seed=2),
+            runs=40,
+            seed=9,
+        )
+        assert report.ok
+
+
+class TestAsymmetricTasks:
+    def test_election(self):
+        for n in (2, 3, 5, 7):
+            report = check_algorithm(
+                election(n),
+                election_from_perfect_renaming(n),
+                n,
+                system_factory=perfect_renaming_system_factory(n, seed=n),
+                runs=30,
+                seed=n,
+            )
+            assert report.ok, (n, report.violations[:2])
+
+    def test_election_via_generic_map(self):
+        n = 4
+        report = check_algorithm(
+            election(n),
+            gsb_from_perfect_renaming(election(n)),
+            n,
+            system_factory=perfect_renaming_system_factory(n, seed=3),
+            runs=30,
+            seed=4,
+        )
+        assert report.ok
+
+    def test_committee_assignment(self):
+        # The introduction's motivating example: 6 people, 3 committees
+        # with sizes 1-2, 2-3 and 1-4.
+        n = 6
+        task = committee_decision(n, [(1, 2), (2, 3), (1, 4)])
+        report = check_algorithm(
+            task,
+            gsb_from_perfect_renaming(task),
+            n,
+            system_factory=perfect_renaming_system_factory(n, seed=8),
+            runs=40,
+            seed=11,
+        )
+        assert report.ok
+
+    def test_exhaustive_election_n3(self):
+        report = check_algorithm_exhaustive(
+            election(3),
+            election_from_perfect_renaming(3),
+            3,
+            system_factory=perfect_renaming_system_factory(3, seed=1),
+        )
+        assert report.ok
+
+
+class TestOracleUsage:
+    def test_one_invocation_per_process(self):
+        from repro.shm import RoundRobinScheduler, run_algorithm
+
+        n = 4
+        factory = perfect_renaming_system_factory(n, seed=0)
+        arrays, objects = factory()
+        result = run_algorithm(
+            gsb_from_perfect_renaming(perfect_renaming(n)),
+            [1, 2, 3, 4],
+            RoundRobinScheduler(),
+            arrays=arrays,
+            objects=objects,
+        )
+        assert sorted(result.outputs) == [1, 2, 3, 4]
+        assert len(objects["PR"].arrival_order) == n

@@ -1,0 +1,110 @@
+"""Tests for the Theorem 1 / Theorem 2 rename-first constructions."""
+
+from repro.core import renaming, weak_symmetry_breaking
+from repro.shm import check_algorithm, check_comparison_based
+from repro.algorithms import (
+    figure2_renaming,
+    figure2_system_factory,
+    figure2_task,
+    identity_renaming_algorithm,
+    sample_large_identities,
+    with_intermediate_renaming,
+    wrapped_system_factory,
+    wsb_from_renaming,
+    renaming_oracle_system_factory,
+)
+
+
+class TestTheorem1:
+    """Tasks stay solvable when identities come from a huge space."""
+
+    def test_figure2_with_large_identities(self):
+        n = 5
+        wrapped = with_intermediate_renaming(figure2_renaming())
+        factory = wrapped_system_factory(figure2_system_factory(n, seed=2))
+        for seed in range(5):
+            identities = sample_large_identities(n, seed=seed, spread=20)
+            assert max(identities) > 2 * n - 1  # genuinely outside [1..2n-1]
+            report = check_algorithm(
+                figure2_task(n),
+                wrapped,
+                n,
+                system_factory=factory,
+                identities=identities,
+                runs=10,
+                seed=seed,
+            )
+            assert report.ok, report.violations[:2]
+
+    def test_identity_renaming_with_large_identities(self):
+        # Raw identity renaming would decide values outside [1..2n-1];
+        # the wrapper repairs it.
+        n = 4
+        wrapped = with_intermediate_renaming(identity_renaming_algorithm())
+        identities = sample_large_identities(n, seed=3, spread=25)
+        report = check_algorithm(
+            renaming(n, 2 * n - 1),
+            wrapped,
+            n,
+            system_factory=wrapped_system_factory(lambda: ({}, {})),
+            identities=identities,
+            runs=20,
+            seed=3,
+        )
+        assert report.ok, report.violations[:2]
+
+    def test_wsb_reduction_with_large_identities(self):
+        n = 4
+        wrapped = with_intermediate_renaming(wsb_from_renaming())
+        factory = wrapped_system_factory(
+            renaming_oracle_system_factory(n, 2 * n - 2, seed=1)
+        )
+        identities = sample_large_identities(n, seed=9, spread=12)
+        report = check_algorithm(
+            weak_symmetry_breaking(n),
+            wrapped,
+            n,
+            system_factory=factory,
+            identities=identities,
+            runs=20,
+            seed=9,
+        )
+        assert report.ok, report.violations[:2]
+
+
+class TestTheorem2:
+    """The wrapper makes non-comparison-based algorithms comparison-based."""
+
+    def test_raw_identity_renaming_not_comparison_based(self):
+        report = check_comparison_based(identity_renaming_algorithm(), 3, runs=10)
+        assert not report.ok
+
+    def test_wrapped_identity_renaming_is_comparison_based(self):
+        wrapped = with_intermediate_renaming(identity_renaming_algorithm())
+        report = check_comparison_based(
+            wrapped,
+            3,
+            system_factory=wrapped_system_factory(lambda: ({}, {})),
+            runs=15,
+        )
+        assert report.ok, report.violations[:2]
+
+    def test_wrapped_algorithm_still_solves_the_task(self):
+        n = 4
+        wrapped = with_intermediate_renaming(identity_renaming_algorithm())
+        report = check_algorithm(
+            renaming(n, 2 * n - 1),
+            wrapped,
+            n,
+            system_factory=wrapped_system_factory(lambda: ({}, {})),
+            runs=40,
+            seed=5,
+        )
+        assert report.ok, report.violations[:2]
+
+
+class TestHelpers:
+    def test_sample_large_identities_distinct(self):
+        identities = sample_large_identities(6, seed=1, spread=8)
+        assert len(set(identities)) == 6
+        assert all(1 <= identity <= 48 for identity in identities)

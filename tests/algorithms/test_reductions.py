@@ -1,0 +1,62 @@
+"""Tests for the reduction registry: every entry solves its target."""
+
+import pytest
+
+from repro.algorithms import REDUCTIONS, get_reduction, reduction_names
+from repro.shm import check_algorithm
+
+
+class TestRegistry:
+    def test_known_names(self):
+        names = reduction_names()
+        assert "figure2-slot-renaming" in names
+        assert "wsb-from-2n2-renaming" in names
+        assert "2n2-renaming-from-wsb" in names
+        assert "election-from-perfect" in names
+        assert "adaptive-renaming" in names
+
+    def test_get_reduction(self):
+        reduction = get_reduction("figure2-slot-renaming")
+        assert reduction.paper_ref.startswith("Figure 2")
+
+    def test_unknown_name_helpful(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_reduction("nope")
+
+    def test_metadata_complete(self):
+        for reduction in REDUCTIONS.values():
+            assert reduction.description
+            assert reduction.paper_ref
+            assert reduction.min_n >= 1
+
+
+class TestEveryReductionSolvesItsTarget:
+    @pytest.mark.parametrize("name", sorted(REDUCTIONS))
+    def test_reduction(self, name):
+        reduction = REDUCTIONS[name]
+        n = max(reduction.min_n, 4)
+        task = reduction.target(n)
+        report = check_algorithm(
+            task,
+            reduction.algorithm(n),
+            n,
+            system_factory=reduction.system(n, seed=11),
+            runs=30,
+            seed=len(name),
+        )
+        assert report.ok, (name, report.violations[:3])
+
+    @pytest.mark.parametrize("name", sorted(REDUCTIONS))
+    def test_reduction_at_min_n(self, name):
+        reduction = REDUCTIONS[name]
+        n = reduction.min_n
+        task = reduction.target(n)
+        report = check_algorithm(
+            task,
+            reduction.algorithm(n),
+            n,
+            system_factory=reduction.system(n, seed=3),
+            runs=15,
+            seed=n,
+        )
+        assert report.ok, (name, report.violations[:3])

@@ -1,0 +1,84 @@
+"""Tests for the Section 6 slot-to-renaming question endpoints."""
+
+import pytest
+
+from repro.shm import check_algorithm
+from repro.algorithms import (
+    OpenProblem,
+    renaming_from_slot,
+    renaming_target,
+    slot_source,
+    slot_system_factory,
+    solved_endpoints,
+)
+
+
+class TestEndpoints:
+    def test_k_equals_n_minus_1_is_figure2(self):
+        # 2n - (n-1) = n+1: Figure 2's task.
+        for n in (4, 5, 6):
+            k = n - 1
+            report = check_algorithm(
+                renaming_target(n, k),
+                renaming_from_slot(n, k),
+                n,
+                system_factory=slot_system_factory(n, k, seed=n),
+                runs=30,
+                seed=n,
+            )
+            assert report.ok, (n, k, report.violations[:2])
+
+    def test_k_equals_2_is_wsb_route(self):
+        # 2n - 2: the WSB-based construction driven by a 2-slot oracle.
+        for n in (4, 5, 6):
+            report = check_algorithm(
+                renaming_target(n, 2),
+                renaming_from_slot(n, 2),
+                n,
+                system_factory=slot_system_factory(n, 2, seed=n),
+                runs=30,
+                seed=n * 2,
+            )
+            assert report.ok, (n, report.violations[:2])
+
+    def test_n3_endpoints_coincide(self):
+        # At n=3, k=2=n-1: both endpoints denote 4-renaming.
+        assert renaming_target(3, 2).same_task(renaming_target(3, 2))
+        report = check_algorithm(
+            renaming_target(3, 2),
+            renaming_from_slot(3, 2),
+            3,
+            system_factory=slot_system_factory(3, 2, seed=1),
+            runs=20,
+            seed=1,
+        )
+        assert report.ok
+
+
+class TestOpenMiddle:
+    def test_middle_k_raises_open_problem(self):
+        with pytest.raises(OpenProblem, match="open for k=3"):
+            renaming_from_slot(6, 3)
+        with pytest.raises(OpenProblem):
+            renaming_from_slot(8, 4)
+
+    def test_k_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            renaming_from_slot(5, 1)
+        with pytest.raises(ValueError):
+            renaming_from_slot(5, 5)
+
+    def test_solved_endpoints_listing(self):
+        assert solved_endpoints(8) == [2, 7]
+        assert solved_endpoints(4) == [2, 3]
+        assert solved_endpoints(3) == [2]
+
+
+class TestTaskShapes:
+    def test_targets(self):
+        assert renaming_target(6, 5).parameters == (6, 7, 0, 1)
+        assert renaming_target(6, 2).parameters == (6, 10, 0, 1)
+
+    def test_sources(self):
+        assert slot_source(6, 5).parameters == (6, 5, 1, 6)
+        assert slot_source(6, 2).parameters == (6, 2, 1, 6)

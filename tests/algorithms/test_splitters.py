@@ -1,0 +1,151 @@
+"""Tests for splitters and Moir-Anderson grid renaming."""
+
+import random
+
+from repro.core import renaming
+from repro.shm import (
+    ListScheduler,
+    RandomScheduler,
+    check_algorithm,
+    check_algorithm_exhaustive,
+    run_algorithm,
+)
+from repro.shm.runtime import default_identities
+from repro.algorithms import (
+    grid_cell_index,
+    grid_name,
+    grid_system_factory,
+    max_grid_name,
+    moir_anderson_algorithm,
+)
+
+
+class TestGridGeometry:
+    def test_diagonal_numbering(self):
+        # (0,0)=1; diagonal 1: (0,1)=2, (1,0)=3; diagonal 2: 4,5,6.
+        assert grid_name(0, 0) == 1
+        assert grid_name(0, 1) == 2
+        assert grid_name(1, 0) == 3
+        assert grid_name(0, 2) == 4
+        assert grid_name(1, 1) == 5
+        assert grid_name(2, 0) == 6
+
+    def test_names_unique_over_grid(self):
+        names = {
+            grid_name(row, col)
+            for row in range(6)
+            for col in range(6)
+            if row + col < 6
+        }
+        assert len(names) == 21  # 6*7/2
+        assert names == set(range(1, 22))
+
+    def test_cell_index_row_major(self):
+        assert grid_cell_index(0, 0, 4) == 0
+        assert grid_cell_index(2, 3, 4) == 11
+
+    def test_max_grid_name(self):
+        assert max_grid_name(1) == 1
+        assert max_grid_name(3) == 6
+        assert max_grid_name(5) == 15
+
+
+class TestRenaming:
+    def test_battery(self):
+        for n in (2, 3, 4, 5):
+            report = check_algorithm(
+                renaming(n, max_grid_name(n)),
+                moir_anderson_algorithm(),
+                n,
+                system_factory=grid_system_factory(n),
+                runs=50,
+                seed=n,
+            )
+            assert report.ok, (n, report.violations[:3])
+
+    def test_exhaustive_n2(self):
+        report = check_algorithm_exhaustive(
+            renaming(2, 3),
+            moir_anderson_algorithm(),
+            2,
+            system_factory=grid_system_factory(2),
+        )
+        assert report.ok
+
+    def test_adaptive_namespace(self):
+        # p participants get names within the first p diagonals.
+        import itertools
+
+        n = 4
+        for size in (1, 2, 3):
+            for participants in itertools.combinations(range(n), size):
+                for seed in range(5):
+                    rng = random.Random(seed)
+                    schedule = [rng.choice(participants) for _ in range(80 * size)]
+                    arrays, objects = grid_system_factory(n)()
+                    result = run_algorithm(
+                        moir_anderson_algorithm(),
+                        default_identities(n, random.Random(seed)),
+                        ListScheduler(schedule),
+                        arrays=arrays,
+                        objects=objects,
+                    )
+                    names = [result.outputs[pid] for pid in participants]
+                    assert all(
+                        name is not None and name <= max_grid_name(size)
+                        for name in names
+                    ), (participants, names)
+                    assert len(set(names)) == size
+
+    def test_solo_stops_at_origin(self):
+        arrays, objects = grid_system_factory(3)()
+        result = run_algorithm(
+            moir_anderson_algorithm(), [4], RandomScheduler(0),
+            arrays=arrays, objects=objects,
+        )
+        assert result.outputs == [1]
+
+
+class TestSplitterProperties:
+    def test_at_most_one_stops(self):
+        # All n processes enter one splitter: at most one STOP outcome.
+        from repro.algorithms.splitters import splitter
+        from repro.shm.registers import ArraySpec
+
+        def one_splitter(ctx):
+            outcome = yield from splitter(ctx, 0)
+            return outcome
+
+        for seed in range(30):
+            result = run_algorithm(
+                one_splitter,
+                default_identities(4, random.Random(seed)),
+                RandomScheduler(seed),
+                arrays={
+                    "SPLITTER_X": ArraySpec(n=1, multi_writer=True),
+                    "SPLITTER_Y": ArraySpec(initial=False, n=1, multi_writer=True),
+                },
+            )
+            stops = [out for out in result.outputs if out == "stop"]
+            downs = [out for out in result.outputs if out == "down"]
+            rights = [out for out in result.outputs if out == "right"]
+            assert len(stops) <= 1, result.outputs
+            assert len(downs) <= 3
+            assert len(rights) <= 3
+
+    def test_solo_process_stops(self):
+        from repro.algorithms.splitters import splitter
+        from repro.shm.registers import ArraySpec
+
+        def one_splitter(ctx):
+            outcome = yield from splitter(ctx, 0)
+            return outcome
+
+        result = run_algorithm(
+            one_splitter, [5], RandomScheduler(1),
+            arrays={
+                "SPLITTER_X": ArraySpec(n=1, multi_writer=True),
+                "SPLITTER_Y": ArraySpec(initial=False, n=1, multi_writer=True),
+            },
+        )
+        assert result.outputs == ["stop"]

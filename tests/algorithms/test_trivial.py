@@ -1,0 +1,84 @@
+"""Tests for communication-free solvers (Theorem 9, Corollary 2)."""
+
+import pytest
+
+from repro.core import (
+    SymmetricGSBTask,
+    renaming,
+    weak_symmetry_breaking,
+    x_bounded_homonymous_renaming,
+)
+from repro.shm import check_algorithm, check_algorithm_exhaustive
+from repro.algorithms import (
+    homonymous_renaming_algorithm,
+    identity_renaming_algorithm,
+    no_communication_algorithm,
+)
+
+
+class TestIdentityRenaming:
+    def test_battery(self):
+        for n in (2, 3, 5):
+            report = check_algorithm(
+                renaming(n, 2 * n - 1), identity_renaming_algorithm(), n,
+                runs=30, seed=n,
+            )
+            assert report.ok, report.violations[:3]
+
+    def test_exhaustive_small(self):
+        report = check_algorithm_exhaustive(
+            renaming(3, 5), identity_renaming_algorithm(), 3
+        )
+        assert report.ok
+
+    def test_zero_shared_memory_operations(self):
+        from repro.shm import RoundRobinScheduler, run_algorithm
+
+        result = run_algorithm(
+            identity_renaming_algorithm(), [1, 3, 5], RoundRobinScheduler()
+        )
+        assert result.steps == 0
+        assert result.outputs == [1, 3, 5]
+
+
+class TestHomonymousRenaming:
+    def test_battery(self):
+        for n, x in [(4, 2), (5, 2), (6, 3)]:
+            task = x_bounded_homonymous_renaming(n, x)
+            report = check_algorithm(
+                task, homonymous_renaming_algorithm(x), n, runs=30, seed=x
+            )
+            assert report.ok, report.violations[:3]
+
+    def test_rejects_bad_x(self):
+        with pytest.raises(ValueError):
+            homonymous_renaming_algorithm(0)
+
+
+class TestTheorem9Solver:
+    def test_solves_all_trivial_tasks(self):
+        # Every communication-free-solvable <5, m, l, u> task.
+        n = 5
+        for m in range(1, n + 1):
+            for high in range(1, n + 1):
+                task = SymmetricGSBTask(n, m, 0, high)
+                from repro.core import is_communication_free_solvable
+
+                if not is_communication_free_solvable(task):
+                    continue
+                report = check_algorithm(
+                    task, no_communication_algorithm(task), n, runs=15,
+                    seed=m * 10 + high,
+                )
+                assert report.ok, (task, report.violations[:3])
+
+    def test_rejects_non_trivial_task(self):
+        with pytest.raises(ValueError, match="not solvable without"):
+            no_communication_algorithm(weak_symmetry_breaking(4))
+
+    def test_exhaustive_small_task(self):
+        task = SymmetricGSBTask(3, 2, 0, 3)  # u >= ceil(5/2): trivial
+        report = check_algorithm_exhaustive(
+            task, no_communication_algorithm(task), 3
+        )
+        assert report.ok

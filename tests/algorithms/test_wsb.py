@@ -1,0 +1,135 @@
+"""Tests for the WSB constructions (Sections 5.3, 6 and Corollary 4)."""
+
+from repro.core import counting_vector, k_weak_symmetry_breaking, renaming, weak_symmetry_breaking
+from repro.shm import (
+    ExplicitStrategy,
+    GSBOracle,
+    RandomScheduler,
+    check_algorithm,
+    check_algorithm_exhaustive,
+    run_algorithm,
+)
+from repro.shm.runtime import default_identities
+from repro.algorithms import (
+    kwsb_from_renaming,
+    renaming_2n2_from_wsb,
+    renaming_oracle_system_factory,
+    wsb_from_renaming,
+    wsb_oracle_system_factory,
+)
+
+
+class TestWSBFromRenaming:
+    def test_battery(self):
+        for n in (3, 4, 5, 6):
+            report = check_algorithm(
+                weak_symmetry_breaking(n),
+                wsb_from_renaming(),
+                n,
+                system_factory=renaming_oracle_system_factory(n, 2 * n - 2, n),
+                runs=50,
+                seed=n,
+            )
+            assert report.ok, (n, report.violations[:3])
+
+    def test_exhaustive_n3(self):
+        report = check_algorithm_exhaustive(
+            weak_symmetry_breaking(3),
+            wsb_from_renaming(),
+            3,
+            system_factory=renaming_oracle_system_factory(3, 4, 1),
+        )
+        assert report.ok
+
+    def test_parity_argument_tight(self):
+        # Adversarial oracle: all names of one parity as far as possible.
+        n = 4
+        strategy = ExplicitStrategy([1, 3, 5, 2])  # three odds is the max
+        factory = lambda: (
+            {},
+            {"RENAMING": GSBOracle(renaming(n, 2 * n - 2), strategy=strategy)},
+        )
+        arrays, objects = factory()
+        result = run_algorithm(
+            wsb_from_renaming(),
+            default_identities(n),
+            RandomScheduler(3),
+            arrays=arrays,
+            objects=objects,
+        )
+        assert weak_symmetry_breaking(n).is_legal_output(result.outputs)
+
+
+class TestRenamingFromWSB:
+    def test_battery(self):
+        for n in (2, 3, 4, 6):
+            report = check_algorithm(
+                renaming(n, 2 * n - 2),
+                renaming_2n2_from_wsb(),
+                n,
+                system_factory=wsb_oracle_system_factory(n, n),
+                runs=50,
+                seed=n * 7,
+            )
+            assert report.ok, (n, report.violations[:3])
+
+    def test_exhaustive_n2(self):
+        report = check_algorithm_exhaustive(
+            renaming(2, 2),
+            renaming_2n2_from_wsb(),
+            2,
+            system_factory=wsb_oracle_system_factory(2, 5),
+        )
+        assert report.ok
+
+    def test_sides_use_disjoint_namespaces(self):
+        # Side 1 names stay strictly below side 2 names.
+        n = 5
+        for seed in range(15):
+            factory = wsb_oracle_system_factory(n, seed)
+            arrays, objects = factory()
+            result = run_algorithm(
+                renaming_2n2_from_wsb(),
+                default_identities(n),
+                RandomScheduler(seed),
+                arrays=arrays,
+                objects=objects,
+            )
+            sides = objects["WSB"].assigned
+            names = result.outputs
+            low_side = [names[pid] for pid, side in sides.items() if side == 1]
+            high_side = [names[pid] for pid, side in sides.items() if side == 2]
+            assert low_side and high_side  # WSB guarantees both non-empty
+            assert max(low_side) < min(high_side)
+            assert all(1 <= name <= 2 * n - 2 for name in names)
+
+
+class TestKWSBFromRenaming:
+    def test_battery(self):
+        for n, k in [(4, 2), (5, 2), (6, 2), (6, 3)]:
+            report = check_algorithm(
+                k_weak_symmetry_breaking(n, k),
+                kwsb_from_renaming(n, k),
+                n,
+                system_factory=renaming_oracle_system_factory(
+                    n, 2 * (n - k), seed=k
+                ),
+                runs=40,
+                seed=n + k,
+            )
+            assert report.ok, (n, k, report.violations[:3])
+
+    def test_exact_counts_within_bounds(self):
+        n, k = 6, 2
+        for seed in range(10):
+            factory = renaming_oracle_system_factory(n, 2 * (n - k), seed)
+            arrays, objects = factory()
+            result = run_algorithm(
+                kwsb_from_renaming(n, k),
+                default_identities(n),
+                RandomScheduler(seed),
+                arrays=arrays,
+                objects=objects,
+            )
+            counts = counting_vector(result.outputs, 2)
+            assert all(k <= count <= n - k for count in counts)

@@ -1,0 +1,62 @@
+"""Tests for the atlas reports."""
+
+import pytest
+
+from repro.analysis import (
+    entry_lookup,
+    family_solvability_census,
+    named_task_verdicts,
+    render_family_atlas,
+    render_named_tasks,
+)
+from repro.core import Solvability
+
+
+class TestNamedVerdicts:
+    def test_verdicts_at_n6(self):
+        verdicts = {v.name: v.solvability for v in named_task_verdicts(6)}
+        assert verdicts["election"] is Solvability.UNSOLVABLE
+        assert verdicts["perfect renaming"] is Solvability.UNSOLVABLE
+        assert verdicts["WSB"] is Solvability.SOLVABLE
+        assert verdicts["(2n-1)-renaming"] is Solvability.TRIVIAL
+        assert verdicts["(2n-2)-renaming"] is Solvability.SOLVABLE
+        assert verdicts["2-bounded homonymous renaming"] is Solvability.TRIVIAL
+
+    def test_verdicts_at_prime_power_n(self):
+        verdicts = {v.name: v.solvability for v in named_task_verdicts(4)}
+        assert verdicts["WSB"] is Solvability.UNSOLVABLE
+        assert verdicts["(2n-2)-renaming"] is Solvability.UNSOLVABLE
+
+    def test_wsb_and_2slot_agree(self):
+        for n in (4, 5, 6, 7):
+            verdicts = {v.name: v.solvability for v in named_task_verdicts(n)}
+            assert verdicts["WSB"] == verdicts["2-slot"]
+
+    def test_render(self):
+        text = render_named_tasks(6)
+        assert "election" in text
+        assert "Theorem 11" in text
+
+
+class TestFamilyAtlas:
+    def test_render_contains_all_rows(self):
+        text = render_family_atlas(6, 3)
+        assert text.count("<6,3,") >= 15 + 7  # task + representative columns
+        assert "statistics:" in text
+
+    def test_entry_lookup(self):
+        entry = entry_lookup(6, 3, 1, 4)
+        assert entry.canonical
+        assert entry.anchoring == "l-anchored"
+
+    def test_entry_lookup_infeasible(self):
+        with pytest.raises(KeyError):
+            entry_lookup(6, 3, 3, 3)
+
+
+class TestCensus:
+    def test_census_counts(self):
+        census = family_solvability_census(range(4, 7), range(2, 4))
+        assert sum(census.values()) > 0
+        assert Solvability.TRIVIAL in census
+        assert Solvability.UNSOLVABLE in census

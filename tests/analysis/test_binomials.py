@@ -1,0 +1,44 @@
+"""Tests for the Theorem 10 condition tables."""
+
+from repro.analysis import (
+    binomial_table,
+    check_ram_theorem,
+    render_binomial_table,
+    solvable_wsb_values,
+)
+
+
+class TestTable:
+    def test_rows_cover_range(self):
+        rows = binomial_table(max_n=16)
+        assert [row.n for row in rows] == list(range(2, 17))
+
+    def test_known_values(self):
+        rows = {row.n: row for row in binomial_table(max_n=12)}
+        assert rows[6].gcd == 1 and rows[6].coprime and rows[6].wsb_solvable
+        assert rows[8].gcd == 2 and not rows[8].coprime
+        assert rows[9].gcd == 3 and rows[9].prime_power
+
+    def test_wsb_matches_renaming_verdict(self):
+        for row in binomial_table(max_n=24):
+            assert row.wsb_solvable == row.renaming_2n2_solvable == row.coprime
+
+
+class TestRamTheorem:
+    def test_no_violations_up_to_256(self):
+        assert check_ram_theorem(256) == []
+
+
+class TestHelpers:
+    def test_solvable_values_are_non_prime_powers(self):
+        values = solvable_wsb_values(30)
+        assert values == [
+            6, 10, 12, 14, 15, 18, 20, 21, 22, 24, 26, 28, 30,
+        ]
+
+    def test_render(self):
+        text = render_binomial_table(max_n=10)
+        assert "gcd" in text
+        assert "prime power" in text
+        lines = text.splitlines()
+        assert len(lines) == 2 + 1 + 9  # title + header + separator + rows

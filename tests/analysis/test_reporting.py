@@ -1,0 +1,28 @@
+"""Unit tests for the shared rendering helpers."""
+
+from repro.analysis import kernel_label, render_table, task_label
+
+
+class TestRenderTable:
+    def test_fixed_width(self):
+        text = render_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_right_alignment(self):
+        text = render_table(["n"], [[5], [500]], aligns=["r"])
+        rows = text.splitlines()[2:]
+        assert rows[0].index("5") > rows[1].index("5")
+
+    def test_header_separator(self):
+        text = render_table(["x"], [[1]])
+        assert text.splitlines()[1].startswith("|-")
+
+
+class TestLabels:
+    def test_kernel_label(self):
+        assert kernel_label((4, 1, 1)) == "[4,1,1]"
+        assert kernel_label(()) == "[]"
+
+    def test_task_label(self):
+        assert task_label((6, 3, 0, 4)) == "<6,3,0,4>"

@@ -1,0 +1,96 @@
+"""Regression tests pinning the regenerated Table 1 to the paper."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1,
+    PAPER_TABLE1_OMITTED_ROWS,
+    render_table1,
+    table1,
+    table1_matches_paper,
+)
+
+
+class TestRegeneration:
+    def test_matches_paper_exactly(self):
+        ok, problems = table1_matches_paper(table1())
+        assert ok, problems
+
+    def test_columns_are_the_seven_kernels(self):
+        table = table1()
+        assert table.columns == (
+            (6, 0, 0), (5, 1, 0), (4, 2, 0), (4, 1, 1),
+            (3, 3, 0), (3, 2, 1), (2, 2, 2),
+        )
+
+    def test_paper_row_count(self):
+        table = table1(include_paper_omissions=False)
+        assert len(table.rows) == len(PAPER_TABLE1) == 14
+
+    def test_omitted_row_present_by_default(self):
+        table = table1()
+        assert len(table.rows) == 15
+        row = table.row(2, 6)
+        assert row.kernel_count == 1
+
+    def test_canonical_rows_are_the_seven(self):
+        table = table1()
+        canonical = {
+            row.parameters[2:] for row in table.rows if row.canonical
+        }
+        assert canonical == {
+            (0, 6), (0, 5), (0, 4), (1, 4), (0, 3), (1, 3), (2, 2),
+        }
+
+    def test_balanced_kernel_in_every_row(self):
+        table = table1()
+        balanced_column = table.columns.index((2, 2, 2))
+        assert all(row.marks[balanced_column] for row in table.rows)
+
+    def test_kernel_sets_reconstruct(self):
+        sets = table1().kernel_sets()
+        assert sets[(1, 6)] == {(4, 1, 1), (3, 2, 1), (2, 2, 2)}
+
+    def test_unknown_row_raises(self):
+        with pytest.raises(KeyError):
+            table1().row(5, 5)
+
+
+class TestRendering:
+    def test_render_contains_rows_and_marks(self):
+        text = render_table1()
+        assert "<6,3,0,6>" in text
+        assert "[2,2,2]" in text
+        assert "yes" in text
+
+    def test_render_row_alignment(self):
+        lines = render_table1().splitlines()
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # fixed-width table
+
+
+class TestOtherParameters:
+    def test_other_families_generate(self):
+        table = table1(5, 2)
+        assert table.rows
+        for row in table.rows:
+            assert row.kernel_count > 0
+
+    def test_matches_paper_rejects_other_parameters(self):
+        with pytest.raises(ValueError):
+            table1_matches_paper(table1(5, 2))
+
+    def test_omissions_flag_noop_for_other_parameters(self):
+        assert len(table1(5, 2).rows) == len(
+            table1(5, 2, include_paper_omissions=False).rows
+        )
+
+
+def test_paper_data_is_self_consistent():
+    # The pinned PAPER_TABLE1 kernels agree with the library's own
+    # kernel computation (guards against typos in the pinned data).
+    from repro.core import kernel_vectors
+
+    for (low, high), (_canonical, kernels) in PAPER_TABLE1.items():
+        assert set(kernel_vectors(6, 3, low, high)) == kernels
+    assert PAPER_TABLE1_OMITTED_ROWS == {(2, 6)}

@@ -1,0 +1,32 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Keep property tests fast and deterministic in CI-like environments.
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def small_family_grid():
+    """(n, m) pairs small enough for exhaustive structural sweeps."""
+    return [
+        (n, m)
+        for n in range(2, 8)
+        for m in range(1, n + 1)
+    ]
+
+
+@pytest.fixture
+def paper_family():
+    """The paper's running example: n=6, m=3."""
+    return (6, 3)

@@ -1,0 +1,128 @@
+"""Tests for anchoring (Definition 5, Theorems 3-4, Corollary 1)."""
+
+import pytest
+
+from repro.core import (
+    SymmetricGSBTask,
+    anchoring_profile,
+    is_l_anchored,
+    is_l_anchored_by_definition,
+    is_lu_anchored,
+    is_trivially_anchored,
+    is_u_anchored,
+    is_u_anchored_by_definition,
+    l_anchored_companion,
+    u_anchored_companion,
+)
+
+
+class TestPaperExamples:
+    """The <20, 4, -, -> examples of Section 4.2."""
+
+    def test_20_4_4_8_is_l_anchored(self):
+        task = SymmetricGSBTask(20, 4, 4, 8)
+        assert is_l_anchored(task)
+
+    def test_20_4_2_6_is_u_anchored(self):
+        task = SymmetricGSBTask(20, 4, 2, 6)
+        assert is_u_anchored(task)
+
+    def test_20_4_5_5_is_lu_anchored(self):
+        task = SymmetricGSBTask(20, 4, 5, 5)
+        assert is_lu_anchored(task)
+
+    def test_20_4_4_6_is_neither(self):
+        task = SymmetricGSBTask(20, 4, 4, 6)
+        assert not is_l_anchored(task)
+        assert not is_u_anchored(task)
+
+    def test_6_3_2_2_is_lu_anchored(self):
+        assert is_lu_anchored(SymmetricGSBTask(6, 3, 2, 2))
+
+
+class TestTrivialAnchoring:
+    def test_full_upper_bound_is_trivially_anchored(self):
+        assert is_trivially_anchored(SymmetricGSBTask(6, 3, 1, 6))
+
+    def test_zero_lower_bound_is_trivially_anchored(self):
+        assert is_trivially_anchored(SymmetricGSBTask(6, 3, 0, 4))
+
+    def test_interior_task_not_trivially_anchored(self):
+        assert not is_trivially_anchored(SymmetricGSBTask(6, 3, 1, 4))
+
+    def test_zero_lower_is_u_anchored_by_definition(self):
+        # The l = 0 boundary case Theorem 4's closed form misses
+        # (EXPERIMENTS.md discrepancy D2).
+        task = SymmetricGSBTask(6, 3, 0, 6)
+        assert is_u_anchored_by_definition(task)
+        assert is_u_anchored(task)
+
+    def test_full_upper_is_l_anchored_by_definition(self):
+        task = SymmetricGSBTask(6, 3, 1, 6)
+        assert is_l_anchored_by_definition(task)
+        assert is_l_anchored(task)
+
+
+class TestTheorems3And4:
+    """Closed forms agree with Definition 5 on full sweeps."""
+
+    def test_l_anchoring_matches_definition(self, small_family_grid):
+        for n, m in small_family_grid:
+            for low in range(n + 1):
+                for high in range(low, n + 1):
+                    task = SymmetricGSBTask(n, m, low, high)
+                    assert is_l_anchored(task) == is_l_anchored_by_definition(
+                        task
+                    ), task
+
+    def test_u_anchoring_matches_definition(self, small_family_grid):
+        for n, m in small_family_grid:
+            for low in range(n + 1):
+                for high in range(low, n + 1):
+                    task = SymmetricGSBTask(n, m, low, high)
+                    assert is_u_anchored(task) == is_u_anchored_by_definition(
+                        task
+                    ), task
+
+    def test_theorem_3_threshold_exact(self):
+        # u >= n - l(m-1) is the exact l-anchoring threshold for l >= 1.
+        n, m, low = 20, 4, 4
+        threshold = n - low * (m - 1)  # 8
+        assert is_l_anchored(SymmetricGSBTask(n, m, low, threshold))
+        assert not is_l_anchored(SymmetricGSBTask(n, m, low, threshold - 1))
+
+    def test_theorem_4_threshold_exact(self):
+        n, m, high = 20, 4, 6
+        threshold = n - high * (m - 1)  # 2
+        assert is_u_anchored(SymmetricGSBTask(n, m, threshold, high))
+        assert not is_u_anchored(SymmetricGSBTask(n, m, threshold + 1, high))
+
+
+class TestCorollary1:
+    def test_l_companion_is_l_anchored(self):
+        for n, m in [(6, 3), (20, 4), (9, 3)]:
+            for low in range(0, n // m + 1):
+                assert is_l_anchored(l_anchored_companion(n, m, low))
+
+    def test_u_companion_is_u_anchored(self):
+        for n, m in [(6, 3), (20, 4), (9, 3)]:
+            import math
+
+            for high in range(math.ceil(n / m), n + 1):
+                assert is_u_anchored(u_anchored_companion(n, m, high))
+
+    def test_l_companion_rejects_infeasible_low(self):
+        with pytest.raises(ValueError):
+            l_anchored_companion(6, 3, 3)
+
+    def test_u_companion_rejects_infeasible_high(self):
+        with pytest.raises(ValueError):
+            u_anchored_companion(6, 3, 1)
+
+
+class TestProfile:
+    def test_profiles(self):
+        assert anchoring_profile(SymmetricGSBTask(6, 3, 2, 2)) == "(l,u)-anchored"
+        assert anchoring_profile(SymmetricGSBTask(6, 3, 1, 4)) == "l-anchored"
+        assert anchoring_profile(SymmetricGSBTask(6, 3, 0, 3)) == "u-anchored"
+        assert anchoring_profile(SymmetricGSBTask(6, 3, 1, 3)) == "unanchored"

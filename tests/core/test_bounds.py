@@ -1,0 +1,91 @@
+"""Unit tests for the bound-vector foundation."""
+
+import pytest
+
+from repro.core import BoundVector, GSBSpecificationError
+
+
+class TestConstruction:
+    def test_symmetric_builds_uniform_vectors(self):
+        bounds = BoundVector.symmetric(3, 1, 4)
+        assert bounds.lower == (1, 1, 1)
+        assert bounds.upper == (4, 4, 4)
+
+    def test_from_pairs(self):
+        bounds = BoundVector.from_pairs([(1, 1), (0, 5)])
+        assert bounds.pair(1) == (1, 1)
+        assert bounds.pair(2) == (0, 5)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(GSBSpecificationError, match="entries"):
+            BoundVector(lower=(1, 2), upper=(3,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(GSBSpecificationError, match="at least one"):
+            BoundVector(lower=(), upper=())
+
+    def test_negative_lower_rejected(self):
+        with pytest.raises(GSBSpecificationError, match="negative"):
+            BoundVector(lower=(-1,), upper=(2,))
+
+    def test_negative_upper_rejected(self):
+        with pytest.raises(GSBSpecificationError, match="negative"):
+            BoundVector(lower=(0,), upper=(-2,))
+
+    def test_crossed_bounds_rejected(self):
+        with pytest.raises(GSBSpecificationError, match="lower bound 3 > upper"):
+            BoundVector(lower=(3,), upper=(2,))
+
+    def test_zero_m_symmetric_rejected(self):
+        with pytest.raises(GSBSpecificationError, match="m must be"):
+            BoundVector.symmetric(0, 0, 1)
+
+
+class TestAccessors:
+    def test_m_counts_values(self):
+        assert BoundVector.symmetric(5, 0, 2).m == 5
+
+    def test_is_symmetric_true(self):
+        assert BoundVector.symmetric(4, 1, 2).is_symmetric
+
+    def test_is_symmetric_false(self):
+        bounds = BoundVector(lower=(1, 0), upper=(1, 5))
+        assert not bounds.is_symmetric
+
+    def test_pair_out_of_range(self):
+        bounds = BoundVector.symmetric(2, 0, 1)
+        with pytest.raises(GSBSpecificationError, match="outside the legal range"):
+            bounds.pair(3)
+        with pytest.raises(GSBSpecificationError, match="outside the legal range"):
+            bounds.pair(0)
+
+    def test_pairs_iterates_in_value_order(self):
+        bounds = BoundVector(lower=(1, 2), upper=(3, 4))
+        assert list(bounds.pairs()) == [(1, 3), (2, 4)]
+
+
+class TestSemantics:
+    def test_clamped_reduces_upper_to_n(self):
+        bounds = BoundVector.symmetric(2, 0, 99).clamped(5)
+        assert bounds.upper == (5, 5)
+
+    def test_clamped_keeps_lower(self):
+        bounds = BoundVector.symmetric(2, 1, 99).clamped(5)
+        assert bounds.lower == (1, 1)
+
+    def test_admits_counts_within(self):
+        bounds = BoundVector.symmetric(3, 1, 2)
+        assert bounds.admits_counts((1, 2, 2))
+
+    def test_admits_counts_below_lower(self):
+        bounds = BoundVector.symmetric(3, 1, 2)
+        assert not bounds.admits_counts((0, 2, 2))
+
+    def test_admits_counts_above_upper(self):
+        bounds = BoundVector.symmetric(3, 1, 2)
+        assert not bounds.admits_counts((3, 1, 1))
+
+    def test_admits_counts_wrong_arity(self):
+        bounds = BoundVector.symmetric(3, 1, 2)
+        with pytest.raises(GSBSpecificationError, match="count vector"):
+            bounds.admits_counts((1, 1))

@@ -1,0 +1,131 @@
+"""Tests for canonical representatives (Theorem 7)."""
+
+import pytest
+
+from repro.core import (
+    SymmetricGSBTask,
+    brute_force_representative,
+    canonical_parameters,
+    canonical_representative,
+    is_canonical,
+    synonym_class,
+    tighten_once,
+)
+
+
+class TestTightenOnce:
+    def test_fixed_point_stays(self):
+        assert tighten_once(6, 3, 1, 4) == (1, 4)
+        assert tighten_once(6, 3, 2, 2) == (2, 2)
+
+    def test_single_application(self):
+        # <6,3,1,6>: f gives (1, 4).
+        assert tighten_once(6, 3, 1, 6) == (1, 4)
+
+    def test_needs_iteration(self):
+        # <6,3,0,2>: f gives (2, 2) in one step here, already fixed after.
+        assert tighten_once(6, 3, 0, 2) == (2, 2)
+
+
+class TestCanonicalParameters:
+    def test_paper_representatives(self):
+        # Section 4.2's worked examples for n=6, m=3.
+        assert canonical_parameters(6, 3, 1, 6) == (1, 4)
+        assert canonical_parameters(6, 3, 1, 5) == (1, 4)
+        assert canonical_parameters(6, 3, 2, 5) == (2, 2)
+        assert canonical_parameters(6, 3, 0, 2) == (2, 2)
+        assert canonical_parameters(6, 3, 1, 2) == (2, 2)
+        assert canonical_parameters(6, 3, 1, 3) == (1, 3)
+
+    def test_m_equals_one(self):
+        assert canonical_parameters(5, 1, 0, 5) == (5, 5)
+
+    def test_perfect_renaming_from_0_1(self):
+        # <n, n, 0, 1> is perfect renaming in disguise.
+        assert canonical_parameters(5, 5, 0, 1) == (1, 1)
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            canonical_parameters(6, 3, 3, 4)
+
+    def test_idempotent(self, small_family_grid):
+        for n, m in small_family_grid:
+            for low in range(n + 1):
+                for high in range(low, n + 1):
+                    if not SymmetricGSBTask(n, m, low, high).is_feasible:
+                        continue
+                    fixed = canonical_parameters(n, m, low, high)
+                    assert canonical_parameters(n, m, *fixed) == fixed
+
+
+class TestTheorem7:
+    def test_canonical_is_synonym(self, small_family_grid):
+        for n, m in small_family_grid:
+            for low in range(n + 1):
+                for high in range(low, n + 1):
+                    task = SymmetricGSBTask(n, m, low, high)
+                    if not task.is_feasible:
+                        continue
+                    assert canonical_representative(task).same_task(task)
+
+    def test_fixed_point_equals_brute_force(self):
+        # Theorem 7 validated against independent search (small grid: the
+        # brute force is quadratic in n per task).
+        for n, m in [(4, 2), (5, 3), (6, 3), (6, 2)]:
+            for low in range(n + 1):
+                for high in range(low, n + 1):
+                    task = SymmetricGSBTask(n, m, low, high)
+                    if not task.is_feasible:
+                        continue
+                    fixed = canonical_representative(task)
+                    brute = brute_force_representative(task)
+                    assert fixed.parameters == brute.parameters, task
+
+    def test_canonical_parameters_are_extremal_kernel_entries(self):
+        # The canonical (l', u') are the min and max entries over the
+        # kernel set — an equivalent characterization used as cross-check.
+        for low in range(0, 3):
+            for high in range(max(low, 2), 7):
+                task = SymmetricGSBTask(6, 3, low, high)
+                if not task.is_feasible:
+                    continue
+                kernels = task.kernel_set
+                expected = (
+                    min(min(k) for k in kernels),
+                    max(max(k) for k in kernels),
+                )
+                assert canonical_parameters(6, 3, low, high) == expected
+
+
+class TestIsCanonical:
+    def test_paper_yes_rows(self):
+        # Exactly the rows marked "yes" in Table 1.
+        yes_rows = {(0, 6), (0, 5), (0, 4), (1, 4), (0, 3), (1, 3), (2, 2)}
+        for low in range(7):
+            for high in range(low, 7):
+                task = SymmetricGSBTask(6, 3, low, high)
+                if not task.is_feasible:
+                    continue
+                assert is_canonical(task) == ((low, high) in yes_rows)
+
+    def test_infeasible_never_canonical(self):
+        assert not is_canonical(SymmetricGSBTask(6, 3, 3, 3))
+
+
+class TestSynonymClass:
+    def test_paper_class_of_1_4(self):
+        members = {task.parameters for task in synonym_class(SymmetricGSBTask(6, 3, 1, 4))}
+        assert members == {(6, 3, 1, 4), (6, 3, 1, 5), (6, 3, 1, 6)}
+
+    def test_paper_class_of_2_2_includes_omitted_row(self):
+        members = {task.parameters for task in synonym_class(SymmetricGSBTask(6, 3, 2, 2))}
+        # The paper's table lists six of these; (2, 6) is the omitted one.
+        assert members == {
+            (6, 3, 2, 2), (6, 3, 2, 3), (6, 3, 2, 4), (6, 3, 2, 5),
+            (6, 3, 2, 6), (6, 3, 0, 2), (6, 3, 1, 2),
+        }
+
+    def test_class_members_all_synonyms(self):
+        base = SymmetricGSBTask(6, 3, 0, 4)
+        for member in synonym_class(base):
+            assert member.same_task(base)

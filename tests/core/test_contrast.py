@@ -1,0 +1,131 @@
+"""Tests for the GSB / non-GSB delimitation (Sections 1 and 3.2)."""
+
+import pytest
+
+from repro.core import SymmetricGSBTask, election, weak_symmetry_breaking
+from repro.core.contrast import (
+    ConsensusTask,
+    KSetAgreementTask,
+    TestAndSetTask,
+    colorless_input_closure_counterexample,
+    is_output_independent,
+)
+
+
+class TestConsensus:
+    def test_agreement_and_validity(self):
+        task = ConsensusTask(3)
+        assert task.is_legal_output([5, 5, 5], input_vector=[5, 2, 9])
+        assert not task.is_legal_output([5, 5, 2], input_vector=[5, 2, 9])
+        assert not task.is_legal_output([7, 7, 7], input_vector=[5, 2, 9])
+
+    def test_requires_inputs(self):
+        with pytest.raises(ValueError, match="input vector"):
+            ConsensusTask(3).is_legal_output([1, 1, 1])
+
+    def test_not_output_independent(self):
+        # Delta(I) genuinely varies with I: the defining difference from
+        # GSB tasks.
+        task = ConsensusTask(2)
+        assert not is_output_independent(
+            task, [[1, 2], [3, 4]], values=range(1, 5)
+        )
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            ConsensusTask(0)
+
+
+class TestKSetAgreement:
+    def test_bounded_disagreement(self):
+        task = KSetAgreementTask(4, 2)
+        assert task.is_legal_output([1, 1, 2, 2], input_vector=[1, 2, 3, 4])
+        assert not task.is_legal_output([1, 2, 3, 3], input_vector=[1, 2, 3, 4])
+
+    def test_validity(self):
+        task = KSetAgreementTask(3, 2)
+        assert not task.is_legal_output([9, 9, 9], input_vector=[1, 2, 3])
+
+    def test_n_set_agreement_is_validity_only(self):
+        task = KSetAgreementTask(3, 3)
+        assert task.is_legal_output([1, 2, 3], input_vector=[1, 2, 3])
+
+    def test_not_output_independent(self):
+        task = KSetAgreementTask(2, 1)
+        assert not is_output_independent(
+            task, [[1, 2], [3, 4]], values=range(1, 5)
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            KSetAgreementTask(3, 0)
+        with pytest.raises(ValueError):
+            KSetAgreementTask(3, 4)
+
+
+class TestGSBOutputIndependence:
+    def test_gsb_tasks_are_output_independent(self):
+        from repro.core import input_vectors
+        import itertools
+
+        task = SymmetricGSBTask(3, 2, 1, 2)
+        inputs = list(itertools.islice(input_vectors(3), 8))
+        assert is_output_independent(task, inputs, values=[1, 2])
+
+    def test_election_output_independent(self):
+        from repro.core import input_vectors
+        import itertools
+
+        task = election(3)
+        inputs = list(itertools.islice(input_vectors(3), 8))
+        assert is_output_independent(task, inputs, values=[1, 2])
+
+
+class TestTestAndSetContrast:
+    """Election is the non-adaptive weakening of test-and-set (Section 1)."""
+
+    def test_full_participation_agrees_with_election(self):
+        n = 4
+        tns = TestAndSetTask(n)
+        gsb = election(n)
+        import itertools
+
+        for outputs in itertools.product([1, 2], repeat=n):
+            assert tns.is_legal_participating_output(
+                list(outputs), range(n)
+            ) == gsb.is_legal_output(list(outputs))
+
+    def test_partial_participation_differs(self):
+        # Only p1 participates and outputs 2: fine for the election GSB
+        # task (p0 may still output 1 later), illegal for test-and-set
+        # (some participant must win).
+        n = 2
+        outputs = [None, 2]
+        tns = TestAndSetTask(n)
+        assert not tns.is_legal_participating_output(outputs, participants={1})
+        assert election(n).is_legal_partial_output(outputs)
+
+    def test_solo_participant_must_win(self):
+        tns = TestAndSetTask(3)
+        assert tns.is_legal_participating_output([None, 1, None], {1})
+        assert not tns.is_legal_participating_output([None, 2, None], {1})
+
+    def test_two_winners_illegal(self):
+        tns = TestAndSetTask(3)
+        assert not tns.is_legal_participating_output([1, 1, 2], {0, 1, 2})
+
+    def test_undeclared_decider_illegal(self):
+        tns = TestAndSetTask(3)
+        assert not tns.is_legal_participating_output([1, 2, None], {0})
+
+
+class TestColorlessDelimitation:
+    def test_gsb_inputs_refuse_duplication(self):
+        # Section 3.2: colorless tasks are closed under duplicating an
+        # input value; GSB input vectors never contain duplicates.
+        for task in [weak_symmetry_breaking(4), election(3)]:
+            witness = colorless_input_closure_counterexample(task)
+            assert witness is not None
+            legal_input, duplicated = witness
+            assert len(set(legal_input)) == len(legal_input)
+            assert len(set(duplicated)) == 1

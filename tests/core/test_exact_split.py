@@ -1,0 +1,79 @@
+"""Tests for the exact-split asymmetric family (election generalized)."""
+
+import pytest
+
+from repro.core import (
+    GSBSpecificationError,
+    check_theorem_8,
+    classify,
+    election,
+    exact_split,
+    k_weak_symmetry_breaking,
+    Solvability,
+)
+
+
+class TestDefinition:
+    def test_counting_vector_is_pinned(self):
+        assert set(exact_split(6, 2).counting_vectors()) == {(2, 4)}
+
+    def test_k1_is_election(self):
+        for n in (3, 4, 6):
+            assert exact_split(n, 1).same_task(election(n))
+
+    def test_outputs(self):
+        task = exact_split(5, 2)
+        assert task.is_legal_output([1, 1, 2, 2, 2])
+        assert task.is_legal_output([2, 1, 2, 1, 2])
+        assert not task.is_legal_output([1, 1, 1, 2, 2])
+        assert not task.is_legal_output([2, 2, 2, 2, 2])
+
+    def test_range_enforced(self):
+        with pytest.raises(GSBSpecificationError):
+            exact_split(4, 0)
+        with pytest.raises(GSBSpecificationError):
+            exact_split(4, 4)
+
+
+class TestStructure:
+    def test_sits_inside_k_wsb(self):
+        for n, k in [(6, 2), (8, 3), (7, 2)]:
+            assert k_weak_symmetry_breaking(n, k).includes(exact_split(n, k))
+
+    def test_theorem_8_applies(self):
+        for n, k in [(4, 1), (5, 2), (6, 3)]:
+            assert check_theorem_8(exact_split(n, k))
+
+    def test_classification(self):
+        # k=1 is election (Theorem 11); general k is outside the paper.
+        verdict, _ = classify(exact_split(5, 1))
+        assert verdict is Solvability.UNSOLVABLE
+        verdict, _ = classify(exact_split(6, 2))
+        assert verdict is Solvability.OPEN
+
+    def test_never_communication_free(self):
+        from repro.core import is_communication_free_solvable
+
+        for n, k in [(4, 1), (5, 2), (6, 3)]:
+            assert not is_communication_free_solvable(exact_split(n, k))
+
+
+class TestOnSimulator:
+    def test_solved_from_perfect_renaming(self):
+        from repro.algorithms import (
+            gsb_from_perfect_renaming,
+            perfect_renaming_system_factory,
+        )
+        from repro.shm import check_algorithm
+
+        n, k = 6, 2
+        task = exact_split(n, k)
+        report = check_algorithm(
+            task,
+            gsb_from_perfect_renaming(task),
+            n,
+            system_factory=perfect_renaming_system_factory(n, seed=3),
+            runs=30,
+            seed=4,
+        )
+        assert report.ok, report.violations[:2]

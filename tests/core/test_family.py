@@ -1,0 +1,59 @@
+"""Tests for the family enumeration (Table 1 support)."""
+
+from repro.core import (
+    Solvability,
+    all_kernel_columns,
+    canonical_entries,
+    family_entries,
+    family_statistics,
+)
+
+
+class TestFamilyEntries:
+    def test_paper_family_size(self):
+        # 15 feasible parameterizations (14 in the paper's table + the
+        # omitted synonym <6,3,2,6>).
+        assert len(family_entries(6, 3)) == 15
+
+    def test_row_order_matches_table_1(self):
+        # Decreasing u, then increasing l: (0,6), (1,6), (2,6), (0,5), ...
+        parameters = [entry.parameters[2:] for entry in family_entries(6, 3)]
+        assert parameters[:6] == [(0, 6), (1, 6), (2, 6), (0, 5), (1, 5), (2, 5)]
+
+    def test_kernel_sets_subsets_of_columns(self):
+        columns = set(all_kernel_columns(6, 3))
+        for entry in family_entries(6, 3):
+            assert set(entry.kernel_set) <= columns
+
+    def test_canonical_entries_count(self):
+        assert len(canonical_entries(6, 3)) == 7
+
+    def test_every_entry_has_classification(self):
+        for entry in family_entries(6, 3):
+            assert isinstance(entry.solvability, Solvability)
+            assert entry.solvability is not Solvability.INFEASIBLE
+            assert entry.solvability_reason
+
+    def test_canonical_parameters_consistent(self):
+        for entry in family_entries(7, 3):
+            low, high = entry.canonical_parameters
+            assert entry.canonical == (entry.parameters[2:] == (low, high))
+
+
+class TestStatistics:
+    def test_paper_family_statistics(self):
+        stats = family_statistics(6, 3)
+        assert stats["feasible_parameterizations"] == 15
+        assert stats["synonym_classes"] == 7
+        assert stats["kernel_columns"] == 7
+
+    def test_solvability_counts_sum(self):
+        stats = family_statistics(6, 3)
+        solvability_total = sum(
+            value for key, value in stats.items() if key.startswith("solvability[")
+        )
+        assert solvability_total == stats["feasible_parameterizations"]
+
+    def test_other_families(self):
+        stats = family_statistics(4, 2)
+        assert stats["feasible_parameterizations"] >= stats["synonym_classes"]

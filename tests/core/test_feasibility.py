@@ -1,0 +1,107 @@
+"""Tests for Lemmas 1 and 2 (feasibility)."""
+
+import pytest
+
+from repro.core import (
+    BoundVector,
+    GSBTask,
+    SymmetricGSBTask,
+    assert_feasible,
+    feasibility_witness,
+    feasible_bound_pairs,
+    infeasible_reason,
+    is_feasible_asymmetric,
+    is_feasible_symmetric,
+)
+from repro.core.feasibility import check_lemma_1, check_lemma_2
+
+
+class TestLemma1:
+    def test_closed_form_examples(self):
+        assert is_feasible_asymmetric(4, BoundVector(lower=(1, 3), upper=(1, 3)))
+        assert not is_feasible_asymmetric(4, BoundVector(lower=(3, 3), upper=(3, 3)))
+        assert not is_feasible_asymmetric(4, BoundVector(lower=(0, 0), upper=(1, 1)))
+
+    def test_check_lemma_1_sweep(self):
+        import itertools
+
+        for n in range(1, 6):
+            for lows in itertools.product(range(3), repeat=2):
+                for extra in itertools.product(range(4), repeat=2):
+                    highs = tuple(low + delta for low, delta in zip(lows, extra))
+                    task = GSBTask(n, BoundVector(lower=lows, upper=highs))
+                    assert check_lemma_1(task), task
+
+    def test_witness_is_legal(self):
+        task = GSBTask(5, BoundVector(lower=(1, 0, 2), upper=(2, 2, 3)))
+        witness = feasibility_witness(task)
+        assert witness is not None
+        assert task.is_legal_output(witness)
+
+    def test_witness_none_when_infeasible(self):
+        task = GSBTask(3, BoundVector(lower=(2, 2), upper=(2, 2)))
+        assert feasibility_witness(task) is None
+
+
+class TestLemma2:
+    def test_closed_form_examples(self):
+        assert is_feasible_symmetric(6, 3, 1, 4)
+        assert is_feasible_symmetric(6, 3, 2, 2)
+        assert not is_feasible_symmetric(6, 3, 3, 4)
+        assert not is_feasible_symmetric(6, 3, 0, 1)
+
+    def test_crossed_bounds_infeasible(self):
+        assert not is_feasible_symmetric(6, 3, 4, 2)
+
+    def test_clamping_matches_task_semantics(self):
+        # u > n clamps; l < 0 floors.
+        assert is_feasible_symmetric(4, 2, 0, 100) == SymmetricGSBTask(
+            4, 2, 0, 100
+        ).is_feasible
+
+    def test_check_lemma_2_sweep(self, small_family_grid):
+        for n, m in small_family_grid:
+            for low in range(n + 1):
+                for high in range(low, n + 1):
+                    assert check_lemma_2(SymmetricGSBTask(n, m, low, high))
+
+
+class TestDiagnostics:
+    def test_infeasible_reason_lower(self):
+        task = SymmetricGSBTask(6, 3, 3, 3)
+        assert "lower bounds demand" in infeasible_reason(task)
+
+    def test_infeasible_reason_upper(self):
+        task = SymmetricGSBTask(6, 3, 0, 1)
+        assert "upper bounds admit" in infeasible_reason(task)
+
+    def test_feasible_reason_none(self):
+        assert infeasible_reason(SymmetricGSBTask(6, 3, 1, 4)) is None
+
+    def test_assert_feasible_raises(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            assert_feasible(SymmetricGSBTask(6, 3, 3, 3))
+
+    def test_assert_feasible_passes(self):
+        assert_feasible(SymmetricGSBTask(6, 3, 1, 4))
+
+
+class TestFeasiblePairs:
+    def test_paper_family_has_15_feasible_pairs(self):
+        # Table 1 prints 14 rows; the generator also finds the omitted
+        # synonym (2, 6) — see EXPERIMENTS.md discrepancy D1.
+        pairs = feasible_bound_pairs(6, 3)
+        assert len(pairs) == 15
+        assert (2, 6) in pairs
+        assert (0, 1) not in pairs
+
+    def test_all_pairs_feasible(self):
+        for low, high in feasible_bound_pairs(7, 3):
+            assert SymmetricGSBTask(7, 3, low, high).is_feasible
+
+    def test_no_feasible_pair_missed(self):
+        pairs = set(feasible_bound_pairs(5, 2))
+        for low in range(6):
+            for high in range(low, 6):
+                expected = (low, high) in pairs
+                assert SymmetricGSBTask(5, 2, low, high).is_feasible == expected

@@ -1,0 +1,185 @@
+"""Unit tests for GSB task objects (Definition 2)."""
+
+import pytest
+
+from repro.core import (
+    BoundVector,
+    GSBSpecificationError,
+    GSBTask,
+    SymmetricGSBTask,
+    election,
+)
+
+
+class TestConstruction:
+    def test_symmetric_parameters(self):
+        task = SymmetricGSBTask(6, 3, 1, 4)
+        assert task.parameters == (6, 3, 1, 4)
+        assert task.n == 6 and task.m == 3
+
+    def test_upper_bound_clamped_to_n(self):
+        task = SymmetricGSBTask(4, 2, 0, 99)
+        assert task.high == 4
+        assert task.bounds.upper == (4, 4)
+
+    def test_lower_bound_floored_at_zero(self):
+        task = SymmetricGSBTask(4, 2, -3, 2)
+        assert task.low == 0
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(GSBSpecificationError):
+            SymmetricGSBTask(0, 1, 0, 1)
+
+    def test_asymmetric_view_rejected_for_asymmetric(self):
+        task = GSBTask(3, BoundVector(lower=(1, 0), upper=(1, 3)))
+        with pytest.raises(GSBSpecificationError, match="asymmetric"):
+            task.as_symmetric()
+
+    def test_as_symmetric_roundtrip(self):
+        task = GSBTask(4, BoundVector.symmetric(2, 1, 3), label="x")
+        symmetric = task.as_symmetric()
+        assert symmetric.parameters == (4, 2, 1, 3)
+        assert symmetric.label == "x"
+
+    def test_repr_symmetric(self):
+        assert "GSB<6,3,1,4>" in repr(SymmetricGSBTask(6, 3, 1, 4))
+
+    def test_repr_asymmetric_includes_vectors(self):
+        text = repr(election(4))
+        assert "[1, 3]" in text and "election" in text
+
+
+class TestOutputMembership:
+    def test_legal_vector(self):
+        task = SymmetricGSBTask(4, 2, 1, 3)
+        assert task.is_legal_output([1, 1, 2, 2])
+        assert task.is_legal_output([1, 2, 2, 2])
+
+    def test_illegal_counts(self):
+        task = SymmetricGSBTask(4, 2, 1, 3)
+        assert not task.is_legal_output([1, 1, 1, 1])  # value 2 below lower
+
+    def test_wrong_length(self):
+        task = SymmetricGSBTask(4, 2, 1, 3)
+        assert not task.is_legal_output([1, 2, 2])
+
+    def test_out_of_range_values(self):
+        task = SymmetricGSBTask(4, 2, 0, 4)
+        assert not task.is_legal_output([1, 2, 3, 1])
+        assert not task.is_legal_output([0, 1, 2, 1])
+
+    def test_input_vector_ignored(self):
+        task = SymmetricGSBTask(3, 3, 1, 1)
+        assert task.is_legal_output([1, 2, 3], input_vector=[5, 1, 3])
+        assert task.is_legal_output([3, 1, 2], input_vector=[2, 4, 5])
+
+
+class TestPartialOutputs:
+    def test_partial_extendable(self):
+        task = SymmetricGSBTask(4, 2, 1, 3)
+        assert task.is_legal_partial_output([1, None, None, None])
+        assert task.is_legal_partial_output([None, None, None, None])
+
+    def test_partial_over_upper(self):
+        task = SymmetricGSBTask(4, 2, 0, 2)
+        assert not task.is_legal_partial_output([1, 1, 1, None])
+
+    def test_partial_deficit_unfillable(self):
+        # <4, 2, 2, 2>: both values decided exactly twice.
+        task = SymmetricGSBTask(4, 2, 2, 2)
+        assert task.is_legal_partial_output([1, 1, None, None])
+        assert not task.is_legal_partial_output([1, 1, 1, None])
+
+    def test_partial_matches_brute_force(self):
+        task = SymmetricGSBTask(3, 2, 1, 2)
+        import itertools
+
+        for partial in itertools.product([None, 1, 2], repeat=3):
+            brute = any(
+                task.is_legal_output(
+                    [p if p is not None else v for p, v in zip(partial, completion)]
+                )
+                for completion in itertools.product([1, 2], repeat=3)
+            )
+            assert task.is_legal_partial_output(list(partial)) == brute
+
+    def test_partial_wrong_length(self):
+        task = SymmetricGSBTask(3, 2, 1, 2)
+        assert not task.is_legal_partial_output([1, None])
+
+
+class TestEnumerations:
+    def test_output_vectors_all_legal(self):
+        task = SymmetricGSBTask(4, 2, 1, 3)
+        vectors = list(task.output_vectors())
+        assert vectors
+        assert all(task.is_legal_output(vector) for vector in vectors)
+
+    def test_output_vector_count_matches(self):
+        task = SymmetricGSBTask(4, 2, 1, 3)
+        assert task.count_output_vectors() == len(list(task.output_vectors()))
+
+    def test_counting_vectors_sum_to_n(self):
+        task = election(5)
+        assert set(task.counting_vectors()) == {(1, 4)}
+
+    def test_deterministic_output_vector_is_lex_smallest(self):
+        task = SymmetricGSBTask(4, 2, 1, 3)
+        expected = min(task.output_vectors())
+        assert task.deterministic_output_vector() == expected
+
+    def test_deterministic_output_vector_election(self):
+        assert election(4).deterministic_output_vector() == (1, 2, 2, 2)
+
+    def test_deterministic_output_vector_infeasible_raises(self):
+        task = SymmetricGSBTask(3, 2, 2, 2)  # needs 4 decisions
+        with pytest.raises(GSBSpecificationError):
+            task.deterministic_output_vector()
+
+
+class TestIdentityAndComparison:
+    def test_synonyms_equal(self):
+        assert SymmetricGSBTask(6, 3, 1, 6) == SymmetricGSBTask(6, 3, 1, 4)
+
+    def test_different_tasks_unequal(self):
+        assert SymmetricGSBTask(6, 3, 1, 4) != SymmetricGSBTask(6, 3, 0, 4)
+
+    def test_hash_consistent_for_synonyms(self):
+        assert hash(SymmetricGSBTask(6, 3, 1, 6)) == hash(SymmetricGSBTask(6, 3, 1, 4))
+
+    def test_symmetric_vs_asymmetric_same_task(self):
+        symmetric = SymmetricGSBTask(4, 2, 1, 3)
+        asymmetric = GSBTask(4, BoundVector(lower=(1, 1), upper=(3, 3)))
+        assert symmetric.same_task(asymmetric)
+        assert asymmetric.same_task(symmetric)
+
+    def test_includes_reflexive(self):
+        task = SymmetricGSBTask(6, 3, 1, 4)
+        assert task.includes(task)
+
+    def test_includes_strict(self):
+        loose = SymmetricGSBTask(6, 3, 0, 6)
+        tight = SymmetricGSBTask(6, 3, 2, 2)
+        assert loose.includes(tight)
+        assert not tight.includes(loose)
+
+    def test_includes_different_n_or_m(self):
+        assert not SymmetricGSBTask(5, 2, 0, 5).includes(SymmetricGSBTask(4, 2, 0, 4))
+        assert not SymmetricGSBTask(4, 3, 0, 4).includes(SymmetricGSBTask(4, 2, 0, 4))
+
+    def test_eq_other_type(self):
+        assert SymmetricGSBTask(3, 2, 0, 3) != "not a task"
+
+
+class TestFeasibility:
+    def test_feasible(self):
+        assert SymmetricGSBTask(6, 3, 1, 4).is_feasible
+
+    def test_infeasible_lower(self):
+        assert not SymmetricGSBTask(6, 3, 3, 3).is_feasible
+
+    def test_infeasible_upper(self):
+        assert not SymmetricGSBTask(6, 3, 0, 1).is_feasible
+
+    def test_output_value_range(self):
+        assert list(SymmetricGSBTask(4, 3, 0, 4).output_value_range()) == [1, 2, 3]

@@ -1,0 +1,177 @@
+"""Unit tests for counting vectors and kernel vectors (Section 4.1)."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.core import (
+    SymmetricGSBTask,
+    balanced_kernel_vector,
+    counting_vector,
+    is_gsb_kernel_set,
+    is_kernel_vector,
+    kernel_of_counting,
+    kernel_vectors,
+)
+from repro.core.kernel import (
+    count_output_vectors,
+    counting_vectors,
+    kernel_set_is_lexicographically_sorted,
+)
+
+
+class TestCountingVector:
+    def test_basic_counts(self):
+        assert counting_vector([1, 2, 2, 3], 3) == (1, 2, 1)
+
+    def test_missing_values_count_zero(self):
+        assert counting_vector([1, 1], 3) == (2, 0, 0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            counting_vector([0], 2)
+        with pytest.raises(ValueError, match="outside"):
+            counting_vector([3], 2)
+
+    def test_kernel_of_counting_sorts_descending(self):
+        assert kernel_of_counting((1, 3, 2)) == (3, 2, 1)
+
+
+class TestKernelVectors:
+    def test_paper_columns_for_6_3(self):
+        # Table 1's seven columns, in descending lexicographic order.
+        assert kernel_vectors(6, 3, 0, 6) == (
+            (6, 0, 0), (5, 1, 0), (4, 2, 0), (4, 1, 1),
+            (3, 3, 0), (3, 2, 1), (2, 2, 2),
+        )
+
+    def test_paper_kernel_set_of_1_6(self):
+        assert kernel_vectors(6, 3, 1, 6) == ((4, 1, 1), (3, 2, 1), (2, 2, 2))
+
+    def test_paper_kernel_set_of_0_4(self):
+        assert kernel_vectors(6, 3, 0, 4) == (
+            (4, 2, 0), (4, 1, 1), (3, 3, 0), (3, 2, 1), (2, 2, 2),
+        )
+
+    def test_infeasible_gives_empty(self):
+        assert kernel_vectors(6, 3, 3, 3) == ()  # 3*3 = 9 > 6
+        assert kernel_vectors(6, 3, 0, 1) == ()  # 3*1 = 3 < 6
+
+    def test_entries_within_bounds(self):
+        for kernel in kernel_vectors(10, 4, 1, 5):
+            assert all(1 <= entry <= 5 for entry in kernel)
+            assert sum(kernel) == 10
+
+    def test_all_weakly_decreasing(self):
+        for kernel in kernel_vectors(9, 4, 0, 9):
+            assert is_kernel_vector(kernel)
+
+    def test_lexicographic_total_order_lemma_3(self):
+        for n, m in [(6, 3), (8, 4), (5, 5), (7, 2)]:
+            assert kernel_set_is_lexicographically_sorted(
+                kernel_vectors(n, m, 0, n)
+            )
+
+    def test_matches_brute_force_enumeration(self):
+        n, m, low, high = 6, 3, 1, 4
+        brute = {
+            tuple(sorted(combo, reverse=True))
+            for combo in itertools.product(range(low, high + 1), repeat=m)
+            if sum(combo) == n
+        }
+        assert set(kernel_vectors(n, m, low, high)) == brute
+
+    def test_rejects_bad_n_m(self):
+        with pytest.raises(ValueError):
+            kernel_vectors(-1, 3, 0, 1)
+        with pytest.raises(ValueError):
+            kernel_vectors(3, 0, 0, 1)
+
+
+class TestCountingVectors:
+    def test_orbit_of_kernel_set(self):
+        countings = set(counting_vectors(6, 3, 1, 4))
+        kernels = set(kernel_vectors(6, 3, 1, 4))
+        assert {kernel_of_counting(c) for c in countings} == kernels
+
+    def test_count_matches_multinomial(self):
+        # Output-vector count via kernels equals direct enumeration.
+        task = SymmetricGSBTask(5, 3, 0, 2)
+        direct = sum(1 for _ in task.output_vectors())
+        assert task.count_output_vectors() == direct
+
+    def test_count_output_vectors_per_kernel(self):
+        # For kernel (2,1,0) with n=3: 3 value arrangements * 3 process splits.
+        assert count_output_vectors((2, 1, 0), 3) == 6 * 3
+
+    def test_count_output_vectors_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="does not sum"):
+            count_output_vectors((2, 2), 3)
+
+
+class TestBalancedKernel:
+    def test_divisible(self):
+        assert balanced_kernel_vector(6, 3) == (2, 2, 2)
+
+    def test_non_divisible(self):
+        assert balanced_kernel_vector(7, 3) == (3, 2, 2)
+        assert balanced_kernel_vector(10, 4) == (3, 3, 2, 2)
+
+    def test_in_every_feasible_task(self):
+        # The paper: the balanced kernel vector belongs to all tasks.
+        for low in range(0, 3):
+            for high in range(2, 7):
+                kernels = kernel_vectors(6, 3, low, high)
+                if kernels:
+                    assert (2, 2, 2) in kernels
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            balanced_kernel_vector(5, 0)
+
+
+class TestKernelSetRealizability:
+    def test_paper_counterexample(self):
+        # Section 4.1 remark: {[5,1,0],[4,2,1]} does not define a task.
+        assert not is_gsb_kernel_set([(5, 1, 0), (4, 2, 1)], 6, 3)
+
+    def test_real_kernel_sets_are_realizable(self):
+        for low in range(0, 3):
+            for high in range(low, 7):
+                kernels = kernel_vectors(6, 3, low, high)
+                if kernels:
+                    assert is_gsb_kernel_set(kernels, 6, 3)
+
+    def test_rejects_wrong_dimension(self):
+        assert not is_gsb_kernel_set([(6, 0)], 6, 3)
+
+    def test_rejects_wrong_sum(self):
+        assert not is_gsb_kernel_set([(3, 2, 0)], 6, 3)
+
+    def test_rejects_unsorted(self):
+        assert not is_gsb_kernel_set([(0, 6, 0)], 6, 3)
+
+    def test_rejects_empty(self):
+        assert not is_gsb_kernel_set([], 6, 3)
+
+    def test_single_balanced_vector_is_a_task(self):
+        assert is_gsb_kernel_set([(2, 2, 2)], 6, 3)
+
+
+def test_is_kernel_vector_edge_cases():
+    assert is_kernel_vector(())
+    assert is_kernel_vector((5,))
+    assert is_kernel_vector((3, 3, 3))
+    assert not is_kernel_vector((1, 2))
+    assert not is_kernel_vector((2, -1))
+
+
+def test_count_output_vectors_total_equals_m_power_n_for_loosest_task():
+    # <n, m, 0, n> admits every output vector: m ** n of them.
+    task = SymmetricGSBTask(4, 3, 0, 4)
+    assert task.count_output_vectors() == 3 ** 4
+    total = sum(
+        count_output_vectors(kernel, 4) for kernel in kernel_vectors(4, 3, 0, 4)
+    )
+    assert total == 3 ** 4

@@ -1,0 +1,151 @@
+"""Tests for the named task instances (Section 3.2)."""
+
+import pytest
+
+from repro.core import (
+    GSBSpecificationError,
+    committee_decision,
+    election,
+    hardest_task,
+    k_slot,
+    k_weak_symmetry_breaking,
+    perfect_renaming,
+    renaming,
+    weak_symmetry_breaking,
+    x_bounded_homonymous_renaming,
+)
+
+
+class TestElection:
+    def test_counting_vectors(self):
+        assert set(election(5).counting_vectors()) == {(1, 4)}
+
+    def test_not_symmetric(self):
+        assert not election(5).is_symmetric
+
+    def test_needs_two_processes(self):
+        with pytest.raises(GSBSpecificationError):
+            election(1)
+
+    def test_outputs(self):
+        task = election(3)
+        assert task.is_legal_output([1, 2, 2])
+        assert task.is_legal_output([2, 1, 2])
+        assert not task.is_legal_output([1, 1, 2])
+        assert not task.is_legal_output([2, 2, 2])
+
+
+class TestWSB:
+    def test_is_gsb_n_2_1_nminus1(self):
+        task = weak_symmetry_breaking(5)
+        assert task.parameters == (5, 2, 1, 4)
+
+    def test_not_all_same(self):
+        task = weak_symmetry_breaking(4)
+        assert not task.is_legal_output([1, 1, 1, 1])
+        assert not task.is_legal_output([2, 2, 2, 2])
+        assert task.is_legal_output([1, 2, 2, 2])
+
+    def test_k_wsb_bounds(self):
+        task = k_weak_symmetry_breaking(6, 2)
+        assert task.parameters == (6, 2, 2, 4)
+
+    def test_k_wsb_k_1_is_wsb(self):
+        assert k_weak_symmetry_breaking(5, 1).same_task(weak_symmetry_breaking(5))
+
+    def test_k_wsb_range_enforced(self):
+        with pytest.raises(GSBSpecificationError):
+            k_weak_symmetry_breaking(6, 4)
+        with pytest.raises(GSBSpecificationError):
+            k_weak_symmetry_breaking(6, 0)
+
+
+class TestRenaming:
+    def test_renaming_is_0_1_task(self):
+        assert renaming(4, 7).parameters == (4, 7, 0, 1)
+
+    def test_renaming_outputs_distinct(self):
+        task = renaming(3, 5)
+        assert task.is_legal_output([1, 3, 5])
+        assert not task.is_legal_output([1, 1, 5])
+
+    def test_renaming_infeasible_namespace_rejected(self):
+        with pytest.raises(GSBSpecificationError, match="infeasible"):
+            renaming(5, 4)
+
+    def test_perfect_renaming_parameters(self):
+        assert perfect_renaming(4).parameters == (4, 4, 1, 1)
+
+    def test_perfect_renaming_outputs_are_permutations(self):
+        task = perfect_renaming(3)
+        assert task.is_legal_output([2, 3, 1])
+        assert not task.is_legal_output([1, 1, 3])
+
+    def test_n_renaming_equals_perfect_renaming(self):
+        assert renaming(4, 4).same_task(perfect_renaming(4))
+
+
+class TestSlot:
+    def test_k_slot_parameters(self):
+        assert k_slot(6, 4).parameters == (6, 4, 1, 6)
+
+    def test_k_slot_synonym_paper(self):
+        # <n,k,1,n> and <n,k,1,n-k+1> are synonyms (Section 3.2).
+        from repro.core import SymmetricGSBTask
+
+        for n, k in [(6, 3), (5, 2), (7, 4)]:
+            assert k_slot(n, k).same_task(SymmetricGSBTask(n, k, 1, n - k + 1))
+
+    def test_2_slot_is_wsb(self):
+        for n in (3, 4, 5, 6):
+            assert k_slot(n, 2).same_task(weak_symmetry_breaking(n))
+
+    def test_k_range(self):
+        with pytest.raises(GSBSpecificationError):
+            k_slot(4, 5)
+        with pytest.raises(GSBSpecificationError):
+            k_slot(4, 0)
+
+    def test_every_value_used(self):
+        task = k_slot(4, 3)
+        assert task.is_legal_output([1, 2, 3, 1])
+        assert not task.is_legal_output([1, 1, 2, 2])
+
+
+class TestHomonymous:
+    def test_parameters(self):
+        # x=2, n=5: m = ceil(9/2) = 5.
+        assert x_bounded_homonymous_renaming(5, 2).parameters == (5, 5, 0, 2)
+
+    def test_x_1_is_2n_minus_1_renaming(self):
+        assert x_bounded_homonymous_renaming(4, 1).same_task(renaming(4, 7))
+
+    def test_rejects_bad_x(self):
+        with pytest.raises(GSBSpecificationError):
+            x_bounded_homonymous_renaming(4, 0)
+
+
+class TestHardest:
+    def test_parameters(self):
+        assert hardest_task(6, 3).parameters == (6, 3, 2, 2)
+        assert hardest_task(7, 3).parameters == (7, 3, 2, 3)
+
+    def test_m_n_is_perfect_renaming(self):
+        assert hardest_task(5, 5).same_task(perfect_renaming(5))
+
+    def test_rejects_m_above_n(self):
+        with pytest.raises(GSBSpecificationError):
+            hardest_task(3, 4)
+
+
+class TestCommittee:
+    def test_intro_example(self):
+        # 5 people, two committees of 2-3 members each.
+        task = committee_decision(5, [(2, 3), (2, 3)])
+        assert task.is_legal_output([1, 1, 2, 2, 2])
+        assert task.is_legal_output([1, 1, 1, 2, 2])
+        assert not task.is_legal_output([1, 1, 1, 1, 2])
+
+    def test_infeasible_committees(self):
+        task = committee_decision(3, [(2, 2), (2, 2)])
+        assert not task.is_feasible

@@ -1,0 +1,151 @@
+"""Tests for the containment order (Lemmas 4-5, Theorems 5-6, Figure 1)."""
+
+import networkx as nx
+import pytest
+
+from repro.core import (
+    SymmetricGSBTask,
+    canonical_family,
+    containment_digraph,
+    figure1_hasse,
+    hardest,
+    hasse_diagram,
+    incomparable_pairs,
+    is_harder,
+    is_strictly_harder,
+)
+from repro.core.order import chains, check_lemma_4, check_lemma_5, check_theorem_5, check_theorem_6
+
+
+class TestLemmas4And5:
+    def test_lemma_4_sweep(self):
+        for low in range(0, 3):
+            for high in range(max(low, 2), 6):
+                task = SymmetricGSBTask(6, 3, low, high)
+                for wider in range(high, 7):
+                    assert check_lemma_4(task, wider)
+
+    def test_lemma_5_sweep(self):
+        for low in range(0, 3):
+            for high in range(max(low, 2), 7):
+                task = SymmetricGSBTask(6, 3, low, high)
+                for smaller in range(0, low + 1):
+                    assert check_lemma_5(task, smaller)
+
+    def test_lemma_4_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            check_lemma_4(SymmetricGSBTask(6, 3, 0, 4), 3)
+
+    def test_lemma_5_rejects_increasing(self):
+        with pytest.raises(ValueError):
+            check_lemma_5(SymmetricGSBTask(6, 3, 1, 4), 2)
+
+
+class TestTheorem5:
+    def test_hardest_parameters(self):
+        assert hardest(6, 3).parameters == (6, 3, 2, 2)
+        assert hardest(7, 3).parameters == (7, 3, 2, 3)
+        assert hardest(5, 5).parameters == (5, 5, 1, 1)  # perfect renaming
+
+    def test_hardest_included_in_all(self, small_family_grid):
+        for n, m in small_family_grid:
+            assert check_theorem_5(n, m)
+
+    def test_hardest_kernel_is_balanced_singleton(self):
+        from repro.core import balanced_kernel_vector
+
+        for n, m in [(6, 3), (7, 3), (10, 4)]:
+            assert hardest(n, m).kernel_set == (balanced_kernel_vector(n, m),)
+
+    def test_hardest_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            hardest(3, 4)
+
+
+class TestTheorem6:
+    def test_sweep(self):
+        for n, m in [(6, 3), (8, 4), (10, 4), (7, 2)]:
+            for low in range(n + 1):
+                for high in range(low, n + 1):
+                    task = SymmetricGSBTask(n, m, low, high)
+                    if task.is_feasible:
+                        assert check_theorem_6(task), task
+
+
+class TestHardnessRelation:
+    def test_is_harder_via_containment(self):
+        harder = SymmetricGSBTask(6, 3, 1, 3)
+        easier = SymmetricGSBTask(6, 3, 0, 4)
+        assert is_harder(harder, easier)
+        assert not is_harder(easier, harder)
+
+    def test_strictly_harder_excludes_synonyms(self):
+        first = SymmetricGSBTask(6, 3, 1, 4)
+        second = SymmetricGSBTask(6, 3, 1, 6)
+        assert not is_strictly_harder(first, second)
+        assert not is_strictly_harder(second, first)
+
+    def test_paper_incomparable_pair(self):
+        # Section 4.1: <6,3,1,4> and <6,3,0,3> are incomparable.
+        first = SymmetricGSBTask(6, 3, 1, 4)
+        second = SymmetricGSBTask(6, 3, 0, 3)
+        assert not first.includes(second)
+        assert not second.includes(first)
+
+
+class TestFigure1:
+    def test_canonical_family_has_7_nodes(self):
+        assert len(canonical_family(6, 3)) == 7
+
+    def test_hasse_is_the_paper_figure(self):
+        graph = figure1_hasse()
+        assert set(graph.edges) == {
+            ((0, 6), (0, 5)), ((0, 5), (0, 4)), ((0, 4), (1, 4)),
+            ((0, 4), (0, 3)), ((1, 4), (1, 3)), ((0, 3), (1, 3)),
+            ((1, 3), (2, 2)),
+        }
+
+    def test_hasse_is_transitive_reduction(self):
+        family = canonical_family(6, 3)
+        full = containment_digraph(family)
+        reduced = hasse_diagram(family)
+        assert set(reduced.edges) == set(nx.transitive_reduction(full).edges)
+
+    def test_digraph_is_acyclic(self):
+        graph = containment_digraph(canonical_family(6, 3))
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_source_is_loosest_sink_is_hardest(self):
+        graph = figure1_hasse()
+        sources = [node for node in graph if graph.in_degree(node) == 0]
+        sinks = [node for node in graph if graph.out_degree(node) == 0]
+        assert sources == [(0, 6)]
+        assert sinks == [(2, 2)]
+
+    def test_chains_end_at_hardest(self):
+        graph = figure1_hasse()
+        for chain in chains(graph):
+            assert chain[0] == (0, 6)
+            assert chain[-1] == (2, 2)
+
+    def test_incomparable_pairs_in_canonical_family(self):
+        pairs = incomparable_pairs(canonical_family(6, 3))
+        labels = {
+            tuple(sorted([a.parameters[2:], b.parameters[2:]])) for a, b in pairs
+        }
+        assert ((0, 3), (1, 4)) in labels
+
+    def test_nodes_carry_task_attribute(self):
+        graph = figure1_hasse()
+        for node in graph.nodes:
+            task = graph.nodes[node]["task"]
+            assert task.parameters[2:] == node
+
+
+class TestOtherFamilies:
+    def test_hasse_for_other_parameters_is_dag_with_hardest_sink(self):
+        for n, m in [(8, 4), (5, 2), (7, 3)]:
+            graph = hasse_diagram(canonical_family(n, m))
+            assert nx.is_directed_acyclic_graph(graph)
+            sinks = [node for node in graph if graph.out_degree(node) == 0]
+            assert sinks == [tuple(hardest(n, m).parameters[2:])]

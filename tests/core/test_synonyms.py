@@ -1,0 +1,81 @@
+"""Tests for synonym structure (Section 4)."""
+
+from repro.core import (
+    SymmetricGSBTask,
+    are_synonyms,
+    paper_wsb_synonyms,
+    slot_synonym_pair,
+    synonym_classes,
+    synonym_classes_by_kernel,
+    wsb_is_two_slot,
+)
+
+
+class TestPaperSynonyms:
+    def test_wsb_three_parameterizations(self):
+        for n in (3, 4, 5, 6, 7):
+            first, second, third = paper_wsb_synonyms(n)
+            assert are_synonyms(first, second)
+            assert are_synonyms(second, third)
+            assert are_synonyms(first, third)
+
+    def test_slot_synonym(self):
+        for n, k in [(6, 3), (5, 4), (8, 2)]:
+            slot, synonym = slot_synonym_pair(n, k)
+            assert are_synonyms(slot, synonym)
+
+    def test_wsb_is_two_slot(self):
+        for n in range(3, 9):
+            assert wsb_is_two_slot(n)
+
+    def test_paper_table1_synonym_groups(self):
+        # Section 4.1: <6,3,2,5>, <6,3,2,4>, <6,3,2,3>, <6,3,0,2>,
+        # <6,3,1,2>, <6,3,2,2> are synonyms; likewise <6,3,1,6>, <6,3,1,5>,
+        # <6,3,1,4>.
+        group_a = [(2, 5), (2, 4), (2, 3), (0, 2), (1, 2), (2, 2)]
+        base_a = SymmetricGSBTask(6, 3, 2, 2)
+        for low, high in group_a:
+            assert are_synonyms(base_a, SymmetricGSBTask(6, 3, low, high))
+        group_b = [(1, 6), (1, 5), (1, 4)]
+        base_b = SymmetricGSBTask(6, 3, 1, 4)
+        for low, high in group_b:
+            assert are_synonyms(base_b, SymmetricGSBTask(6, 3, low, high))
+
+    def test_non_synonyms(self):
+        assert not are_synonyms(
+            SymmetricGSBTask(6, 3, 1, 4), SymmetricGSBTask(6, 3, 0, 4)
+        )
+
+
+class TestSynonymClasses:
+    def test_paper_family_has_7_classes(self):
+        classes = synonym_classes(6, 3)
+        assert len(classes) == 7
+        assert set(classes) == {
+            (0, 6), (0, 5), (0, 4), (1, 4), (0, 3), (1, 3), (2, 2),
+        }
+
+    def test_classes_keyed_by_canonical_member(self):
+        classes = synonym_classes(6, 3)
+        for canonical, members in classes.items():
+            assert canonical in members
+
+    def test_partition_covers_all_feasible_pairs(self):
+        from repro.core import feasible_bound_pairs
+
+        classes = synonym_classes(6, 3)
+        covered = sorted(pair for members in classes.values() for pair in members)
+        assert covered == sorted(feasible_bound_pairs(6, 3))
+
+    def test_kernel_partition_agrees(self):
+        for n, m in [(6, 3), (5, 2), (7, 3), (8, 4)]:
+            by_canonical = sorted(synonym_classes(n, m).values())
+            by_kernel = sorted(synonym_classes_by_kernel(n, m).values())
+            assert by_canonical == by_kernel
+
+    def test_class_members_are_mutually_synonyms(self):
+        classes = synonym_classes(7, 3)
+        for members in classes.values():
+            tasks = [SymmetricGSBTask(7, 3, low, high) for low, high in members]
+            base = tasks[0]
+            assert all(are_synonyms(base, task) for task in tasks[1:])

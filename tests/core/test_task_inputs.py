@@ -1,0 +1,40 @@
+"""Tests for the identity-input machinery (Section 2.3, Theorem 1 setup)."""
+
+import pytest
+
+from repro.core import identity_space, input_vectors, is_input_vector
+
+
+class TestIdentitySpace:
+    def test_fixed_at_2n_minus_1(self):
+        assert list(identity_space(3)) == [1, 2, 3, 4, 5]
+        assert list(identity_space(1)) == [1]
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            identity_space(0)
+
+
+class TestInputVectors:
+    def test_count(self):
+        # (2n-1)! / (n-1)! ordered selections.
+        import math
+
+        n = 3
+        vectors = list(input_vectors(n))
+        assert len(vectors) == math.perm(2 * n - 1, n)
+
+    def test_all_distinct_entries(self):
+        for vector in input_vectors(2):
+            assert len(set(vector)) == len(vector)
+
+    def test_membership_predicate(self):
+        assert is_input_vector((1, 3, 5), 3)
+        assert not is_input_vector((1, 1, 5), 3)  # duplicate
+        assert not is_input_vector((1, 3, 6), 3)  # 6 > 2n-1 = 5
+        assert not is_input_vector((1, 3), 3)  # wrong arity
+        assert not is_input_vector((0, 3, 5), 3)  # 0 outside [1..5]
+
+    def test_every_enumerated_vector_is_legal(self):
+        for vector in input_vectors(3):
+            assert is_input_vector(vector, 3)

@@ -1,0 +1,99 @@
+"""Tests for Theorem 8 (universality of perfect renaming)."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    BoundVector,
+    GSBTask,
+    SymmetricGSBTask,
+    asymmetric_output_map,
+    check_theorem_8,
+    committee_decision,
+    election,
+    output_map,
+    perfect_renaming,
+    solve_from_perfect_names,
+    symmetric_output_map,
+    weak_symmetry_breaking,
+)
+from repro.core.universality import expected_symmetric_kernel
+
+
+class TestSymmetricMap:
+    def test_mod_m_fold(self):
+        task = SymmetricGSBTask(6, 3, 1, 4)
+        decide = symmetric_output_map(task)
+        assert [decide(name) for name in range(1, 7)] == [1, 2, 3, 1, 2, 3]
+
+    def test_resulting_kernel_is_balanced(self):
+        from repro.core import balanced_kernel_vector
+
+        for n, m in [(6, 3), (7, 3), (5, 2), (9, 4)]:
+            task = SymmetricGSBTask(n, m, 0, n)
+            assert expected_symmetric_kernel(task) == balanced_kernel_vector(n, m)
+
+    def test_all_permutations_legal(self):
+        for low, high in [(1, 4), (2, 2), (0, 3), (1, 3)]:
+            assert check_theorem_8(SymmetricGSBTask(6, 3, low, high))
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            symmetric_output_map(SymmetricGSBTask(6, 3, 3, 3))
+
+    def test_name_range_checked(self):
+        decide = symmetric_output_map(SymmetricGSBTask(4, 2, 1, 3))
+        with pytest.raises(ValueError, match="outside"):
+            decide(0)
+        with pytest.raises(ValueError, match="outside"):
+            decide(5)
+
+
+class TestAsymmetricMap:
+    def test_election_map(self):
+        decide = asymmetric_output_map(election(4))
+        assert decide(1) == 1
+        assert all(decide(name) == 2 for name in (2, 3, 4))
+
+    def test_committee_map_all_permutations(self):
+        task = committee_decision(5, [(2, 3), (2, 3)])
+        assert check_theorem_8(task)
+
+    def test_asymmetric_unbalanced_bounds(self):
+        task = GSBTask(5, BoundVector(lower=(0, 3), upper=(1, 5)))
+        assert check_theorem_8(task)
+
+    def test_output_map_dispatch(self):
+        # Symmetric tasks get the mod-m fold, asymmetric the vector map.
+        symmetric = SymmetricGSBTask(4, 2, 1, 3)
+        assert output_map(symmetric)(3) == 1  # ((3-1) mod 2) + 1
+        asymmetric = election(4)
+        assert output_map(asymmetric)(1) == 1
+
+
+class TestEndToEnd:
+    def test_solve_from_perfect_names(self):
+        task = weak_symmetry_breaking(5)
+        outputs = solve_from_perfect_names(task, [3, 1, 5, 2, 4])
+        assert task.is_legal_output(outputs)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError, match="not a permutation"):
+            solve_from_perfect_names(weak_symmetry_breaking(3), [1, 1, 2])
+
+    def test_every_feasible_small_task(self):
+        # Theorem 8 across the whole <5, m, -, -> universe.
+        n = 5
+        for m in range(1, n + 1):
+            for low in range(n + 1):
+                for high in range(low, n + 1):
+                    task = SymmetricGSBTask(n, m, low, high)
+                    if task.is_feasible:
+                        assert check_theorem_8(task), task
+
+    def test_perfect_renaming_solves_itself(self):
+        task = perfect_renaming(4)
+        for names in itertools.permutations(range(1, 5)):
+            outputs = solve_from_perfect_names(task, names)
+            assert sorted(outputs) == [1, 2, 3, 4]

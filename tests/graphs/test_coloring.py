@@ -1,0 +1,81 @@
+"""Tests for distributed coloring algorithms."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    check_coloring,
+    cole_vishkin_iterations,
+    random_graph,
+    run_cole_vishkin,
+    run_randomized_coloring,
+)
+
+
+class TestRandomizedColoring:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        graph = random_graph(35, 0.12, seed=seed)
+        result = run_randomized_coloring(graph, seed=seed)
+        assert result.halted
+        assert check_coloring(graph, result.outputs) == []
+
+    def test_palette_bounded_by_degree_plus_one(self):
+        graph = random_graph(30, 0.15, seed=2)
+        result = run_randomized_coloring(graph, seed=2)
+        for node, color in result.outputs.items():
+            assert 1 <= color <= graph.degree[node] + 1
+
+    def test_complete_graph_uses_all_colors(self):
+        graph = nx.complete_graph(6)
+        result = run_randomized_coloring(graph, seed=3)
+        assert sorted(result.outputs.values()) == [1, 2, 3, 4, 5, 6]
+
+    def test_deterministic_given_seed(self):
+        graph = random_graph(25, 0.2, seed=4)
+        assert (
+            run_randomized_coloring(graph, seed=5).outputs
+            == run_randomized_coloring(graph, seed=5).outputs
+        )
+
+
+class TestColeVishkin:
+    @pytest.mark.parametrize("n", [3, 5, 8, 16, 64, 200])
+    def test_three_colors_on_rings(self, n):
+        result = run_cole_vishkin(n)
+        assert result.halted
+        assert set(result.outputs.values()) <= {0, 1, 2}
+        assert check_coloring(nx.cycle_graph(n), result.outputs) == []
+
+    def test_shuffled_identities(self):
+        for seed in range(5):
+            result = run_cole_vishkin(32, seed=seed)
+            assert check_coloring(nx.cycle_graph(32), result.outputs) == []
+
+    def test_log_star_round_schedule(self):
+        # Iterations grow like log*: single digits even for huge palettes.
+        assert cole_vishkin_iterations(2**16) <= 6
+        assert cole_vishkin_iterations(2**64 - 1) <= 7
+        assert cole_vishkin_iterations(10) >= 1
+
+    def test_round_count_is_schedule_plus_reduction(self):
+        n = 64
+        result = run_cole_vishkin(n)
+        expected = cole_vishkin_iterations(n) + 5  # 5 shift-down rounds (7..3)
+        assert result.rounds == expected
+
+    def test_small_ring_rejected(self):
+        with pytest.raises(ValueError):
+            run_cole_vishkin(2)
+
+
+class TestChecker:
+    def test_flags_monochromatic_edge(self):
+        graph = nx.path_graph(3)
+        problems = check_coloring(graph, {0: 1, 1: 1, 2: 2})
+        assert any("monochromatic" in problem for problem in problems)
+
+    def test_flags_uncolored(self):
+        graph = nx.path_graph(3)
+        problems = check_coloring(graph, {0: 1, 1: 2})
+        assert any("uncolored" in problem for problem in problems)

@@ -1,0 +1,93 @@
+"""Tests for Luby's MIS."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    IN_MIS,
+    OUT_OF_MIS,
+    check_mis,
+    mis_nodes,
+    random_graph,
+    ring_graph,
+    run_luby_mis,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, seed):
+        graph = random_graph(40, 0.1, seed=seed)
+        result = run_luby_mis(graph, seed=seed)
+        assert result.halted
+        assert check_mis(graph, mis_nodes(result)) == []
+
+    def test_outputs_binary(self):
+        graph = random_graph(20, 0.2, seed=1)
+        result = run_luby_mis(graph, seed=1)
+        assert set(result.outputs.values()) <= {IN_MIS, OUT_OF_MIS}
+
+    def test_ring(self):
+        graph = ring_graph(21)
+        result = run_luby_mis(graph, seed=2)
+        selected = mis_nodes(result)
+        assert check_mis(graph, selected) == []
+        # A ring MIS has between ceil(n/3) and floor(n/2) nodes.
+        assert math.ceil(21 / 3) <= len(selected) <= 10
+
+    def test_complete_graph_selects_exactly_one(self):
+        graph = nx.complete_graph(12)
+        result = run_luby_mis(graph, seed=3)
+        assert len(mis_nodes(result)) == 1
+
+    def test_empty_edge_set_selects_everyone(self):
+        graph = nx.empty_graph(7)
+        # Isolated nodes beat nobody; all join immediately.
+        result = run_luby_mis(graph, seed=4)
+        assert mis_nodes(result) == set(range(7))
+        assert result.rounds == 2
+
+    def test_star_graph(self):
+        graph = nx.star_graph(10)
+        result = run_luby_mis(graph, seed=5)
+        selected = mis_nodes(result)
+        assert check_mis(graph, selected) == []
+
+
+class TestRoundComplexity:
+    def test_logarithmic_round_growth(self):
+        # O(log n) phases: rounds grow far slower than n.
+        rounds = {}
+        for n in (16, 64, 256):
+            graph = random_graph(n, min(8 / n, 0.5), seed=7)
+            result = run_luby_mis(graph, seed=7)
+            assert result.halted
+            rounds[n] = result.rounds
+        assert rounds[256] <= rounds[16] * 4
+        assert rounds[256] <= 8 * math.log2(256)
+
+    def test_deterministic_given_seed(self):
+        graph = random_graph(30, 0.15, seed=9)
+        first = run_luby_mis(graph, seed=11)
+        second = run_luby_mis(graph, seed=11)
+        assert first.outputs == second.outputs
+        assert first.rounds == second.rounds
+
+
+class TestChecker:
+    def test_flags_dependence(self):
+        graph = nx.path_graph(3)
+        problems = check_mis(graph, {0, 1})
+        assert any("both endpoints" in problem for problem in problems)
+
+    def test_flags_non_maximality(self):
+        graph = nx.path_graph(3)
+        problems = check_mis(graph, {0})
+        assert any("no MIS neighbour" in problem for problem in problems)
+
+    def test_accepts_valid(self):
+        graph = nx.path_graph(3)
+        assert check_mis(graph, {0, 2}) == []
+        assert check_mis(graph, {1}) == []

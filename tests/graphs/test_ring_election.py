@@ -1,0 +1,98 @@
+"""Tests for ring leader election (Chang-Roberts, Hirschberg-Sinclair)."""
+
+import pytest
+
+from repro.graphs import (
+    LEADER,
+    check_election_outputs,
+    run_chang_roberts,
+    run_hirschberg_sinclair,
+)
+
+
+class TestChangRoberts:
+    @pytest.mark.parametrize("n", [2, 3, 5, 9, 17])
+    def test_elects_exactly_one(self, n):
+        result = run_chang_roberts(n, seed=n)
+        assert result.halted
+        assert check_election_outputs(result) == []
+
+    def test_max_identity_wins(self):
+        identities = {0: 3, 1: 9, 2: 5, 3: 1}
+        result = run_chang_roberts(4, identities=identities)
+        leaders = [node for node, v in result.outputs.items() if v == LEADER]
+        assert leaders == [1]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_identity_placements(self, seed):
+        result = run_chang_roberts(8, seed=seed)
+        assert check_election_outputs(result) == []
+
+    def test_message_complexity_bounds(self):
+        # Worst case O(n^2); any run stays within it, and at least 2n
+        # messages are needed (token loop + announcement loop).
+        n = 12
+        result = run_chang_roberts(n, seed=4)
+        assert 2 * n <= result.messages <= n * n + 2 * n
+
+    def test_sorted_identities_worst_case(self):
+        # Identities increasing along the ring: each token travels far.
+        n = 8
+        identities = {node: node + 1 for node in range(n)}
+        result = run_chang_roberts(n, identities=identities)
+        assert check_election_outputs(result) == []
+
+    def test_rejects_tiny_ring(self):
+        with pytest.raises(ValueError):
+            run_chang_roberts(1)
+
+
+class TestHirschbergSinclair:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 17])
+    def test_elects_exactly_one(self, n):
+        result = run_hirschberg_sinclair(n, seed=n)
+        assert result.halted
+        assert check_election_outputs(result) == []
+
+    def test_max_identity_wins(self):
+        identities = {0: 3, 1: 9, 2: 5, 3: 1}
+        result = run_hirschberg_sinclair(4, identities=identities)
+        leaders = [node for node, v in result.outputs.items() if v == LEADER]
+        assert leaders == [1]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_identity_placements(self, seed):
+        result = run_hirschberg_sinclair(10, seed=seed)
+        assert check_election_outputs(result) == []
+
+    def test_message_complexity_n_log_n_shape(self):
+        import math
+
+        # HS is O(n log n); allow a generous constant.
+        for n in (8, 16, 32):
+            result = run_hirschberg_sinclair(n, seed=1)
+            assert result.messages <= 40 * n * (math.log2(n) + 1), (
+                n, result.messages,
+            )
+
+    def test_agrees_with_chang_roberts(self):
+        identities = {0: 2, 1: 7, 2: 4, 3: 6, 4: 1}
+        cr = run_chang_roberts(5, identities=identities)
+        hs = run_hirschberg_sinclair(5, identities=identities)
+        cr_leader = [node for node, v in cr.outputs.items() if v == LEADER]
+        hs_leader = [node for node, v in hs.outputs.items() if v == LEADER]
+        assert cr_leader == hs_leader == [1]
+
+
+class TestChecker:
+    def test_flags_no_leader(self):
+        from repro.graphs.sync_net import SyncRunResult
+
+        result = SyncRunResult(rounds=1, messages=0, outputs={0: 2, 1: 2}, halted=True)
+        assert check_election_outputs(result)
+
+    def test_flags_two_leaders(self):
+        from repro.graphs.sync_net import SyncRunResult
+
+        result = SyncRunResult(rounds=1, messages=0, outputs={0: 1, 1: 1}, halted=True)
+        assert check_election_outputs(result)

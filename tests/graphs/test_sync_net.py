@@ -1,0 +1,105 @@
+"""Unit tests for the synchronous LOCAL-model simulator."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import NodeAlgorithm, SyncNetwork, random_graph, ring_graph
+
+
+class Echo(NodeAlgorithm):
+    """Each node broadcasts its identity once and decides the max it saw."""
+
+    def init(self, ctx):
+        ctx.state["best"] = ctx.identity
+
+    def send(self, ctx):
+        return ctx.state["best"]
+
+    def receive(self, ctx, messages):
+        for value in messages.values():
+            ctx.state["best"] = max(ctx.state["best"], value)
+        if ctx.round >= 2:
+            return ctx.state["best"]
+        return None
+
+
+class SilentDecider(NodeAlgorithm):
+    def receive(self, ctx, messages):
+        return ctx.identity
+
+
+class TestExecution:
+    def test_round_and_message_accounting(self):
+        graph = ring_graph(4)
+        network = SyncNetwork(graph, Echo)
+        result = network.run()
+        assert result.rounds == 2
+        # 4 nodes * 2 neighbors * 2 rounds delivered messages.
+        assert result.messages == 16
+        assert result.halted
+
+    def test_local_max_within_two_hops(self):
+        graph = nx.path_graph(5)
+        network = SyncNetwork(graph, Echo, identities={i: i + 1 for i in range(5)})
+        result = network.run()
+        # Node 0 learns the best identity within distance 2 (identity 3).
+        assert result.outputs[0] == 3
+        assert result.outputs[2] == 5
+
+    def test_silent_algorithm_sends_nothing(self):
+        network = SyncNetwork(ring_graph(3), SilentDecider)
+        result = network.run()
+        assert result.messages == 0
+        assert result.rounds == 1
+
+    def test_max_rounds_cap(self):
+        class Forever(NodeAlgorithm):
+            def send(self, ctx):
+                return "tick"
+
+        network = SyncNetwork(ring_graph(3), Forever)
+        result = network.run(max_rounds=5)
+        assert not result.halted
+        assert result.rounds == 5
+
+    def test_decided_nodes_stop_sending(self):
+        class DecideFirstRound(NodeAlgorithm):
+            def send(self, ctx):
+                return "hello"
+
+            def receive(self, ctx, messages):
+                ctx.state.setdefault("got", len(messages))
+                return ctx.identity
+
+        network = SyncNetwork(ring_graph(3), DecideFirstRound)
+        result = network.run()
+        assert result.rounds == 1
+        assert result.messages == 6
+
+
+class TestConstruction:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            SyncNetwork(nx.Graph(), Echo)
+
+    def test_duplicate_identities_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            SyncNetwork(ring_graph(3), Echo, identities={0: 1, 1: 1, 2: 2})
+
+    def test_per_node_rng_independent_but_seeded(self):
+        first = SyncNetwork(ring_graph(3), Echo, seed=5)
+        second = SyncNetwork(ring_graph(3), Echo, seed=5)
+        values_first = [ctx.rng.random() for ctx in first.contexts.values()]
+        values_second = [ctx.rng.random() for ctx in second.contexts.values()]
+        assert values_first == values_second
+        assert len(set(values_first)) == 3
+
+
+class TestGraphHelpers:
+    def test_ring(self):
+        graph = ring_graph(5)
+        assert all(graph.degree[node] == 2 for node in graph)
+
+    def test_random_graph_no_isolates(self):
+        graph = random_graph(30, 0.02, seed=3)
+        assert not list(nx.isolates(graph))

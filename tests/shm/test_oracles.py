@@ -1,0 +1,129 @@
+"""Unit tests for task oracles (the ASM[T] enrichment)."""
+
+import random
+
+import pytest
+
+from repro.core import counting_vector, k_slot, perfect_renaming, weak_symmetry_breaking
+from repro.shm import (
+    ExplicitStrategy,
+    GSBOracle,
+    LexMinStrategy,
+    OracleUsageError,
+    RandomStrategy,
+    colliding_slot_strategy,
+    perfect_renaming_oracle,
+    renaming_oracle,
+    slot_oracle,
+)
+
+
+class TestGSBOracle:
+    def test_outputs_form_legal_vector(self):
+        task = weak_symmetry_breaking(5)
+        oracle = GSBOracle(task, seed=3)
+        values = [oracle.invoke(pid, GSBOracle.ACQUIRE, ()) for pid in range(5)]
+        assert task.is_legal_output(values)
+
+    def test_partial_outputs_always_extendable(self):
+        task = k_slot(6, 5)
+        for seed in range(10):
+            oracle = GSBOracle(task, seed=seed)
+            partial = [None] * 6
+            order = list(range(6))
+            random.Random(seed).shuffle(order)
+            for pid in order:
+                partial[pid] = oracle.invoke(pid, GSBOracle.ACQUIRE, ())
+                assert task.is_legal_partial_output(partial)
+
+    def test_double_acquire_rejected(self):
+        oracle = GSBOracle(weak_symmetry_breaking(3), seed=0)
+        oracle.invoke(0, GSBOracle.ACQUIRE, ())
+        with pytest.raises(OracleUsageError, match="twice"):
+            oracle.invoke(0, GSBOracle.ACQUIRE, ())
+
+    def test_unknown_method_rejected(self):
+        oracle = GSBOracle(weak_symmetry_breaking(3), seed=0)
+        with pytest.raises(OracleUsageError, match="supports only"):
+            oracle.invoke(0, "frobnicate", ())
+
+    def test_infeasible_task_rejected(self):
+        from repro.core import SymmetricGSBTask
+
+        with pytest.raises(OracleUsageError, match="infeasible"):
+            GSBOracle(SymmetricGSBTask(4, 2, 3, 3))
+
+    def test_observability(self):
+        oracle = GSBOracle(perfect_renaming(3), seed=1)
+        oracle.invoke(2, GSBOracle.ACQUIRE, ())
+        oracle.invoke(0, GSBOracle.ACQUIRE, ())
+        assert oracle.arrival_order == [2, 0]
+        assert set(oracle.assigned) == {2, 0}
+
+
+class TestStrategies:
+    def test_lexmin_hands_out_deterministic_vector(self):
+        task = weak_symmetry_breaking(4)
+        oracle = GSBOracle(task, strategy=LexMinStrategy(), seed=9)
+        values = [oracle.invoke(pid, GSBOracle.ACQUIRE, ()) for pid in range(4)]
+        assert values == list(task.deterministic_output_vector())
+
+    def test_random_strategy_varies_with_seed(self):
+        task = k_slot(5, 3)
+        outcomes = set()
+        for seed in range(12):
+            oracle = GSBOracle(task, strategy=RandomStrategy(), seed=seed)
+            outcomes.add(
+                tuple(oracle.invoke(pid, GSBOracle.ACQUIRE, ()) for pid in range(5))
+            )
+        assert len(outcomes) > 1
+
+    def test_explicit_strategy(self):
+        task = k_slot(4, 3)
+        oracle = GSBOracle(task, strategy=ExplicitStrategy([2, 2, 1, 3]))
+        values = [oracle.invoke(pid, GSBOracle.ACQUIRE, ()) for pid in range(4)]
+        assert values == [2, 2, 1, 3]
+
+    def test_explicit_strategy_validated(self):
+        task = k_slot(4, 3)  # every slot at least once
+        with pytest.raises(OracleUsageError, match="illegal"):
+            GSBOracle(task, strategy=ExplicitStrategy([1, 1, 2, 2]))
+
+    def test_explicit_strategy_arity_validated(self):
+        with pytest.raises(OracleUsageError, match="values for"):
+            GSBOracle(weak_symmetry_breaking(3), strategy=ExplicitStrategy([1, 2]))
+
+
+class TestConvenienceOracles:
+    def test_perfect_renaming_oracle_is_permutation(self):
+        oracle = perfect_renaming_oracle(5, seed=4)
+        values = [oracle.invoke(pid, GSBOracle.ACQUIRE, ()) for pid in range(5)]
+        assert sorted(values) == [1, 2, 3, 4, 5]
+
+    def test_renaming_oracle_distinct(self):
+        oracle = renaming_oracle(4, 6, seed=2)
+        values = [oracle.invoke(pid, GSBOracle.ACQUIRE, ()) for pid in range(4)]
+        assert len(set(values)) == 4
+        assert all(1 <= value <= 6 for value in values)
+
+    def test_slot_oracle_surjective(self):
+        oracle = slot_oracle(5, 4, seed=6)
+        values = [oracle.invoke(pid, GSBOracle.ACQUIRE, ()) for pid in range(5)]
+        assert set(values) == {1, 2, 3, 4}
+
+    def test_colliding_slot_strategy_first(self):
+        strategy = colliding_slot_strategy(5, duplicated_slot=2, collide_first=True)
+        oracle = GSBOracle(k_slot(5, 4), strategy=strategy)
+        values = [oracle.invoke(pid, GSBOracle.ACQUIRE, ()) for pid in range(5)]
+        assert values[:2] == [2, 2]
+        assert counting_vector(values, 4) == (1, 2, 1, 1)
+
+    def test_colliding_slot_strategy_last(self):
+        strategy = colliding_slot_strategy(5, duplicated_slot=3, collide_first=False)
+        oracle = GSBOracle(k_slot(5, 4), strategy=strategy)
+        values = [oracle.invoke(pid, GSBOracle.ACQUIRE, ()) for pid in range(5)]
+        assert values[-2:] == [3, 3]
+
+    def test_colliding_slot_range_checked(self):
+        with pytest.raises(ValueError):
+            colliding_slot_strategy(5, duplicated_slot=5)

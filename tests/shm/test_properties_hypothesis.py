@@ -1,0 +1,118 @@
+"""Property-based tests for the shared-memory substrate (hypothesis).
+
+Random schedules, identities and crash points drive the protocols; the
+properties are the task specifications and the snapshot axioms.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    adaptive_renaming_algorithm,
+    figure2_renaming,
+    figure2_system_factory,
+    figure2_task,
+    moir_anderson_algorithm,
+    grid_system_factory,
+    max_grid_name,
+)
+from repro.core import renaming
+from repro.shm import (
+    ListScheduler,
+    check_immediate_snapshot_views,
+    immediate_snapshot,
+    run_algorithm,
+    validate_run,
+)
+from repro.shm.runtime import default_identities
+
+
+@st.composite
+def schedule_and_identities(draw, n_range=(2, 5), steps_per_process=80):
+    n = draw(st.integers(*n_range))
+    seed = draw(st.integers(0, 2**20))
+    rng = random.Random(seed)
+    identities = default_identities(n, rng)
+    schedule = [rng.randrange(n) for _ in range(steps_per_process * n)]
+    return n, identities, schedule
+
+
+@given(schedule_and_identities())
+def test_adaptive_renaming_valid_on_random_schedules(case):
+    n, identities, schedule = case
+    result = run_algorithm(
+        adaptive_renaming_algorithm(),
+        identities,
+        ListScheduler(schedule, then_finish=True),
+        arrays={"RENAME": None},
+    )
+    assert validate_run(renaming(n, 2 * n - 1), result) == []
+
+
+@given(schedule_and_identities(n_range=(2, 5)))
+def test_figure2_valid_on_random_schedules(case):
+    n, identities, schedule = case
+    arrays, objects = figure2_system_factory(n, seed=sum(schedule) % 97)()
+    result = run_algorithm(
+        figure2_renaming(),
+        identities,
+        ListScheduler(schedule, then_finish=True),
+        arrays=arrays,
+        objects=objects,
+    )
+    assert validate_run(figure2_task(n), result) == []
+
+
+@given(schedule_and_identities(n_range=(2, 4), steps_per_process=120))
+def test_grid_renaming_valid_on_random_schedules(case):
+    n, identities, schedule = case
+    arrays, objects = grid_system_factory(n)()
+    result = run_algorithm(
+        moir_anderson_algorithm(),
+        identities,
+        ListScheduler(schedule, then_finish=True),
+        arrays=arrays,
+        objects=objects,
+    )
+    assert validate_run(renaming(n, max_grid_name(n)), result) == []
+
+
+@given(schedule_and_identities(n_range=(2, 5)))
+def test_immediate_snapshot_axioms_on_random_schedules(case):
+    n, identities, schedule = case
+
+    def algorithm(ctx):
+        view = yield from immediate_snapshot(ctx, "IS", ctx.identity)
+        return tuple(sorted(view.items()))
+
+    result = run_algorithm(
+        algorithm,
+        identities,
+        ListScheduler(schedule, then_finish=True),
+        arrays={"IS": None},
+    )
+    views = {
+        pid: dict(output) for pid, output in enumerate(result.outputs)
+    }
+    assert check_immediate_snapshot_views(views) == []
+
+
+@given(schedule_and_identities(n_range=(2, 4), steps_per_process=60))
+@settings(max_examples=25)
+def test_prefix_runs_always_extendable(case):
+    """Crash coverage: any schedule prefix leaves an extendable state."""
+    n, identities, schedule = case
+    # Run only a prefix: undecided processes are de-facto crashed.
+    prefix = schedule[: len(schedule) // 3]
+    arrays, objects = figure2_system_factory(n, seed=1)()
+    result = run_algorithm(
+        figure2_renaming(),
+        identities,
+        ListScheduler(prefix, then_finish=False),
+        arrays=arrays,
+        objects=objects,
+    )
+    task = figure2_task(n)
+    assert task.is_legal_partial_output(result.outputs)

@@ -1,0 +1,102 @@
+"""Unit tests for shared register arrays."""
+
+import pytest
+
+from repro.shm import RegisterPermissionError, SharedArray, SharedMemory
+
+
+class TestSharedArray:
+    def test_initial_value_broadcast(self):
+        array = SharedArray("A", 3, initial=0)
+        assert array.snapshot() == (0, 0, 0)
+
+    def test_per_cell_initials(self):
+        array = SharedArray("A", 3, initial=[1, 2, 3])
+        assert array.snapshot() == (1, 2, 3)
+
+    def test_per_cell_initials_arity_checked(self):
+        with pytest.raises(ValueError, match="initial values"):
+            SharedArray("A", 3, initial=[1, 2])
+
+    def test_write_own_cell(self):
+        array = SharedArray("A", 3)
+        array.write(1, "x")
+        assert array.snapshot() == (None, "x", None)
+
+    def test_read_single_cell(self):
+        array = SharedArray("A", 3, initial=[7, 8, 9])
+        assert array.read(0, 2) == 9
+
+    def test_versions_track_writes(self):
+        array = SharedArray("A", 2)
+        array.write(0, "a")
+        array.write(0, "b")
+        array.write(1, "c")
+        assert array.versions() == (2, 1)
+
+    def test_versioned_snapshot(self):
+        array = SharedArray("A", 2)
+        array.write(0, "a")
+        assert array.versioned_snapshot() == (("a", 1), (None, 0))
+
+    def test_index_bounds(self):
+        array = SharedArray("A", 2)
+        with pytest.raises(IndexError):
+            array.read(0, 2)
+        with pytest.raises(IndexError):
+            array.write(5, "x")
+
+    def test_multi_writer_permission(self):
+        single = SharedArray("A", 3)
+        with pytest.raises(RegisterPermissionError, match="single-writer"):
+            single.write_cell(0, 1, "x")
+        multi = SharedArray("B", 3, multi_writer=True)
+        multi.write_cell(0, 1, "x")
+        assert multi.read(2, 1) == "x"
+
+    def test_operation_counters(self):
+        array = SharedArray("A", 2)
+        array.write(0, 1)
+        array.read(0, 0)
+        array.read(0, 1)
+        array.snapshot()
+        assert array.write_count == 1
+        assert array.read_count == 2
+        assert array.snapshot_count == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SharedArray("A", 0)
+
+
+class TestSharedMemory:
+    def test_add_and_lookup(self):
+        memory = SharedMemory(3)
+        memory.add_array("STATE", initial=None)
+        assert memory.array("STATE").n == 3
+
+    def test_duplicate_rejected(self):
+        memory = SharedMemory(2)
+        memory.add_array("A")
+        with pytest.raises(ValueError, match="already exists"):
+            memory.add_array("A")
+
+    def test_unknown_array_helpful_error(self):
+        memory = SharedMemory(2)
+        memory.add_array("KNOWN")
+        with pytest.raises(KeyError, match="KNOWN"):
+            memory.array("MISSING")
+
+    def test_custom_size_array(self):
+        memory = SharedMemory(2)
+        memory.add_array("GRID", n=9, multi_writer=True)
+        assert memory.array("GRID").n == 9
+
+    def test_total_operations(self):
+        memory = SharedMemory(2)
+        memory.add_array("A")
+        memory.add_array("B")
+        memory.array("A").write(0, 1)
+        memory.array("B").snapshot()
+        totals = memory.total_operations()
+        assert totals == {"writes": 1, "reads": 0, "snapshots": 1}

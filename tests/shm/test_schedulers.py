@@ -1,0 +1,157 @@
+"""Unit tests for the scheduler battery."""
+
+import pytest
+
+from repro.shm import (
+    BlockScheduler,
+    CrashScheduler,
+    ListScheduler,
+    Nop,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    Snapshot,
+    Write,
+    random_crash_schedule,
+    run_algorithm,
+)
+
+
+def write_then_snapshot(ctx):
+    yield Write("A", ctx.identity)
+    view = yield Snapshot("A")
+    return sum(1 for cell in view if cell is not None)
+
+
+def three_nops(ctx):
+    yield Nop()
+    yield Nop()
+    yield Nop()
+    return 1
+
+
+class TestRoundRobin:
+    def test_fair_rotation(self):
+        result = run_algorithm(three_nops, [1, 2, 3], RoundRobinScheduler())
+        assert result.schedule() == [0, 1, 2] * 3
+
+    def test_skips_finished(self):
+        def quick_or_slow(ctx):
+            yield Nop()
+            if ctx.identity == 1:
+                return 1
+            yield Nop()
+            return 2
+
+        result = run_algorithm(quick_or_slow, [1, 2], RoundRobinScheduler())
+        assert result.outputs == [1, 2]
+
+
+class TestRandomScheduler:
+    def test_deterministic_per_seed(self):
+        first = run_algorithm(three_nops, [1, 2, 3], RandomScheduler(7))
+        second = run_algorithm(three_nops, [1, 2, 3], RandomScheduler(7))
+        assert first.schedule() == second.schedule()
+
+    def test_different_seeds_differ(self):
+        schedules = {
+            tuple(run_algorithm(three_nops, [1, 2, 3], RandomScheduler(seed)).schedule())
+            for seed in range(8)
+        }
+        assert len(schedules) > 1
+
+    def test_all_processes_complete(self):
+        result = run_algorithm(three_nops, [1, 2, 3], RandomScheduler(3))
+        assert result.outputs == [1, 1, 1]
+
+
+class TestSoloScheduler:
+    def test_default_order_runs_lowest_first(self):
+        result = run_algorithm(
+            write_then_snapshot, [5, 3, 1], SoloScheduler(), arrays={"A": None}
+        )
+        assert result.outputs == [1, 2, 3]
+
+    def test_custom_order(self):
+        result = run_algorithm(
+            write_then_snapshot,
+            [5, 3, 1],
+            SoloScheduler(order=[2, 0, 1]),
+            arrays={"A": None},
+        )
+        assert result.outputs == [2, 3, 1]
+
+
+class TestListScheduler:
+    def test_explicit_schedule(self):
+        result = run_algorithm(
+            write_then_snapshot, [5, 3], ListScheduler([1, 1, 0, 0]), arrays={"A": None}
+        )
+        assert result.outputs == [2, 1]
+
+    def test_stops_when_exhausted(self):
+        result = run_algorithm(three_nops, [1, 2], ListScheduler([0, 0, 0, 0]))
+        assert result.outputs == [1, None]
+
+    def test_then_finish_completes(self):
+        result = run_algorithm(
+            three_nops, [1, 2], ListScheduler([0], then_finish=True)
+        )
+        assert result.outputs == [1, 1]
+
+    def test_skips_disabled_entries(self):
+        result = run_algorithm(
+            three_nops, [1, 2], ListScheduler([0, 0, 0, 0, 0, 1, 1, 1, 1])
+        )
+        assert result.outputs == [1, 1]
+
+
+class TestCrashScheduler:
+    def test_crash_before_first_step(self):
+        scheduler = CrashScheduler(RoundRobinScheduler(), {0: 1})
+        result = run_algorithm(write_then_snapshot, [5, 3], scheduler, arrays={"A": None})
+        assert result.outputs[1] is None
+        assert 1 in result.crashed
+        # Survivor never sees the crashed process's write.
+        assert result.outputs[0] == 1
+
+    def test_crash_mid_protocol(self):
+        # Crash pid 0 after its write: pid 1 still sees the write.
+        scheduler = CrashScheduler(ListScheduler([0, 1, 1], then_finish=True), {1: 0})
+        result = run_algorithm(write_then_snapshot, [5, 3], scheduler, arrays={"A": None})
+        assert result.outputs[0] is None
+        assert result.outputs[1] == 2
+
+    def test_random_crash_schedule_runs(self):
+        for seed in range(10):
+            scheduler = random_crash_schedule(3, seed)
+            result = run_algorithm(
+                write_then_snapshot, [5, 3, 1], scheduler, arrays={"A": None}
+            )
+            for pid in range(3):
+                assert result.outputs[pid] is not None or pid in result.crashed
+
+
+class TestBlockScheduler:
+    def test_blocks_rotate(self):
+        scheduler = BlockScheduler([[0, 1], [2]])
+        result = run_algorithm(three_nops, [1, 2, 3], scheduler)
+        assert result.schedule()[:3] == [0, 1, 2]
+
+    def test_block_execution_views(self):
+        # Both in one block: write, write, snapshot, snapshot.
+        scheduler = BlockScheduler([[0, 1]])
+        result = run_algorithm(
+            write_then_snapshot, [5, 3], scheduler, arrays={"A": None}
+        )
+        assert result.outputs == [2, 2]
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            BlockScheduler([])
+
+    def test_falls_back_when_blocks_disabled(self):
+        # Blocks only name pid 0; pid 1 must still finish.
+        scheduler = BlockScheduler([[0]])
+        result = run_algorithm(three_nops, [1, 2], scheduler)
+        assert result.outputs == [1, 1]

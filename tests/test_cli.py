@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "<6,3,0,6>" in out
+        assert "matches the published Table 1: True" in out
+
+    def test_table1_other_family(self, capsys):
+        assert main(["table1", "--n", "5", "--m", "2"]) == 0
+        assert "<5,2," in capsys.readouterr().out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "->" in capsys.readouterr().out
+
+    def test_figure1_dot(self, capsys):
+        assert main(["figure1", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_atlas(self, capsys):
+        assert main(["atlas", "--n", "5", "--m", "2"]) == 0
+        assert "statistics:" in capsys.readouterr().out
+
+    def test_named(self, capsys):
+        assert main(["named", "--n", "6"]) == 0
+        assert "election" in capsys.readouterr().out
+
+    def test_binomials(self, capsys):
+        assert main(["binomials", "--max-n", "12"]) == 0
+        assert "gcd" in capsys.readouterr().out
+
+    def test_classify(self, capsys):
+        assert main(["classify", "6", "3", "1", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "GSB<6,3,1,4>" in out  # canonical representative
+        assert "classification:" in out
+
+    def test_classify_infeasible(self, capsys):
+        assert main(["classify", "6", "3", "3", "3"]) == 0
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_verify(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1 regeneration: OK" in out
+        assert "Figure 1 regeneration: OK" in out
+        assert "all artifacts verified" in out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,113 @@
+"""Cross-module integration tests: the paper's storyline end to end.
+
+Each test stitches several subsystems together the way the paper's
+narrative does — from raw task definitions through protocols on the
+simulator to the regenerated artifacts.
+"""
+
+from repro.algorithms import (
+    figure2_renaming,
+    figure2_system_factory,
+    figure2_task,
+    gsb_from_perfect_renaming,
+    perfect_renaming_system_factory,
+)
+from repro.analysis import figure1, table1
+from repro.core import (
+    Solvability,
+    SymmetricGSBTask,
+    canonical_representative,
+    classify,
+    election,
+    perfect_renaming,
+    weak_symmetry_breaking,
+)
+from repro.shm import check_algorithm
+from repro.topology import election_impossibility, search_decision_map, ISProtocolComplex
+
+
+class TestStoryline:
+    def test_universality_covers_every_canonical_paper_task(self):
+        """Theorem 8 solves each of Figure 1's seven tasks on the simulator."""
+        n = 6
+        for node in figure1().nodes:
+            task = SymmetricGSBTask(n, 3, *node)
+            report = check_algorithm(
+                task,
+                gsb_from_perfect_renaming(task),
+                n,
+                system_factory=perfect_renaming_system_factory(n, seed=sum(node)),
+                runs=12,
+                seed=node[0] * 10 + node[1],
+            )
+            assert report.ok, (node, report.violations[:2])
+
+    def test_figure2_output_solves_the_kernel_level_spec(self):
+        """Figure 2's runs land inside the (n+1)-renaming kernel set."""
+        n = 5
+        task = figure2_task(n)
+        report = check_algorithm(
+            task,
+            figure2_renaming(),
+            n,
+            system_factory=figure2_system_factory(n, seed=1),
+            runs=40,
+            seed=2,
+        )
+        assert report.ok
+        # The task itself sits inside the family structure consistently.
+        representative = canonical_representative(task)
+        assert representative.parameters == (n, n + 1, 0, 1)
+
+    def test_classifier_agrees_with_topology_on_small_cases(self):
+        """Where both the classifier and the complex search apply, they agree."""
+        # Election: classifier says unsolvable; complexes refute r=1,2.
+        verdict, _ = classify(election(3))
+        assert verdict is Solvability.UNSOLVABLE
+        assert election_impossibility(3, 1).election_impossible
+        assert election_impossibility(3, 2).election_impossible
+
+        # WSB at prime-power n: both say unsolvable.
+        verdict, _ = classify(weak_symmetry_breaking(3))
+        assert verdict is Solvability.UNSOLVABLE
+        result = search_decision_map(
+            weak_symmetry_breaking(3), ISProtocolComplex(3, 1)
+        )
+        assert not result.solvable
+
+        # Perfect renaming: unsolvable on both sides.
+        verdict, _ = classify(perfect_renaming(2))
+        assert verdict is Solvability.UNSOLVABLE
+        result = search_decision_map(perfect_renaming(2), ISProtocolComplex(2, 2))
+        assert not result.solvable
+
+    def test_table1_rows_classify_consistently(self):
+        """Every Table 1 row's classification is coherent with its kernels."""
+        table = table1()
+        for row in table.rows:
+            task = SymmetricGSBTask(*row.parameters)
+            verdict, _ = classify(task)
+            if verdict is Solvability.TRIVIAL:
+                # Trivial tasks have l = 0 and a wide-enough u (Theorem 9).
+                assert row.parameters[2] == 0
+
+    def test_hardest_task_universality_roundtrip(self):
+        """The hardest <6,3> task is solved via perfect renaming, and its
+        outputs realize exactly the balanced kernel vector."""
+        from repro.core import balanced_kernel_vector, counting_vector, kernel_of_counting
+        from repro.shm import GSBOracle, RandomScheduler, run_algorithm
+        from repro.shm.runtime import default_identities
+
+        n = 6
+        task = SymmetricGSBTask(n, 3, 2, 2)
+        factory = perfect_renaming_system_factory(n, seed=5)
+        arrays, objects = factory()
+        result = run_algorithm(
+            gsb_from_perfect_renaming(task),
+            default_identities(n),
+            RandomScheduler(3),
+            arrays=arrays,
+            objects=objects,
+        )
+        kernel = kernel_of_counting(counting_vector(result.outputs, 3))
+        assert kernel == balanced_kernel_vector(n, 3) == (2, 2, 2)

@@ -1,0 +1,50 @@
+"""Tests for the mechanized Theorem 11 (election impossibility)."""
+
+from repro.topology import election_impossibility, forced_ridge_agreement
+
+
+class TestArgument:
+    def test_full_argument_small_cases(self):
+        for n, rounds in [(2, 1), (2, 2), (3, 1), (3, 2)]:
+            report = election_impossibility(n, rounds)
+            assert report.argument_applies, report.summary()
+            assert report.election_impossible, report.summary()
+
+    def test_brute_force_confirms_when_run(self):
+        report = election_impossibility(3, 1, brute_force=True)
+        assert report.brute_force_refuted is True
+
+    def test_argument_without_brute_force(self):
+        report = election_impossibility(3, 2, brute_force=False)
+        assert report.brute_force_refuted is None
+        assert report.election_impossible  # structural argument suffices
+
+    def test_n4_structural_argument(self):
+        # n=4, one round: 75 facets; brute force off, structure on.
+        report = election_impossibility(4, 1, brute_force=False)
+        assert report.argument_applies
+        assert report.election_impossible
+
+    def test_structural_premises_reported(self):
+        report = election_impossibility(3, 1)
+        assert report.is_pure
+        assert report.is_chromatic
+        assert report.is_pseudomanifold
+        assert report.is_strongly_connected
+        assert all(report.per_process_opposite_connected.values())
+        assert report.solo_classes_collapse
+
+    def test_single_process_vacuous(self):
+        report = election_impossibility(1, 1, brute_force=False)
+        assert not report.election_impossible
+
+    def test_summary_readable(self):
+        text = election_impossibility(2, 1).summary()
+        assert "pseudomanifold" in text
+        assert "impossible" in text
+
+
+class TestRidgeAgreement:
+    def test_opposite_vertices_same_process(self):
+        for n, rounds in [(2, 1), (3, 1), (2, 2), (3, 2)]:
+            assert forced_ridge_agreement(n, rounds)

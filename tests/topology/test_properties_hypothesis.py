@@ -1,0 +1,89 @@
+"""Property-based tests for the topology substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    ISProtocolComplex,
+    canonical_view,
+    ordered_bell_number,
+    ordered_partitions,
+)
+from repro.topology.views import (
+    base_view,
+    canonical_local_state,
+    identities_in_view,
+    pids_in_view,
+    round_view,
+)
+
+
+@given(st.integers(min_value=0, max_value=5))
+def test_ordered_partition_count_matches_fubini(n):
+    assert len(list(ordered_partitions(range(n)))) == ordered_bell_number(n)
+
+
+@given(st.integers(min_value=1, max_value=4))
+def test_partitions_are_set_partitions(n):
+    for partition in ordered_partitions(range(n)):
+        flattened = [item for block in partition for item in block]
+        assert sorted(flattened) == list(range(n))
+        assert len(flattened) == len(set(flattened))
+
+
+@st.composite
+def small_complex(draw):
+    n = draw(st.integers(min_value=1, max_value=3))
+    rounds = draw(st.integers(min_value=1, max_value=2))
+    return ISProtocolComplex(n, rounds)
+
+
+@given(small_complex())
+@settings(max_examples=12)
+def test_complex_structure_invariants(complex_):
+    simplicial = complex_.to_simplicial()
+    assert simplicial.is_pure()
+    assert simplicial.dimension == complex_.n - 1
+    assert simplicial.is_chromatic(ISProtocolComplex.color)
+    assert simplicial.is_pseudomanifold()
+    assert simplicial.is_strongly_connected()
+    assert complex_.facet_count() == complex_.expected_facet_count()
+
+
+@given(small_complex())
+@settings(max_examples=12)
+def test_every_facet_has_one_vertex_per_process(complex_):
+    for facet in complex_.facets():
+        assert [pid for pid, _view in facet] == list(range(complex_.n))
+
+
+@given(small_complex())
+@settings(max_examples=12)
+def test_canonicalization_is_idempotent_on_views(complex_):
+    for _pid, view in complex_.vertices():
+        once = canonical_view(view)
+        assert canonical_view(once) == once
+
+
+@given(small_complex())
+@settings(max_examples=12)
+def test_canonical_class_respects_shift_of_identities(complex_):
+    # Shifting every identity by a constant (order-isomorphism) must not
+    # change canonical classes: rebuild each view with ids + 7.
+    def shift(view):
+        if view[0] == "id":
+            return base_view(view[1] + 7)
+        return round_view((pid, shift(inner)) for pid, inner in view[1])
+
+    for pid, view in complex_.vertices():
+        assert canonical_local_state(pid, view) == canonical_local_state(
+            pid, shift(view)
+        )
+
+
+@given(small_complex())
+@settings(max_examples=12)
+def test_views_mention_only_real_processes(complex_):
+    for _pid, view in complex_.vertices():
+        assert pids_in_view(view) <= set(range(complex_.n))
+        assert identities_in_view(view) <= set(range(1, complex_.n + 1))

@@ -1,0 +1,118 @@
+"""Unit tests for abstract simplicial complexes."""
+
+import pytest
+
+from repro.topology import SimplicialComplex
+
+
+def triangle_fan():
+    """Two triangles sharing an edge: a 2-pseudomanifold with boundary."""
+    return SimplicialComplex([("a", "b", "c"), ("b", "c", "d")])
+
+
+class TestBasics:
+    def test_facets_and_vertices(self):
+        complex_ = triangle_fan()
+        assert len(complex_) == 2
+        assert complex_.vertices == {"a", "b", "c", "d"}
+        assert complex_.dimension == 2
+
+    def test_contained_faces_dropped(self):
+        complex_ = SimplicialComplex([("a", "b", "c"), ("a", "b")])
+        assert len(complex_) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SimplicialComplex([])
+
+    def test_purity(self):
+        assert triangle_fan().is_pure()
+        mixed = SimplicialComplex([("a", "b", "c"), ("d", "e")])
+        assert not mixed.is_pure()
+
+
+class TestRidges:
+    def test_ridge_containment_counts(self):
+        complex_ = triangle_fan()
+        ridges = complex_.ridges()
+        shared = frozenset({"b", "c"})
+        assert len(ridges[shared]) == 2
+        assert len(ridges[frozenset({"a", "b"})]) == 1
+
+    def test_boundary_and_internal(self):
+        complex_ = triangle_fan()
+        assert frozenset({"b", "c"}) in complex_.internal_ridges()
+        boundary = complex_.boundary_ridges()
+        assert frozenset({"a", "b"}) in boundary
+        assert len(boundary) == 4
+
+
+class TestPseudomanifold:
+    def test_fan_is_pseudomanifold(self):
+        assert triangle_fan().is_pseudomanifold()
+
+    def test_branching_is_not(self):
+        branching = SimplicialComplex(
+            [("a", "b", "c"), ("b", "c", "d"), ("b", "c", "e")]
+        )
+        assert not branching.is_pseudomanifold()
+
+    def test_impure_is_not(self):
+        mixed = SimplicialComplex([("a", "b", "c"), ("d", "e")])
+        assert not mixed.is_pseudomanifold()
+
+
+class TestConnectivity:
+    def test_fan_strongly_connected(self):
+        assert triangle_fan().is_strongly_connected()
+
+    def test_disjoint_not_connected(self):
+        disjoint = SimplicialComplex([("a", "b", "c"), ("x", "y", "z")])
+        assert not disjoint.is_strongly_connected()
+
+    def test_adjacency_graph_edges(self):
+        graph = triangle_fan().facet_adjacency_graph()
+        assert graph.number_of_nodes() == 2
+        assert graph.number_of_edges() == 1
+
+
+class TestChromatic:
+    def test_chromatic_by_first_letter_class(self):
+        complex_ = SimplicialComplex([(("p", 1), ("q", 1)), (("p", 2), ("q", 1))])
+        assert complex_.is_chromatic(lambda vertex: vertex[0])
+
+    def test_non_chromatic_detected(self):
+        complex_ = SimplicialComplex([(("p", 1), ("p", 2))])
+        assert not complex_.is_chromatic(lambda vertex: vertex[0])
+
+    def test_opposite_vertex_graph(self):
+        # Two facets sharing a ridge; the opposite vertices are the two
+        # same-colored ones.
+        complex_ = SimplicialComplex(
+            [(("p", 1), ("q", 1)), (("p", 2), ("q", 1))]
+        )
+        graph = complex_.opposite_vertex_graph(lambda vertex: vertex[0])
+        assert graph.has_edge(("p", 1), ("p", 2))
+
+    def test_opposite_vertex_graph_rejects_non_chromatic(self):
+        complex_ = SimplicialComplex(
+            [(("p", 1), ("q", 1)), (("r", 1), ("q", 1))]
+        )
+        with pytest.raises(ValueError, match="not chromatic"):
+            complex_.opposite_vertex_graph(lambda vertex: vertex[0])
+
+    def test_vertices_of_color(self):
+        complex_ = SimplicialComplex([(("p", 1), ("q", 1)), (("p", 2), ("q", 1))])
+        assert complex_.vertices_of_color(lambda v: v[0], "p") == {
+            ("p", 1), ("p", 2),
+        }
+
+
+class TestEuler:
+    def test_disk(self):
+        # Two triangles glued on an edge: V - E + F = 4 - 5 + 2 = 1.
+        assert triangle_fan().euler_characteristic() == 1
+
+    def test_circle(self):
+        circle = SimplicialComplex([("a", "b"), ("b", "c"), ("c", "a")])
+        assert circle.euler_characteristic() == 0

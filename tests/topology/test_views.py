@@ -1,0 +1,100 @@
+"""Unit tests for IS views and comparison-based canonicalization."""
+
+from repro.topology import (
+    base_view,
+    canonical_view,
+    identities_in_view,
+    is_solo_view,
+    pids_in_view,
+    render_view,
+    round_view,
+    view_size,
+)
+from repro.topology.views import canonical_local_state
+
+
+class TestViewTrees:
+    def test_base_view(self):
+        assert base_view(5) == ("id", 5)
+        assert view_size(base_view(5)) == 1
+
+    def test_round_view_sorted_by_pid(self):
+        view = round_view([(2, base_view(3)), (0, base_view(1))])
+        assert view[1][0][0] == 0
+        assert view[1][1][0] == 2
+
+    def test_pids_and_identities(self):
+        view = round_view([(0, base_view(1)), (2, base_view(3))])
+        assert pids_in_view(view) == {0, 2}
+        assert identities_in_view(view) == {1, 3}
+
+    def test_nested_collection(self):
+        inner = round_view([(1, base_view(2))])
+        outer = round_view([(0, base_view(1)), (1, inner)])
+        assert pids_in_view(outer) == {0, 1}
+        assert identities_in_view(outer) == {1, 2}
+
+    def test_view_size_top_level(self):
+        view = round_view([(0, base_view(1)), (2, base_view(3))])
+        assert view_size(view) == 2
+
+
+class TestCanonicalization:
+    def test_solo_views_collapse_across_processes(self):
+        solo_p0 = round_view([(0, base_view(1))])
+        solo_p2 = round_view([(2, base_view(3))])
+        assert canonical_view(solo_p0) == canonical_view(solo_p2)
+
+    def test_order_isomorphic_views_collapse(self):
+        view_a = round_view([(0, base_view(1)), (1, base_view(2))])
+        view_b = round_view([(1, base_view(2)), (2, base_view(3))])
+        assert canonical_view(view_a) == canonical_view(view_b)
+
+    def test_different_structure_distinct(self):
+        pair = round_view([(0, base_view(1)), (1, base_view(2))])
+        solo = round_view([(0, base_view(1))])
+        assert canonical_view(pair) != canonical_view(solo)
+
+    def test_local_state_distinguishes_self(self):
+        # Same seen set, different selves: distinct canonical classes.
+        view = round_view([(0, base_view(1)), (1, base_view(2))])
+        assert canonical_local_state(0, view) != canonical_local_state(1, view)
+
+    def test_local_state_collapses_isomorphic_selves(self):
+        view_a = round_view([(0, base_view(1)), (1, base_view(2))])
+        view_b = round_view([(1, base_view(2)), (2, base_view(3))])
+        # Lower-ranked member of each pair: same class.
+        assert canonical_local_state(0, view_a) == canonical_local_state(1, view_b)
+        # Lower of one vs higher of the other: different.
+        assert canonical_local_state(0, view_a) != canonical_local_state(2, view_b)
+
+    def test_nested_canonicalization(self):
+        inner_a = round_view([(0, base_view(1))])
+        outer_a = round_view([(0, inner_a), (1, round_view([(1, base_view(2))]))])
+        inner_b = round_view([(1, base_view(4))])
+        outer_b = round_view([(1, inner_b), (2, round_view([(2, base_view(6))]))])
+        assert canonical_view(outer_a) == canonical_view(outer_b)
+
+
+class TestSolo:
+    def test_base_case(self):
+        assert is_solo_view(base_view(4), 0)
+        assert not is_solo_view(base_view(4), 1)
+
+    def test_one_round_solo(self):
+        assert is_solo_view(round_view([(0, base_view(1))]), 1)
+        assert not is_solo_view(
+            round_view([(0, base_view(1)), (1, base_view(2))]), 1
+        )
+
+    def test_two_round_solo(self):
+        solo_1 = round_view([(0, base_view(1))])
+        solo_2 = round_view([(0, solo_1)])
+        assert is_solo_view(solo_2, 2)
+        assert not is_solo_view(solo_2, 1)
+
+
+def test_render_view_readable():
+    view = round_view([(0, base_view(1)), (1, base_view(2))])
+    text = render_view(view)
+    assert "p0" in text and "id=2" in text
