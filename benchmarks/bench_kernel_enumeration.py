@@ -2,8 +2,10 @@
 
 Workload: kernel-set enumeration, synonym-class partitioning and
 canonicalization across growing (n, m) grids — the raw combinatorics every
-other artifact builds on.  Assertions cross-check counts against
-independent identities (partition counts, Fubini-style recursions).
+other artifact builds on — plus the prefix-sharing exploration engine's
+batched battery (the machinery Theorems 9-11's model checks run on).
+Assertions cross-check counts against independent identities (partition
+counts, Fubini-style recursions, legacy-explorer multisets).
 """
 
 from repro.core import (
@@ -13,6 +15,7 @@ from repro.core import (
     kernel_vectors,
     synonym_classes,
 )
+from repro.shm import explore_many, explore_one
 
 
 def bench_kernel_enumeration_grid(benchmark):
@@ -57,6 +60,37 @@ def bench_canonicalization_sweep(benchmark):
 
     count = benchmark(sweep)
     assert count > 400
+
+
+def bench_engine_exploration_battery(benchmark):
+    """Batched exhaustive exploration of the built-in specs at n <= 3.
+
+    The wsb-grh cell alone enumerates 39,330 interleavings — ~11 s on the
+    legacy re-execution explorer, ~0.1 s here (see docs/architecture.md).
+    """
+
+    def battery():
+        return explore_many(["wsb", "renaming", "wsb-grh"], [2, 3])
+
+    results = benchmark(battery)
+    assert all(result.violations == 0 for result in results)
+    assert sum(result.runs for result in results) > 40_000
+
+
+def bench_engine_exploration_n4_frontier(benchmark):
+    """The n = 4 frontier the legacy explorer cannot reach in benchmark time.
+
+    Figure 2's renaming protocol at n = 4 has 369,600 interleavings; the
+    legacy path needs ~130 s, the engine's memoized mode materializes only
+    240 leaves (~0.5 s).  One round keeps the suite fast while pinning the
+    claim.
+    """
+    result = benchmark.pedantic(
+        explore_one, args=("renaming", 4), rounds=1, iterations=1
+    )
+    assert result.runs == 369_600
+    assert result.violations == 0
+    assert result.stats.memo_hits > 0
 
 
 def bench_containment_checks(benchmark):

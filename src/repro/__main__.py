@@ -8,6 +8,7 @@ Usage::
     python -m repro named --n 6
     python -m repro binomials [--max-n 32]
     python -m repro classify N M L U
+    python -m repro explore [--tasks wsb,election,renaming] [--n 2 3 4]
     python -m repro verify
 
 ``verify`` is the one-shot acceptance check: Table 1 and Figure 1 must
@@ -82,6 +83,74 @@ def _cmd_classify(args) -> int:
     return 0
 
 
+def _cmd_explore(args) -> int:
+    from .shm.engine import (
+        ExplorationBudgetExceeded,
+        available_specs,
+        explore_many,
+        get_spec,
+        make_spec_runtime,
+    )
+
+    names = (
+        available_specs() if args.tasks == "all" else args.tasks.split(",")
+    )
+    try:
+        for name in names:
+            get_spec(name)  # fail fast on typos, before any exploration runs
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        results = explore_many(
+            names,
+            args.n,
+            executor="process" if args.jobs else None,
+            max_workers=args.jobs or None,
+            memoize=not args.no_memo,
+            max_runs=args.max_runs,
+        )
+    except ExplorationBudgetExceeded as error:
+        print(f"error: {error}; raise --max-runs", file=sys.stderr)
+        return 2
+    print(
+        f"{'task':<10} {'n':>3} {'runs':>14} {'distinct':>9} "
+        f"{'memo_hits':>10} {'forks':>9} {'time':>11}  status"
+    )
+    failures = 0
+    for result in results:
+        status = (
+            "OK" if result.violations == 0 else f"{result.violations} ILLEGAL"
+        )
+        print(
+            f"{result.name:<10} {result.n:>3} {result.runs:>14} "
+            f"{result.distinct:>9} {result.stats.memo_hits:>10} "
+            f"{result.stats.forks:>9} {result.seconds*1000:>8.1f} ms  {status}"
+        )
+        # The election spec is *supposed* to be refuted by model checking.
+        if result.violations and result.name != "election":
+            failures += 1
+    if args.compare_legacy:
+        import time as _time
+
+        from .shm.explore import _legacy_explore_interleavings
+
+        print("\nlegacy re-execution explorer on the same workloads:")
+        for result in results:
+            make_runtime = make_spec_runtime(get_spec(result.name), result.n)
+            started = _time.perf_counter()
+            legacy_runs = sum(
+                1 for _ in _legacy_explore_interleavings(make_runtime)
+            )
+            elapsed = _time.perf_counter() - started
+            speedup = elapsed / result.seconds if result.seconds else float("inf")
+            print(
+                f"{result.name:<10} n={result.n}  runs={legacy_runs:<10} "
+                f"{elapsed*1000:10.1f} ms   engine speedup {speedup:8.1f}x"
+            )
+    return 1 if failures else 0
+
+
 def _cmd_verify(args) -> int:
     from .algorithms import figure2_renaming, figure2_system_factory, figure2_task
     from .analysis import figure1_matches_paper, table1_matches_paper
@@ -154,6 +223,43 @@ def build_parser() -> argparse.ArgumentParser:
     classify_parser.add_argument("task_l", type=int, metavar="L")
     classify_parser.add_argument("task_u", type=int, metavar="U")
     classify_parser.set_defaults(handler=_cmd_classify)
+
+    explore_parser = subparsers.add_parser(
+        "explore",
+        help="batched exhaustive exploration on the prefix-sharing engine",
+    )
+    explore_parser.add_argument(
+        "--tasks",
+        default="all",
+        help="comma-separated registry names, or 'all' (default)",
+    )
+    explore_parser.add_argument(
+        "--n", type=int, nargs="+", default=[2, 3], help="system sizes"
+    )
+    explore_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="fan out on a process pool with this many workers (0 = serial)",
+    )
+    explore_parser.add_argument(
+        "--max-runs",
+        type=int,
+        default=None,
+        help="per-job budget on materialized runs (memoized logical runs "
+        "are free)",
+    )
+    explore_parser.add_argument(
+        "--no-memo",
+        action="store_true",
+        help="disable state memoization (fork-sharing only)",
+    )
+    explore_parser.add_argument(
+        "--compare-legacy",
+        action="store_true",
+        help="also time the legacy re-execution explorer and print speedups",
+    )
+    explore_parser.set_defaults(handler=_cmd_explore)
 
     verify_parser = subparsers.add_parser(
         "verify", help="one-shot artifact acceptance check"

@@ -243,7 +243,45 @@ def classify(task: GSBTask) -> tuple[Solvability, str]:
     (extended to l >= 1 through Lemma 5), and the WSB/(2n-2)-renaming
     characterization.  Anything beyond those results is reported OPEN,
     matching the paper's open-problem list.
+
+    Symmetric tasks are routed through the memoized
+    :func:`classify_parameters` layer: classification is a pure function
+    of ``<n, m, l, u>``, and family sweeps (Table 1, Figure 1, the atlas,
+    benchmarks) re-classify the same parameters many times.
     """
+    if task.is_symmetric:
+        symmetric = task.as_symmetric()
+        return classify_parameters(
+            symmetric.n, symmetric.m, symmetric.low, symmetric.high
+        )
+    return _classify_uncached(task)
+
+
+@lru_cache(maxsize=None)
+def classify_parameters(
+    n: int, m: int, low: int, high: int
+) -> tuple[Solvability, str]:
+    """Memoized classification of the symmetric task ``<n, m, low, high>``.
+
+    The cache is process-wide and unbounded (the parameter space touched
+    by any sweep is tiny compared to the cost of re-deriving Theorem 9's
+    partition search per call); inspect it via
+    :func:`classification_cache_info`.
+    """
+    return _classify_uncached(SymmetricGSBTask(n, m, low, high))
+
+
+def classification_cache_info():
+    """Hit/miss statistics of the memoized classification layer."""
+    return classify_parameters.cache_info()
+
+
+def clear_classification_cache() -> None:
+    """Drop all memoized classifications (mainly for benchmarks/tests)."""
+    classify_parameters.cache_clear()
+
+
+def _classify_uncached(task: GSBTask) -> tuple[Solvability, str]:
     if not task.is_feasible:
         return Solvability.INFEASIBLE, "empty output set (Lemma 1)"
     if task.n == 1:

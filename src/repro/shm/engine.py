@@ -1,0 +1,744 @@
+"""Prefix-sharing exploration engine (the model-checking hot path).
+
+The legacy explorer (:mod:`repro.shm.explore`) re-executes every run prefix
+from scratch: exploring the schedule tree of an n-process protocol costs
+O(nodes x depth) full step re-executions, which caps exhaustive checking at
+n <= 3.  This engine turns exploration into a real search procedure:
+
+* **Prefix sharing** — the schedule tree is walked with
+  :meth:`repro.shm.runtime.Runtime.fork`: at a branching configuration the
+  live runtime is snapshotted once per extra branch instead of replaying
+  the whole prefix per node.  A fork clones shared memory and oracle state
+  directly and rebuilds generator state by replaying each process's logged
+  operation *results* locally — no shared-memory operation is re-executed.
+
+* **State memoization** — interleavings of independent operations commute
+  into the same global state.  :meth:`Runtime.state_key` gives a hashable
+  signature of the global state; the set of decided output vectors (with
+  multiplicity) reachable from a state is a function of the state alone, so
+  subtrees are computed once and reused (a partial-order-reduction-flavoured
+  collapse, sound for the model's deterministic algorithms).
+
+* **Symmetry canonicalization** — the model's algorithms are
+  comparison-based and index-independent (Section 2.2; the harness checks
+  both metamorphically), so participant subsets whose identity vectors are
+  order-isomorphic produce identical decided-value multisets up to process
+  relabelling.  With the default identity assignment ``1..n``, *every*
+  size-s subset is order-isomorphic to ``{0..s-1}``: subset-closed
+  exploration shrinks from 2^n - 1 subsets to n representatives, each
+  weighted by its class size C(n, s).
+
+* **Batching** — :func:`explore_many` runs a battery of named exploration
+  tasks across a range of system sizes, optionally on a multiprocess
+  executor (jobs are dispatched by registry name, so nothing unpicklable
+  crosses the process boundary).
+
+The legacy generators remain available as thin wrappers in
+:mod:`repro.shm.explore` (``engine=False`` selects the old re-execution
+path, kept for equivalence testing and benchmarking).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from .runtime import Algorithm, Runtime, RunResult, freeze_value
+
+
+class ExplorationBudgetExceeded(RuntimeError):
+    """Exploration hit ``max_runs``; results so far are incomplete."""
+
+
+@dataclass
+class EngineStats:
+    """Counters describing one exploration (observability + docs tables)."""
+
+    nodes: int = 0  #: internal configurations expanded
+    runs: int = 0  #: completed runs materialized (after memoization)
+    forks: int = 0  #: runtime snapshots taken
+    memo_hits: int = 0  #: subtrees served from the state memo
+    memo_entries: int = 0  #: distinct states memoized
+    subsets_pruned: int = 0  #: participant subsets collapsed by symmetry
+    peak_stack: int = 0  #: deepest DFS stack (memory high-water mark)
+
+    def merge(self, other: "EngineStats") -> None:
+        self.nodes += other.nodes
+        self.runs += other.runs
+        self.forks += other.forks
+        self.memo_hits += other.memo_hits
+        self.memo_entries += other.memo_entries
+        self.subsets_pruned += other.subsets_pruned
+        self.peak_stack = max(self.peak_stack, other.peak_stack)
+
+
+class PrefixSharingEngine:
+    """Explore every interleaving of one system via fork-at-decision-point.
+
+    Args:
+        make_runtime: factory producing a fresh :class:`Runtime`; called
+            once per exploration (the engine forks from it, it is *not*
+            re-invoked per prefix).  The runtime's scheduler is ignored.
+        participants: pids allowed to take steps (others crash before
+            their first step); defaults to all processes.
+        max_runs: raise :class:`ExplorationBudgetExceeded` beyond this many
+            *materialized* runs — every completed run in exact mode; in
+            memoized mode only leaves actually visited (logical runs
+            served from the memo are free, which is the point of the
+            budget: it bounds work, and memoized mode does less of it).
+        max_depth: per-run step bound (guards against non-termination).
+        stats: optional shared :class:`EngineStats` to accumulate into.
+    """
+
+    def __init__(
+        self,
+        make_runtime: Callable[[], Runtime],
+        participants: Sequence[int] | None = None,
+        max_runs: int | None = None,
+        max_depth: int = 10_000,
+        stats: EngineStats | None = None,
+    ):
+        self._make = make_runtime
+        self.participants = (
+            None if participants is None else frozenset(participants)
+        )
+        self.max_runs = max_runs
+        self.max_depth = max_depth
+        self.stats = stats if stats is not None else EngineStats()
+
+    # ------------------------------------------------------------------
+    # Exact mode: the drop-in replacement for the legacy explorer
+    # ------------------------------------------------------------------
+
+    def runs(self) -> Iterator[RunResult]:
+        """Yield every interleaving's :class:`RunResult`.
+
+        Equivalent to the legacy explorer — same runs, same lexicographic
+        (by pid) order — but each branch point costs one fork instead of a
+        full prefix re-execution.
+        """
+        produced = 0
+        root = self._make()
+        allowed = self._allowed(root)
+        self._check_depth(root)
+        enabled = self._enabled(root, allowed)
+        if not enabled:
+            self.stats.runs += 1
+            yield root.result()
+            return
+        self.stats.nodes += 1
+        # Frames are [runtime, enabled pids, next branch index]; reaching
+        # the last branch reuses the frame's runtime instead of forking.
+        stack: list[list[Any]] = [[root, enabled, 0]]
+        while stack:
+            frame = stack[-1]
+            runtime, branches, index = frame
+            if index == len(branches):
+                stack.pop()
+                continue
+            frame[2] += 1
+            if frame[2] == len(branches):
+                child = runtime
+            else:
+                child = runtime.fork()
+                self.stats.forks += 1
+            child.step(branches[index])
+            self._check_depth(child)
+            child_enabled = self._enabled(child, allowed)
+            if not child_enabled:
+                produced += 1
+                if self.max_runs is not None and produced > self.max_runs:
+                    raise ExplorationBudgetExceeded(
+                        f"exploration produced more than {self.max_runs} runs"
+                    )
+                self.stats.runs += 1
+                yield child.result()
+                continue
+            self.stats.nodes += 1
+            stack.append([child, child_enabled, 0])
+            self.stats.peak_stack = max(self.stats.peak_stack, len(stack))
+
+    # ------------------------------------------------------------------
+    # Pruned mode: memoized decided-vector counting
+    # ------------------------------------------------------------------
+
+    def decided_vectors(self, memoize: bool = True) -> Counter:
+        """Multiset of decided output vectors over all interleavings.
+
+        Returns a :class:`collections.Counter` mapping the (frozen) tuple
+        of per-pid outputs of each completed run to the number of
+        interleavings producing it — exactly the multiset the legacy
+        explorer's ``RunResult.outputs`` induce, but computed with subtree
+        memoization: once the outcome multiset of a global state is known,
+        every other interleaving reaching that state reuses it.  Counts are
+        preserved because the memoized counter is *added* once per arrival
+        path.
+
+        ``memoize=False`` degrades to plain fork-sharing (used by tests to
+        show count preservation).
+        """
+        produced = 0
+        memo: dict[Any, Counter] = {}
+        root = self._make()
+        allowed = self._allowed(root)
+        self._check_depth(root)
+
+        def leaf(runtime: Runtime) -> Counter:
+            nonlocal produced
+            produced += 1
+            if self.max_runs is not None and produced > self.max_runs:
+                raise ExplorationBudgetExceeded(
+                    f"exploration produced more than {self.max_runs} runs"
+                )
+            self.stats.runs += 1
+            return Counter(
+                {tuple(freeze_value(v) for v in runtime.outputs): 1}
+            )
+
+        enabled = self._enabled(root, allowed)
+        if not enabled:
+            return leaf(root)
+
+        # Post-order DFS with an explicit stack (run length may exceed the
+        # recursion limit).  Frames: [runtime, enabled, index, acc, key].
+        total: Counter | None = None
+        stack: list[list[Any]] = []
+
+        def open_frame(runtime: Runtime, branches: list[int]) -> Counter | None:
+            """Push a frame for an internal node, or return a memo hit."""
+            key = runtime.state_key() if memoize else None
+            if key is not None and key in memo:
+                self.stats.memo_hits += 1
+                return memo[key]
+            self.stats.nodes += 1
+            stack.append([runtime, branches, 0, Counter(), key])
+            self.stats.peak_stack = max(self.stats.peak_stack, len(stack))
+            return None
+
+        def propagate(outcome: Counter) -> None:
+            nonlocal total
+            if stack:
+                stack[-1][3] += outcome
+            else:
+                total = outcome
+
+        hit = open_frame(root, enabled)
+        if hit is not None:
+            return Counter(hit)
+        while stack:
+            frame = stack[-1]
+            runtime, branches, index, acc, key = frame
+            if index == len(branches):
+                if key is not None:
+                    memo[key] = acc
+                    self.stats.memo_entries += 1
+                stack.pop()
+                propagate(acc)
+                continue
+            frame[2] += 1
+            if frame[2] == len(branches):
+                child = runtime
+            else:
+                child = runtime.fork()
+                self.stats.forks += 1
+            child.step(branches[index])
+            self._check_depth(child)
+            child_enabled = self._enabled(child, allowed)
+            if not child_enabled:
+                propagate(leaf(child))
+                continue
+            hit = open_frame(child, child_enabled)
+            if hit is not None:
+                propagate(hit)
+        assert total is not None
+        return Counter(total)
+
+    # ------------------------------------------------------------------
+
+    def _allowed(self, runtime: Runtime) -> frozenset[int]:
+        if self.participants is None:
+            return frozenset(range(runtime.n))
+        return self.participants
+
+    def _enabled(self, runtime: Runtime, allowed: frozenset[int]) -> list[int]:
+        return [pid for pid in runtime.enabled_pids() if pid in allowed]
+
+    def _check_depth(self, runtime: Runtime) -> None:
+        if runtime.step_count > self.max_depth:
+            raise ExplorationBudgetExceeded(
+                f"run prefix exceeded {self.max_depth} steps; "
+                "non-terminating protocol?"
+            )
+
+
+# ----------------------------------------------------------------------
+# Symmetry canonicalization of participant subsets
+# ----------------------------------------------------------------------
+
+def order_isomorphism_class(identities: Sequence[int]) -> tuple[int, ...]:
+    """The rank pattern of an identity vector (its order-isomorphism class).
+
+    Comparison-based algorithms behave identically on order-isomorphic
+    identity vectors, so this tuple is the canonical representative used to
+    deduplicate identity assignments and participant subsets.
+    """
+    ranks = {identity: rank for rank, identity in enumerate(sorted(identities))}
+    return tuple(ranks[identity] for identity in identities)
+
+
+def canonical_participant_classes(
+    n: int, min_participants: int = 1
+) -> list[tuple[tuple[int, ...], int]]:
+    """Representative participant subsets with their symmetry-class sizes.
+
+    With the default identity assignment ``1..n`` every size-s subset has
+    an order-isomorphic (ascending) identity vector, so one representative
+    ``(0, .., s-1)`` stands for all C(n, s) subsets.  Sound only for
+    comparison-based, index-independent algorithms whose decisions are
+    abstract task values (the GSB values in ``[1..m]``) — decisions that
+    embed raw identities or pids are *not* invariant across the class.
+    The model's discipline mandates all three properties (Section 2.2; the
+    harness checks them independently).
+    """
+    return [
+        (tuple(range(size)), math.comb(n, size))
+        for size in range(min_participants, n + 1)
+    ]
+
+
+@dataclass
+class SubsetDecisionProfile:
+    """Decided-vector multisets across participant subsets.
+
+    ``by_subset`` maps each explored subset to the Counter of decided
+    output vectors of its runs; ``weights`` carries the number of subsets
+    each explored representative stands for (1 unless symmetry pruning
+    collapsed a class).
+    """
+
+    n: int
+    by_subset: dict[tuple[int, ...], Counter] = field(default_factory=dict)
+    weights: dict[tuple[int, ...], int] = field(default_factory=dict)
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def value_multisets(self) -> Counter:
+        """Weighted Counter of decided *value multisets* (sorted tuples).
+
+        Process positions are dropped, which is the level at which
+        symmetry-pruned subsets are exchangeable — and the level at which
+        GSB legality is defined (occupancy bounds only see the multiset).
+        """
+        aggregated: Counter = Counter()
+        for subset, decisions in self.by_subset.items():
+            weight = self.weights.get(subset, 1)
+            for outputs, count in decisions.items():
+                # Sort by repr: decision values need not be mutually
+                # comparable (e.g. tuples containing None), and only a
+                # canonical multiset ordering is needed here.
+                values = tuple(
+                    sorted(
+                        (v for v in outputs if v is not None), key=repr
+                    )
+                )
+                aggregated[values] += weight * count
+        return aggregated
+
+    @property
+    def total_runs(self) -> int:
+        return sum(
+            self.weights.get(subset, 1) * sum(decisions.values())
+            for subset, decisions in self.by_subset.items()
+        )
+
+
+def explore_decided_subsets(
+    make_runtime: Callable[[], Runtime],
+    min_participants: int = 1,
+    assume_symmetric: bool = True,
+    memoize: bool = True,
+    max_runs: int | None = None,
+    max_depth: int = 10_000,
+) -> SubsetDecisionProfile:
+    """Decided-vector profile over every participant subset.
+
+    With ``assume_symmetric`` (the model's default discipline) only one
+    representative subset per size is explored and its results are weighted
+    by the class size; otherwise all ``2^n - 1`` subsets run.
+    """
+    probe = make_runtime()
+    n = probe.n
+    profile = SubsetDecisionProfile(n=n)
+    if assume_symmetric:
+        classes = canonical_participant_classes(n, min_participants)
+        profile.stats.subsets_pruned = sum(
+            weight - 1 for _, weight in classes
+        )
+    else:
+        import itertools
+
+        classes = [
+            (subset, 1)
+            for size in range(min_participants, n + 1)
+            for subset in itertools.combinations(range(n), size)
+        ]
+    for subset, weight in classes:
+        engine = PrefixSharingEngine(
+            make_runtime,
+            participants=subset,
+            max_runs=max_runs,
+            max_depth=max_depth,
+            stats=profile.stats,
+        )
+        profile.by_subset[subset] = engine.decided_vectors(memoize=memoize)
+        profile.weights[subset] = weight
+    return profile
+
+
+# ----------------------------------------------------------------------
+# Named exploration tasks (the batch API's registry)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExplorationSpec:
+    """A named, parameterized exploration workload.
+
+    The three factories take the system size ``n``; ``task_factory`` builds
+    the task specification decided vectors are validated against,
+    ``algorithm_factory`` the protocol, and ``system_factory`` a per-run
+    system factory (arrays + oracle objects) — deterministic, so that
+    exploration is reproducible.
+    """
+
+    name: str
+    description: str
+    task_factory: Callable[[int], Any]
+    algorithm_factory: Callable[[int], Algorithm]
+    system_factory: Callable[[int], Callable[[], tuple[dict, dict]]]
+    min_n: int = 2
+
+
+_SPEC_REGISTRY: dict[str, ExplorationSpec] = {}
+
+
+def register_spec(spec: ExplorationSpec) -> ExplorationSpec:
+    """Add a spec to the registry (overwrites an existing name)."""
+    _SPEC_REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> ExplorationSpec:
+    if name not in _SPEC_REGISTRY:
+        raise KeyError(
+            f"unknown exploration task {name!r}; "
+            f"registered: {sorted(_SPEC_REGISTRY)}"
+        )
+    return _SPEC_REGISTRY[name]
+
+
+def available_specs() -> list[str]:
+    return sorted(_SPEC_REGISTRY)
+
+
+# -- built-in specs.  Factories import lazily (engine sits below
+# repro.algorithms in the layer order) and are module-level functions so a
+# multiprocess executor can rebuild them from the registry name alone.
+
+def _wsb_task(n: int):
+    from ..core.named import weak_symmetry_breaking
+
+    return weak_symmetry_breaking(n)
+
+
+def _wsb_algorithm(n: int) -> Algorithm:
+    from ..algorithms.wsb import wsb_from_renaming
+
+    return wsb_from_renaming()
+
+
+def _wsb_system(n: int) -> Callable[[], tuple[dict, dict]]:
+    from ..algorithms.wsb import RENAMING_OBJECT
+    from ..core.named import renaming
+    from .oracles import GSBOracle, LexMinStrategy
+
+    def factory() -> tuple[dict, dict]:
+        oracle = GSBOracle(renaming(n, 2 * n - 2), strategy=LexMinStrategy())
+        return {}, {RENAMING_OBJECT: oracle}
+
+    return factory
+
+
+def _election_task(n: int):
+    from ..core.named import election
+
+    return election(n)
+
+
+def _election_candidate(ctx):
+    """A natural — necessarily incorrect (Theorem 11) — election attempt.
+
+    Write your identity, snapshot, claim leadership iff yours is the
+    largest identity visible.  Exploration finds the interleavings where
+    two processes each see only themselves and both elect themselves:
+    model checking *refuting* a candidate protocol is the workload here.
+    """
+    yield _write("BALLOT", ctx.identity)
+    view = yield _snapshot("BALLOT")
+    seen = [identity for identity in view if identity is not None]
+    return 1 if ctx.identity == max(seen) else 2
+
+
+def _election_algorithm(n: int) -> Algorithm:
+    return _election_candidate
+
+
+def _election_system(n: int) -> Callable[[], tuple[dict, dict]]:
+    def factory() -> tuple[dict, dict]:
+        return {"BALLOT": None}, {}
+
+    return factory
+
+
+def _renaming_task(n: int):
+    from ..core.named import renaming
+
+    return renaming(n, n + 1)
+
+
+def _renaming_algorithm(n: int) -> Algorithm:
+    from ..algorithms.figure2 import figure2_renaming
+
+    return figure2_renaming()
+
+
+def _renaming_system(n: int) -> Callable[[], tuple[dict, dict]]:
+    from ..algorithms.figure2 import KS_OBJECT, STATE_ARRAY
+    from ..core.named import k_slot
+    from .oracles import GSBOracle, LexMinStrategy
+
+    def factory() -> tuple[dict, dict]:
+        oracle = GSBOracle(k_slot(n, n - 1), strategy=LexMinStrategy())
+        return {STATE_ARRAY: None}, {KS_OBJECT: oracle}
+
+    return factory
+
+
+def _wsb_grh_task(n: int):
+    from ..core.named import renaming
+
+    return renaming(n, 2 * n - 2)
+
+
+def _wsb_grh_algorithm(n: int) -> Algorithm:
+    from ..algorithms.wsb import renaming_2n2_from_wsb
+
+    return renaming_2n2_from_wsb()
+
+
+def _wsb_grh_system(n: int) -> Callable[[], tuple[dict, dict]]:
+    from ..algorithms.wsb import DOWN_ARRAY, UP_ARRAY, WSB_OBJECT
+    from ..core.named import weak_symmetry_breaking
+    from .oracles import GSBOracle, LexMinStrategy
+
+    def factory() -> tuple[dict, dict]:
+        oracle = GSBOracle(
+            weak_symmetry_breaking(n), strategy=LexMinStrategy()
+        )
+        return {UP_ARRAY: None, DOWN_ARRAY: None}, {WSB_OBJECT: oracle}
+
+    return factory
+
+
+def _write(array: str, value):
+    from .ops import Write
+
+    return Write(array, value)
+
+
+def _snapshot(array: str):
+    from .ops import Snapshot
+
+    return Snapshot(array)
+
+
+register_spec(
+    ExplorationSpec(
+        name="wsb",
+        description="WSB from a (2n-2)-renaming oracle (decide name parity)",
+        task_factory=_wsb_task,
+        algorithm_factory=_wsb_algorithm,
+        system_factory=_wsb_system,
+    )
+)
+register_spec(
+    ExplorationSpec(
+        name="election",
+        description="candidate election protocol refuted by model checking",
+        task_factory=_election_task,
+        algorithm_factory=_election_algorithm,
+        system_factory=_election_system,
+    )
+)
+register_spec(
+    ExplorationSpec(
+        name="wsb-grh",
+        description=(
+            "GRH direction: (2n-2)-renaming from a WSB oracle via two-sided "
+            "adaptive snapshot renaming (register-contention-heavy)"
+        ),
+        task_factory=_wsb_grh_task,
+        algorithm_factory=_wsb_grh_algorithm,
+        system_factory=_wsb_grh_system,
+    )
+)
+register_spec(
+    ExplorationSpec(
+        name="renaming",
+        description="Figure 2: (n+1)-renaming from an (n-1)-slot oracle",
+        task_factory=_renaming_task,
+        algorithm_factory=_renaming_algorithm,
+        system_factory=_renaming_system,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Batched exploration
+# ----------------------------------------------------------------------
+
+@dataclass
+class BatchResult:
+    """Outcome of exploring one (task, n) cell of a batch."""
+
+    name: str
+    n: int
+    runs: int  #: completed runs (logical, i.e. post-memoization multiset size)
+    distinct: int  #: distinct decided output vectors
+    violations: int  #: runs whose decided vector is illegal for the task
+    seconds: float
+    stats: EngineStats
+
+    def __str__(self) -> str:
+        status = "OK" if self.violations == 0 else f"{self.violations} ILLEGAL"
+        return (
+            f"{self.name:<10} n={self.n}  runs={self.runs:<8} "
+            f"distinct={self.distinct:<5} memo_hits={self.stats.memo_hits:<7} "
+            f"forks={self.stats.forks:<7} {self.seconds*1000:8.1f} ms  {status}"
+        )
+
+
+def make_spec_runtime(spec: ExplorationSpec, n: int) -> Callable[[], Runtime]:
+    """Runtime factory for one spec at one size (identities ``1..n``)."""
+    from .schedulers import RoundRobinScheduler
+
+    algorithm = spec.algorithm_factory(n)
+    system_factory = spec.system_factory(n)
+
+    def make_runtime() -> Runtime:
+        arrays, objects = system_factory()
+        return Runtime(
+            algorithm,
+            list(range(1, n + 1)),
+            RoundRobinScheduler(),  # unused by the engine
+            arrays=arrays,
+            objects=objects,
+        )
+
+    return make_runtime
+
+
+def explore_one(
+    spec: ExplorationSpec | str,
+    n: int,
+    memoize: bool = True,
+    max_runs: int | None = None,
+    max_depth: int = 10_000,
+) -> BatchResult:
+    """Explore one spec at one size and validate its decided vectors."""
+    if isinstance(spec, str):
+        spec = get_spec(spec)
+    if n < spec.min_n:
+        raise ValueError(f"{spec.name} needs n >= {spec.min_n}, got {n}")
+    task = spec.task_factory(n)
+    make_runtime = make_spec_runtime(spec, n)
+    engine = PrefixSharingEngine(
+        make_runtime, max_runs=max_runs, max_depth=max_depth
+    )
+    started = time.perf_counter()
+    decisions = engine.decided_vectors(memoize=memoize)
+    seconds = time.perf_counter() - started
+    identities = list(range(1, n + 1))
+    violations = sum(
+        count
+        for outputs, count in decisions.items()
+        if not task.is_legal_output(list(outputs), identities)
+    )
+    return BatchResult(
+        name=spec.name,
+        n=n,
+        runs=sum(decisions.values()),
+        distinct=len(decisions),
+        violations=violations,
+        seconds=seconds,
+        stats=engine.stats,
+    )
+
+
+def _explore_job(name: str, n: int, options: dict) -> BatchResult:
+    """Module-level worker for the multiprocess executor (picklable args)."""
+    return explore_one(get_spec(name), n, **options)
+
+
+def explore_many(
+    tasks: Sequence[ExplorationSpec | str],
+    n_range: Sequence[int],
+    executor: str | None = None,
+    max_workers: int | None = None,
+    memoize: bool = True,
+    max_runs: int | None = None,
+    max_depth: int = 10_000,
+) -> list[BatchResult]:
+    """Explore a battery of tasks across system sizes.
+
+    Args:
+        tasks: registry names or :class:`ExplorationSpec` objects.
+        n_range: system sizes; each (task, n) pair is one job.  Sizes below
+            a spec's ``min_n`` are skipped.
+        executor: ``"process"`` fans jobs out on a
+            :class:`concurrent.futures.ProcessPoolExecutor` — only jobs
+            named via the registry can cross the process boundary, any
+            others (and any executor failure) fall back to serial.
+        max_workers / memoize / max_runs / max_depth: passed through.
+    """
+    options = {"memoize": memoize, "max_runs": max_runs, "max_depth": max_depth}
+    jobs: list[tuple[ExplorationSpec | str, int]] = []
+    for spec in tasks:
+        resolved = get_spec(spec) if isinstance(spec, str) else spec
+        for n in n_range:
+            if n >= resolved.min_n:
+                jobs.append((spec, n))
+
+    if executor == "process":
+        named = [(spec, n) for spec, n in jobs if isinstance(spec, str)]
+        if len(named) == len(jobs):
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
+
+            try:
+                with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                    futures = [
+                        pool.submit(_explore_job, spec, n, options)
+                        for spec, n in named
+                    ]
+                    return [future.result() for future in futures]
+            except (OSError, BrokenProcessPool, KeyError):
+                # Degrade to serial only for *infrastructure* failures:
+                # sandboxes that forbid subprocesses (OSError /
+                # BrokenProcessPool) and spawn-start children missing a
+                # parent-side register_spec (KeyError).  Real exploration
+                # errors (budget, protocol, oracle misuse) propagate.
+                pass
+
+    return [explore_one(spec, n, **options) for spec, n in jobs]

@@ -8,9 +8,16 @@ the undecided processes crashed — the harness therefore validates decided
 values at every decision point, which covers all crash patterns, while this
 module enumerates only completed runs of each participating set.
 
-Cost: the number of interleavings of processes taking ``k1, ..., kp`` steps
-is the multinomial coefficient; keep n <= 3 (or 4 with very short
-protocols) for full exploration.
+These generators are now thin wrappers over the prefix-sharing engine
+(:mod:`repro.shm.engine`), which forks the live runtime at each branch
+point instead of re-executing every prefix from scratch.  Pass
+``engine=False`` to run the original re-execution explorer — kept for
+equivalence tests and before/after benchmarks.
+
+Cost without the engine's pruning: the number of interleavings of processes
+taking ``k1, ..., kp`` steps is the multinomial coefficient; the engine's
+memoized mode (:meth:`PrefixSharingEngine.decided_vectors`) collapses
+commuting interleavings and pushes full exploration to n = 4-5.
 """
 
 from __future__ import annotations
@@ -18,11 +25,15 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Iterator, Sequence
 
+from .engine import ExplorationBudgetExceeded, PrefixSharingEngine
 from .runtime import Runtime, RunResult
 
-
-class ExplorationBudgetExceeded(RuntimeError):
-    """Exploration hit ``max_runs``; results so far are incomplete."""
+__all__ = [
+    "ExplorationBudgetExceeded",
+    "count_interleavings",
+    "explore_all_participant_subsets",
+    "explore_interleavings",
+]
 
 
 def explore_interleavings(
@@ -30,18 +41,45 @@ def explore_interleavings(
     participants: Sequence[int] | None = None,
     max_runs: int | None = None,
     max_depth: int = 10_000,
+    engine: bool = True,
 ) -> Iterator[RunResult]:
     """Yield the result of every interleaving of the participating set.
 
     Args:
-        make_runtime: factory producing a *fresh* runtime per explored run
-            (runs re-execute prefixes, so construction must be cheap and
-            deterministic).  The runtime's own scheduler is ignored.
+        make_runtime: factory producing a *fresh* runtime per exploration
+            (construction must be cheap and deterministic).  The runtime's
+            own scheduler is ignored.
         participants: pids allowed to take steps (others crash before their
             first step); defaults to all processes.
         max_runs: raise :class:`ExplorationBudgetExceeded` beyond this many
             completed runs.
         max_depth: per-run step bound (guards against non-termination).
+        engine: route through the prefix-sharing engine (default); False
+            selects the legacy prefix re-execution path.
+    """
+    if engine:
+        yield from PrefixSharingEngine(
+            make_runtime,
+            participants=participants,
+            max_runs=max_runs,
+            max_depth=max_depth,
+        ).runs()
+        return
+    yield from _legacy_explore_interleavings(
+        make_runtime, participants, max_runs, max_depth
+    )
+
+
+def _legacy_explore_interleavings(
+    make_runtime: Callable[[], Runtime],
+    participants: Sequence[int] | None = None,
+    max_runs: int | None = None,
+    max_depth: int = 10_000,
+) -> Iterator[RunResult]:
+    """The original explorer: re-execute every run prefix from scratch.
+
+    O(nodes x depth) full step re-executions; keep n <= 3 (or 4 with very
+    short protocols).  Retained as the oracle the engine is tested against.
     """
     probe = make_runtime()
     if participants is None:
@@ -81,6 +119,7 @@ def explore_all_participant_subsets(
     make_runtime: Callable[[], Runtime],
     min_participants: int = 1,
     max_runs: int | None = None,
+    engine: bool = True,
 ) -> Iterator[tuple[tuple[int, ...], RunResult]]:
     """Explore every interleaving of every participating subset.
 
@@ -94,7 +133,7 @@ def explore_all_participant_subsets(
     for size in range(min_participants, n + 1):
         for participants in itertools.combinations(range(n), size):
             for result in explore_interleavings(
-                make_runtime, participants=participants
+                make_runtime, participants=participants, engine=engine
             ):
                 produced += 1
                 if max_runs is not None and produced > max_runs:

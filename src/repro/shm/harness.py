@@ -23,7 +23,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from ..core.task import Task
-from .explore import explore_all_participant_subsets
+from .engine import ExplorationBudgetExceeded, canonical_participant_classes
+from .explore import explore_all_participant_subsets, explore_interleavings
 from .runtime import Algorithm, RunResult, Runtime, default_identities
 from .schedulers import (
     BlockScheduler,
@@ -209,12 +210,21 @@ def check_algorithm_exhaustive(
     identities: Sequence[int] | None = None,
     min_participants: int = 1,
     max_runs: int | None = 200_000,
+    canonical_subsets: bool = False,
 ) -> CheckReport:
     """Model-check a protocol over *all* interleavings and participant sets.
 
-    Exponential in run length; intended for n <= 3 (or tiny protocols at
-    n = 4).  Crash coverage comes from participant subsets plus the
-    per-decision extendability check in :func:`validate_run`.
+    Exploration runs on the prefix-sharing engine
+    (:mod:`repro.shm.engine`): branch points fork the live runtime instead
+    of re-executing every prefix.  Crash coverage comes from participant
+    subsets plus the per-decision extendability check in
+    :func:`validate_run`.
+
+    ``canonical_subsets=True`` explores one representative subset per size
+    instead of all ``2^n - 1`` — sound for the model's comparison-based,
+    index-independent protocols, whose violations (if any) appear in every
+    subset of the symmetry class (see
+    :func:`repro.shm.engine.canonical_participant_classes`).
     """
     ids = tuple(identities) if identities is not None else default_identities(n)
     factory = system_factory if system_factory is not None else _default_system
@@ -230,9 +240,37 @@ def check_algorithm_exhaustive(
         )
 
     report = CheckReport()
-    for _participants, result in explore_all_participant_subsets(
-        make_runtime, min_participants=min_participants, max_runs=max_runs
-    ):
+    if canonical_subsets:
+        if list(ids) != sorted(ids):
+            raise ValueError(
+                "canonical_subsets requires an ascending identity "
+                f"assignment (got {list(ids)}): the one-representative-"
+                "per-size collapse is sound only when every subset's "
+                "identity vector is order-isomorphic to the representative's"
+            )
+
+        def canonical_runs():
+            # Same *total* budget semantics as the full-subset path.
+            produced = 0
+            for subset, _weight in canonical_participant_classes(
+                n, min_participants
+            ):
+                for result in explore_interleavings(
+                    make_runtime, participants=subset
+                ):
+                    produced += 1
+                    if max_runs is not None and produced > max_runs:
+                        raise ExplorationBudgetExceeded(
+                            f"exploration produced more than {max_runs} runs"
+                        )
+                    yield subset, result
+
+        runs_iter = canonical_runs()
+    else:
+        runs_iter = explore_all_participant_subsets(
+            make_runtime, min_participants=min_participants, max_runs=max_runs
+        )
+    for _participants, result in runs_iter:
         report.runs += 1
         report.violations.extend(validate_run(task, result))
         if len(report.violations) > 20:

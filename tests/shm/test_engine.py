@@ -1,0 +1,314 @@
+"""Tests for the prefix-sharing exploration engine.
+
+The load-bearing property is *equivalence*: for every named workload the
+engine must produce exactly the multiset of decided output vectors the
+legacy re-execution explorer produces, in exact mode even in the same
+order.  On top of that: budget semantics, memoization actually pruning,
+symmetry canonicalization of participant subsets, runtime forking, and the
+batch API.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.shm import (
+    ExplorationBudgetExceeded,
+    Nop,
+    PrefixSharingEngine,
+    RoundRobinScheduler,
+    Runtime,
+    Snapshot,
+    Write,
+    available_specs,
+    canonical_participant_classes,
+    count_interleavings,
+    explore_decided_subsets,
+    explore_interleavings,
+    explore_many,
+    explore_one,
+    get_spec,
+    order_isomorphism_class,
+)
+from repro.shm.engine import make_spec_runtime
+from repro.shm.explore import _legacy_explore_interleavings
+
+NAMED_SPECS = ("wsb", "election", "renaming", "wsb-grh")
+
+
+def write_then_snapshot(ctx):
+    yield Write("A", ctx.identity)
+    view = yield Snapshot("A")
+    return tuple(view)
+
+
+def make_runtime_factory(n, algorithm=write_then_snapshot):
+    def factory():
+        return Runtime(
+            algorithm,
+            list(range(1, n + 1)),
+            RoundRobinScheduler(),
+            arrays={"A": None},
+        )
+
+    return factory
+
+
+class TestRuntimeFork:
+    def test_fork_is_independent(self):
+        runtime = make_runtime_factory(3)()
+        runtime.step(0)
+        fork = runtime.fork()
+        assert fork.state_key() == runtime.state_key()
+        fork.step(1)
+        runtime.step(0)
+        assert fork.state_key() != runtime.state_key()
+        # The original decided from a solo view; the fork saw both writes.
+        assert runtime.outputs[0] == (1, None, None)
+        assert fork.outputs[0] is None
+
+    def test_fork_preserves_oracle_commitment(self):
+        factory = make_spec_runtime(get_spec("renaming"), 3)
+        runtime = factory()
+        runtime.step(0)
+        fork = runtime.fork()
+        for pid in (1, 2):
+            runtime.step(pid)
+            fork.step(pid)
+        assert runtime.state_key() == fork.state_key()
+
+    def test_fork_rejects_nondeterminism(self):
+        import random
+
+        rng = random.Random(0)
+
+        def flaky(ctx):
+            if rng.random() < 0.5:
+                yield Nop()
+            yield Write("A", ctx.identity)
+            return 1
+
+        from repro.shm import ProtocolError
+
+        # Keep forking until the replay diverges from the original run.
+        with pytest.raises(ProtocolError, match="not deterministic"):
+            for _ in range(64):
+                runtime = make_runtime_factory(2, flaky)()
+                runtime.step(0)
+                runtime.fork()
+
+
+# The legacy explorer needs ~11 s for wsb-grh at n=3 (that slowness is the
+# engine's raison d'etre), so the direct legacy comparisons cap it at n=2;
+# the ISSUE-named specs run the full n <= 3 equivalence.
+EQUIVALENCE_CASES = [
+    (name, n)
+    for name in NAMED_SPECS
+    for n in (2, 3)
+    if not (name == "wsb-grh" and n == 3)
+]
+
+
+class TestEquivalenceWithLegacy:
+    @pytest.mark.parametrize("name,n", EQUIVALENCE_CASES)
+    def test_exact_mode_matches_legacy_order(self, name, n):
+        factory = make_spec_runtime(get_spec(name), n)
+        legacy = [
+            tuple(result.outputs)
+            for result in _legacy_explore_interleavings(factory)
+        ]
+        engine = [
+            tuple(result.outputs)
+            for result in explore_interleavings(factory, engine=True)
+        ]
+        assert engine == legacy  # same runs, same lexicographic order
+
+    @pytest.mark.parametrize("name,n", EQUIVALENCE_CASES)
+    def test_memoized_counts_match_legacy_multiset(self, name, n):
+        factory = make_spec_runtime(get_spec(name), n)
+        legacy = Counter(
+            tuple(result.outputs)
+            for result in _legacy_explore_interleavings(factory)
+        )
+        engine = PrefixSharingEngine(factory)
+        assert engine.decided_vectors(memoize=True) == legacy
+
+    def test_memoization_preserves_counts(self):
+        # Two processes, two commuting no-ops each: states merge heavily,
+        # but the multiset must still be the full multinomial count.
+        def two_nops(ctx):
+            yield Nop()
+            yield Nop()
+            return 1
+
+        factory = make_runtime_factory(2, two_nops)
+        engine = PrefixSharingEngine(factory)
+        decisions = engine.decided_vectors()
+        assert sum(decisions.values()) == count_interleavings([2, 2])
+        assert engine.stats.memo_hits > 0
+        assert engine.stats.runs < count_interleavings([2, 2])
+
+    def test_schedules_and_traces_survive_forking(self):
+        factory = make_runtime_factory(2)
+        legacy = {
+            tuple(result.schedule())
+            for result in _legacy_explore_interleavings(factory)
+        }
+        engine = {
+            tuple(result.schedule())
+            for result in explore_interleavings(factory)
+        }
+        assert engine == legacy == set(map(tuple, legacy))
+        assert len(legacy) == count_interleavings([2, 2])
+
+
+class TestBudgets:
+    def test_max_runs_enforced(self):
+        with pytest.raises(ExplorationBudgetExceeded):
+            list(explore_interleavings(make_runtime_factory(3), max_runs=5))
+
+    def test_max_runs_yields_exactly_budget_before_raising(self):
+        produced = []
+        with pytest.raises(ExplorationBudgetExceeded):
+            for result in explore_interleavings(
+                make_runtime_factory(2), max_runs=3
+            ):
+                produced.append(result)
+        assert len(produced) == 3  # same semantics as the legacy explorer
+
+    def test_depth_guard(self):
+        def spinner(ctx):
+            while True:
+                yield Nop()
+
+        with pytest.raises(ExplorationBudgetExceeded, match="non-terminating"):
+            list(
+                explore_interleavings(
+                    make_runtime_factory(1, spinner), max_depth=20
+                )
+            )
+
+    def test_decided_vectors_budgets(self):
+        engine = PrefixSharingEngine(make_runtime_factory(3), max_runs=5)
+        with pytest.raises(ExplorationBudgetExceeded):
+            engine.decided_vectors(memoize=False)
+
+    def test_engine_fits_budget_legacy_cannot(self):
+        # The acceptance claim in miniature: with the same run budget the
+        # engine's memoized mode completes a workload whose interleaving
+        # count blows past the budget when every run must be materialized.
+        def three_nops(ctx):
+            for _ in range(3):
+                yield Nop()
+            return 1
+
+        factory = make_runtime_factory(3, three_nops)
+        total = count_interleavings([3, 3, 3])  # 1680
+        budget = 500
+        with pytest.raises(ExplorationBudgetExceeded):
+            list(
+                _legacy_explore_interleavings(factory, max_runs=budget)
+            )
+        engine = PrefixSharingEngine(factory, max_runs=budget)
+        decisions = engine.decided_vectors(memoize=True)
+        assert sum(decisions.values()) == total  # completed under budget
+
+
+class TestSymmetryCanonicalization:
+    def test_order_isomorphism_class(self):
+        assert order_isomorphism_class((3, 9, 5)) == (0, 2, 1)
+        assert order_isomorphism_class((1, 4, 2)) == (0, 2, 1)
+        assert order_isomorphism_class((2,)) == (0,)
+
+    def test_canonical_classes_cover_all_subsets(self):
+        classes = canonical_participant_classes(4)
+        assert [subset for subset, _ in classes] == [
+            (0,),
+            (0, 1),
+            (0, 1, 2),
+            (0, 1, 2, 3),
+        ]
+        assert sum(weight for _, weight in classes) == 2**4 - 1
+
+    @pytest.mark.parametrize("name", NAMED_SPECS)
+    def test_subset_profiles_match_full_enumeration(self, name):
+        factory = make_spec_runtime(get_spec(name), 3)
+        full = explore_decided_subsets(factory, assume_symmetric=False)
+        pruned = explore_decided_subsets(factory, assume_symmetric=True)
+        assert pruned.value_multisets() == full.value_multisets()
+        assert pruned.total_runs == full.total_runs
+        assert pruned.stats.subsets_pruned == (2**3 - 1) - 3
+
+    def test_canonical_subsets_rejects_unsorted_identities(self):
+        from repro.core.named import weak_symmetry_breaking
+        from repro.shm import check_algorithm_exhaustive
+
+        spec = get_spec("wsb")
+        with pytest.raises(ValueError, match="ascending identity"):
+            check_algorithm_exhaustive(
+                weak_symmetry_breaking(3),
+                spec.algorithm_factory(3),
+                3,
+                system_factory=spec.system_factory(3),
+                identities=(3, 1, 2),
+                canonical_subsets=True,
+            )
+
+    def test_exhaustive_check_canonical_subsets_agrees(self):
+        from repro.algorithms import (
+            figure2_renaming,
+            figure2_system_factory,
+            figure2_task,
+        )
+        from repro.shm import check_algorithm_exhaustive
+
+        full = check_algorithm_exhaustive(
+            figure2_task(3),
+            figure2_renaming(),
+            3,
+            system_factory=figure2_system_factory(3, seed=0),
+        )
+        fast = check_algorithm_exhaustive(
+            figure2_task(3),
+            figure2_renaming(),
+            3,
+            system_factory=figure2_system_factory(3, seed=0),
+            canonical_subsets=True,
+        )
+        assert full.ok and fast.ok
+        assert fast.runs < full.runs
+
+
+class TestBatchAPI:
+    def test_registry(self):
+        assert set(NAMED_SPECS) <= set(available_specs())
+        with pytest.raises(KeyError, match="unknown exploration task"):
+            get_spec("nope")
+
+    def test_explore_one_validates(self):
+        good = explore_one("renaming", 3)
+        assert good.violations == 0
+        assert good.runs == 1680
+        refuted = explore_one("election", 3)
+        assert refuted.violations > 0  # Theorem 11: candidate is refuted
+
+    def test_explore_many_serial(self):
+        results = explore_many(["wsb", "renaming"], [2, 3])
+        assert [(r.name, r.n) for r in results] == [
+            ("wsb", 2),
+            ("wsb", 3),
+            ("renaming", 2),
+            ("renaming", 3),
+        ]
+        assert all(result.violations == 0 for result in results)
+
+    def test_explore_many_skips_too_small_n(self):
+        results = explore_many(["wsb"], [1, 2])
+        assert [(r.name, r.n) for r in results] == [("wsb", 2)]
+
+    def test_explore_many_process_executor(self):
+        serial = explore_many(["wsb"], [2, 3])
+        parallel = explore_many(["wsb"], [2, 3], executor="process", max_workers=2)
+        assert [(r.name, r.n, r.runs, r.distinct) for r in serial] == [
+            (r.name, r.n, r.runs, r.distinct) for r in parallel
+        ]
