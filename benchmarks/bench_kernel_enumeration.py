@@ -11,7 +11,9 @@ counts, Fubini-style recursions, legacy-explorer multisets).
 from repro.core import (
     SymmetricGSBTask,
     canonical_parameters,
+    count_kernel_vectors,
     feasible_bound_pairs,
+    get_store,
     kernel_vectors,
     synonym_classes,
 )
@@ -34,6 +36,38 @@ def bench_kernel_enumeration_large_single(benchmark):
     kernels = benchmark(kernel_vectors, 40, 6, 1, 20)
     assert kernels
     assert all(sum(kernel) == 40 for kernel in kernels)
+    assert len(kernels) == count_kernel_vectors(40, 6, 1, 20)
+
+
+def bench_kernel_lattice_family_sweep(benchmark):
+    """All kernel sets of one family: the master list is enumerated once,
+    every (l, u) set derived as a filter over it."""
+
+    def sweep():
+        return {
+            (low, high): kernel_vectors(30, 5, low, high)
+            for low, high in feasible_bound_pairs(30, 5)
+        }
+
+    sets = benchmark(sweep)
+    master = set(kernel_vectors(30, 5, 0, 30))
+    assert all(set(kernels) <= master for kernels in sets.values())
+    assert all(
+        len(kernels) == count_kernel_vectors(30, 5, low, high)
+        for (low, high), kernels in sets.items()
+    )
+
+
+def bench_family_store_entries(benchmark):
+    """Whole-family annotation through the memoized store (warm after
+    round one — the steady state every analysis artifact rides on)."""
+    store = get_store()
+
+    def entries():
+        return [store.entries(n, 4) for n in range(4, 15)]
+
+    families = benchmark(entries)
+    assert all(families)
 
 
 def bench_synonym_partition(benchmark):

@@ -14,6 +14,7 @@ from repro.core import (
     classification_cache_info,
     classify,
     clear_classification_cache,
+    feasible_bound_pairs,
     is_communication_free_solvable,
 )
 from repro.core.solvability import Solvability
@@ -84,6 +85,26 @@ def bench_classification_sweep_cached(benchmark):
     sweep()  # one guaranteed warm pass (benchmark may run a single round)
     info = classification_cache_info()
     assert info.hits >= info.misses  # warm passes ride the cache
+
+
+def bench_census_pipeline_grid(benchmark):
+    """The closed-form census over n<=16: solvability rollups with no
+    vector materialization, cross-checked against the classify() sweep."""
+    from repro.analysis import family_solvability_census
+
+    def sweep():
+        return family_solvability_census(range(2, 17), range(1, 7))
+
+    census = benchmark(sweep)
+    direct = {}
+    for n in range(2, 17):
+        for m in range(1, 7):
+            if m > n:
+                continue
+            for low, high in feasible_bound_pairs(n, m):
+                verdict, _ = classify(SymmetricGSBTask(n, m, low, high))
+                direct[verdict] = direct.get(verdict, 0) + 1
+    assert census == direct
 
 
 def bench_engine_solvability_cross_check(benchmark):

@@ -8,6 +8,8 @@ Usage::
     python -m repro named --n 6
     python -m repro binomials [--max-n 32]
     python -m repro classify N M L U
+    python -m repro census --max-n 40 [--min-n 2] [--max-m 6] [--jobs 8]
+                           [--per-cell] [--json out.json]
     python -m repro explore [--tasks wsb,election,renaming] [--n 2 3 4]
     python -m repro verify
 
@@ -80,6 +82,34 @@ def _cmd_classify(args) -> int:
         print(f"canonical representative: {canonical_representative(task)}")
     print(f"classification: {verdict.value}")
     print(f"because: {reason}")
+    return 0
+
+
+def _cmd_census(args) -> int:
+    from .analysis import render_census_report, run_census, write_census_json
+
+    if args.min_n < 1 or args.max_n < args.min_n:
+        print(
+            f"error: need 1 <= --min-n <= --max-n, got "
+            f"{args.min_n}..{args.max_n}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_m < 1:
+        print(f"error: need --max-m >= 1, got {args.max_m}", file=sys.stderr)
+        return 2
+    if args.jobs < 0:
+        print(f"error: need --jobs >= 0, got {args.jobs}", file=sys.stderr)
+        return 2
+    report = run_census(
+        range(args.min_n, args.max_n + 1),
+        range(1, args.max_m + 1),
+        jobs=args.jobs,
+    )
+    print(render_census_report(report, per_cell=args.per_cell))
+    if args.json:
+        write_census_json(report, args.json)
+        print(f"\nwrote {args.json}")
     return 0
 
 
@@ -223,6 +253,32 @@ def build_parser() -> argparse.ArgumentParser:
     classify_parser.add_argument("task_l", type=int, metavar="L")
     classify_parser.add_argument("task_u", type=int, metavar="U")
     classify_parser.set_defaults(handler=_cmd_classify)
+
+    census_parser = subparsers.add_parser(
+        "census",
+        help="whole-universe family census on the closed-form pipeline",
+    )
+    census_parser.add_argument("--max-n", type=int, default=40)
+    census_parser.add_argument("--min-n", type=int, default=2)
+    census_parser.add_argument("--max-m", type=int, default=6)
+    census_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="shard (n, m) cells over a process pool (0 = in-process)",
+    )
+    census_parser.add_argument(
+        "--per-cell",
+        action="store_true",
+        help="print one row per (n, m) family instead of the per-n rollup",
+    )
+    census_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also dump the full per-cell census as JSON",
+    )
+    census_parser.set_defaults(handler=_cmd_census)
 
     explore_parser = subparsers.add_parser(
         "explore",

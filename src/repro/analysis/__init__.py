@@ -13,6 +13,16 @@ from .atlas import (
     render_family_atlas,
     render_named_tasks,
 )
+from .census import (
+    CensusCell,
+    CensusReport,
+    census_report_to_json,
+    compute_census_cell,
+    grid_cells,
+    render_census_report,
+    run_census,
+    write_census_json,
+)
 from .binomials import (
     BinomialRow,
     binomial_table,
@@ -42,6 +52,8 @@ from .table1 import matches_paper as table1_matches_paper
 
 __all__ = [
     "BinomialRow",
+    "CensusCell",
+    "CensusReport",
     "Figure1",
     "NamedTaskVerdict",
     "PAPER_FIGURE1_EDGES",
@@ -51,22 +63,28 @@ __all__ = [
     "Table1",
     "Table1Row",
     "binomial_table",
+    "census_report_to_json",
     "check_ram_theorem",
+    "compute_census_cell",
     "entry_lookup",
     "family_solvability_census",
     "figure1",
+    "grid_cells",
     "figure1_matches_paper",
     "kernel_label",
     "named_task_verdicts",
     "render_binomial_table",
+    "render_census_report",
     "render_family_atlas",
     "render_figure1",
     "render_named_tasks",
     "render_table",
     "render_table1",
+    "run_census",
     "solvable_wsb_values",
     "table1",
     "table1_matches_paper",
     "task_label",
     "to_dot",
+    "write_census_json",
 ]

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.family import FamilyEntry, family_entries, family_statistics
+from ..core.family import FamilyEntry
 from ..core.gsb import GSBTask
+from ..core.store import get_store
 from ..core.named import (
     election,
     k_slot,
@@ -74,8 +75,9 @@ def render_named_tasks(n: int) -> str:
 
 
 def render_family_atlas(n: int, m: int) -> str:
-    """Full annotated family table for one (n, m)."""
-    entries = family_entries(n, m)
+    """Full annotated family table for one (n, m), served from the store."""
+    store = get_store()
+    entries = store.entries(n, m)
     rows = []
     for entry in entries:
         rows.append(
@@ -88,7 +90,7 @@ def render_family_atlas(n: int, m: int) -> str:
                 entry.solvability.value,
             ]
         )
-    stats = family_statistics(n, m)
+    stats = store.statistics(n, m)
     stat_lines = "\n".join(f"  {key}: {value}" for key, value in stats.items())
     return (
         f"GSB family atlas for n={n}, m={m}\n"
@@ -103,22 +105,28 @@ def render_family_atlas(n: int, m: int) -> str:
 
 
 def family_solvability_census(
-    n_range: range, m_range: range
+    n_range: range, m_range: range, jobs: int = 0
 ) -> dict[Solvability, int]:
-    """Count classifications over a grid of families (bench workload)."""
-    census: dict[Solvability, int] = {}
-    for n in n_range:
-        for m in m_range:
-            if m > n:
-                continue
-            for entry in family_entries(n, m):
-                census[entry.solvability] = census.get(entry.solvability, 0) + 1
-    return census
+    """Count classifications over a grid of families (bench workload).
+
+    Runs on the closed-form census pipeline — no kernel vectors are
+    materialized and ``jobs > 0`` shards the grid over a process pool —
+    while producing exactly the per-entry verdict counts the original
+    family-enumeration loop produced.
+    """
+    from .census import run_census
+
+    report = run_census(n_range, m_range, jobs=jobs)
+    return {
+        Solvability(name): count
+        for name, count in report.solvability_totals().items()
+    }
 
 
 def entry_lookup(n: int, m: int, low: int, high: int) -> FamilyEntry:
-    """Find one annotated family entry (raises if infeasible)."""
-    for entry in family_entries(n, m):
-        if entry.parameters == (n, m, low, high):
-            return entry
-    raise KeyError(f"<{n},{m},{low},{high}> is not a feasible task")
+    """One annotated family entry in O(1) via the store's dict index.
+
+    Raises ``KeyError`` when ``<n,m,low,high>`` is infeasible, exactly as
+    the original full-family linear scan did.
+    """
+    return get_store().entry(n, m, low, high)

@@ -1,0 +1,278 @@
+"""Universe-scale census of symmetric GSB families (Sections 4-5 at scale).
+
+A census answers, for every ``<n, m, -, ->`` family in a parameter grid:
+how many feasible parameterizations, how many synonym classes, how large is
+the kernel lattice, and how do the rows split across the wait-free
+solvability classes?  Everything is computed from closed forms —
+``classify_parameters`` (Theorems 9-11), ``canonical_parameters``
+(Theorem 7) and the bounded-partition counting DP
+(:func:`repro.core.kernel.count_kernel_vectors`) — so a census never
+materializes a single kernel vector, which is what lets grids run an order
+of magnitude past the atlas sizes.
+
+Cells are independent, so the pipeline shards them over a process pool
+(``jobs > 0``): cells are balanced by an ``n**2 * m`` cost estimate (LPT
+assignment), and each shard is processed in ascending ``(n, m)`` order so
+the worker's process-local caches — the counting DP, the classification
+``lru_cache``, the binomial-gcd table — are primed by the small cells and
+shared by the large ones.  Only plain tuples cross the process boundary.
+
+CLI front-end: ``python -m repro census --max-n 40 --jobs 8 --json out.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..core.canonical import canonical_parameters
+from ..core.feasibility import feasible_bound_pairs
+from ..core.kernel import count_kernel_vectors
+from ..core.solvability import Solvability, binomial_gcd, classify_parameters
+from .reporting import render_table
+
+#: Column order for solvability rollups in reports and JSON.
+SOLVABILITY_ORDER: tuple[str, ...] = (
+    Solvability.TRIVIAL.value,
+    Solvability.SOLVABLE.value,
+    Solvability.UNSOLVABLE.value,
+    Solvability.OPEN.value,
+    Solvability.INFEASIBLE.value,
+)
+
+
+@dataclass(frozen=True)
+class CensusCell:
+    """Aggregate verdicts for one ``<n, m, -, ->`` family."""
+
+    n: int
+    m: int
+    feasible_rows: int
+    synonym_classes: int
+    kernel_columns: int  # |kernel set| of the loosest task <n,m,0,n>
+    kernel_marks: int  # sum of |kernel set| over all rows (Table 1's x's)
+    solvability: tuple[tuple[str, int], ...]  # (verdict value, count), sorted
+
+    def solvability_counts(self) -> dict[Solvability, int]:
+        """The rollup re-keyed by the :class:`Solvability` enum."""
+        return {Solvability(name): count for name, count in self.solvability}
+
+
+def compute_census_cell(n: int, m: int) -> CensusCell:
+    """Census one family from closed forms only (no vectors materialized)."""
+    verdicts: Counter[str] = Counter()
+    classes: set[tuple[int, int]] = set()
+    marks = 0
+    rows = 0
+    for low, high in feasible_bound_pairs(n, m):
+        verdict, _ = classify_parameters(n, m, low, high)
+        verdicts[verdict.value] += 1
+        classes.add(canonical_parameters(n, m, low, high))
+        marks += count_kernel_vectors(n, m, low, high)
+        rows += 1
+    return CensusCell(
+        n=n,
+        m=m,
+        feasible_rows=rows,
+        synonym_classes=len(classes),
+        kernel_columns=count_kernel_vectors(n, m, 0, n),
+        kernel_marks=marks,
+        solvability=tuple(sorted(verdicts.items())),
+    )
+
+
+def grid_cells(n_range: range, m_range: range) -> list[tuple[int, int]]:
+    """The ``(n, m)`` cells of a census grid (families need ``m <= n``)."""
+    return [(n, m) for n in n_range for m in m_range if m <= n]
+
+
+def _cell_cost(cell: tuple[int, int]) -> int:
+    """Work estimate: ~n**2 bound pairs, DP effort growing with m."""
+    n, m = cell
+    return n * n * m
+
+
+def _partition_cells(
+    cells: list[tuple[int, int]], shards: int
+) -> list[list[tuple[int, int]]]:
+    """LPT balancing: heaviest cells first onto the lightest shard."""
+    shards = max(1, min(shards, len(cells)))
+    buckets: list[list[tuple[int, int]]] = [[] for _ in range(shards)]
+    loads = [0] * shards
+    for cell in sorted(cells, key=_cell_cost, reverse=True):
+        lightest = loads.index(min(loads))
+        buckets[lightest].append(cell)
+        loads[lightest] += _cell_cost(cell)
+    # Ascending (n, m) within a shard primes the worker's caches cheaply.
+    return [sorted(bucket) for bucket in buckets if bucket]
+
+
+def _census_shard(cells: list[tuple[int, int]]) -> list[CensusCell]:
+    """Worker entry point: prime per-shard caches, then census each cell."""
+    for n in sorted({n for n, _ in cells}):
+        binomial_gcd(n)
+    return [compute_census_cell(n, m) for n, m in cells]
+
+
+@dataclass(frozen=True)
+class CensusReport:
+    """A full census run: the grid, its cells and the run metadata."""
+
+    n_range: tuple[int, int]  # inclusive [min_n, max_n]
+    m_range: tuple[int, int]  # inclusive [min_m, max_m]
+    cells: tuple[CensusCell, ...]
+    jobs: int
+    seconds: float
+
+    @property
+    def feasible_rows(self) -> int:
+        return sum(cell.feasible_rows for cell in self.cells)
+
+    @property
+    def synonym_classes(self) -> int:
+        return sum(cell.synonym_classes for cell in self.cells)
+
+    @property
+    def kernel_marks(self) -> int:
+        return sum(cell.kernel_marks for cell in self.cells)
+
+    def solvability_totals(self) -> dict[str, int]:
+        totals: Counter[str] = Counter()
+        for cell in self.cells:
+            totals.update(dict(cell.solvability))
+        return {
+            name: totals[name] for name in SOLVABILITY_ORDER if name in totals
+        } | {
+            name: count
+            for name, count in sorted(totals.items())
+            if name not in SOLVABILITY_ORDER
+        }
+
+
+def run_census(
+    n_range: range, m_range: range, jobs: int = 0
+) -> CensusReport:
+    """Census every family in the grid, serially or on a process pool.
+
+    ``jobs = 0`` runs in-process (and benefits from the caller's warm
+    caches); ``jobs >= 1`` shards the cells over that many workers.
+    """
+    cells = grid_cells(n_range, m_range)
+    started = time.perf_counter()
+    if jobs and len(cells) > 1:
+        shards = _partition_cells(cells, jobs)
+        results: list[CensusCell] = []
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            for shard_cells in pool.map(_census_shard, shards):
+                results.extend(shard_cells)
+        results.sort(key=lambda cell: (cell.n, cell.m))
+    else:
+        results = _census_shard(cells)
+    return CensusReport(
+        n_range=(min(n_range, default=0), max(n_range, default=-1)),
+        m_range=(min(m_range, default=0), max(m_range, default=-1)),
+        cells=tuple(results),
+        jobs=jobs,
+        seconds=time.perf_counter() - started,
+    )
+
+
+def render_census_report(report: CensusReport, per_cell: bool = False) -> str:
+    """ASCII rollup: totals plus a per-n (or per-cell) table."""
+    lines = [
+        "GSB universe census: n in [{}..{}], m in [{}..{}] "
+        "({} families, jobs={}, {:.2f}s)".format(
+            *report.n_range, *report.m_range, len(report.cells), report.jobs,
+            report.seconds,
+        ),
+        "totals: {} feasible parameterizations, {} synonym classes, "
+        "{} kernel-set memberships".format(
+            report.feasible_rows, report.synonym_classes, report.kernel_marks
+        ),
+        "solvability: "
+        + "  ".join(
+            f"{name}={count}"
+            for name, count in report.solvability_totals().items()
+        ),
+        "",
+    ]
+    if per_cell:
+        headers = ["n", "m", "rows", "classes", "columns", "marks"] + list(
+            SOLVABILITY_ORDER[:4]
+        )
+        rows = []
+        for cell in report.cells:
+            counts = dict(cell.solvability)
+            rows.append(
+                [
+                    str(cell.n), str(cell.m), str(cell.feasible_rows),
+                    str(cell.synonym_classes), str(cell.kernel_columns),
+                    str(cell.kernel_marks),
+                ]
+                + [str(counts.get(name, 0)) for name in SOLVABILITY_ORDER[:4]]
+            )
+        return "\n".join(lines) + render_table(headers, rows)
+    headers = ["n", "families", "rows", "classes", "marks"] + list(
+        SOLVABILITY_ORDER[:4]
+    )
+    by_n: dict[int, list[CensusCell]] = {}
+    for cell in report.cells:
+        by_n.setdefault(cell.n, []).append(cell)
+    rows = []
+    for n, cells in sorted(by_n.items()):
+        counts: Counter[str] = Counter()
+        for cell in cells:
+            counts.update(dict(cell.solvability))
+        rows.append(
+            [
+                str(n), str(len(cells)),
+                str(sum(cell.feasible_rows for cell in cells)),
+                str(sum(cell.synonym_classes for cell in cells)),
+                str(sum(cell.kernel_marks for cell in cells)),
+            ]
+            + [str(counts.get(name, 0)) for name in SOLVABILITY_ORDER[:4]]
+        )
+    return "\n".join(lines) + render_table(headers, rows)
+
+
+def census_report_to_json(report: CensusReport) -> dict:
+    """JSON-serializable dump (the ``--json`` artifact of the CLI)."""
+    return {
+        "grid": {
+            "min_n": report.n_range[0],
+            "max_n": report.n_range[1],
+            "min_m": report.m_range[0],
+            "max_m": report.m_range[1],
+            "families": len(report.cells),
+        },
+        "jobs": report.jobs,
+        "seconds": report.seconds,
+        "totals": {
+            "feasible_rows": report.feasible_rows,
+            "synonym_classes": report.synonym_classes,
+            "kernel_marks": report.kernel_marks,
+            "solvability": report.solvability_totals(),
+        },
+        "cells": [
+            {
+                "n": cell.n,
+                "m": cell.m,
+                "feasible_rows": cell.feasible_rows,
+                "synonym_classes": cell.synonym_classes,
+                "kernel_columns": cell.kernel_columns,
+                "kernel_marks": cell.kernel_marks,
+                "solvability": dict(cell.solvability),
+            }
+            for cell in report.cells
+        ],
+    }
+
+
+def write_census_json(report: CensusReport, path: str) -> None:
+    """Write the JSON dump to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(census_report_to_json(report), handle, indent=2)
+        handle.write("\n")

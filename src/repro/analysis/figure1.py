@@ -18,7 +18,8 @@ import networkx as nx
 
 from ..core.anchoring import anchoring_profile
 from ..core.gsb import SymmetricGSBTask
-from ..core.order import canonical_family, hasse_diagram
+from ..core.order import hasse_diagram
+from ..core.store import get_store
 from .reporting import task_label
 
 #: The published Figure 1 (n=6, m=3): cover edges of the canonical order.
@@ -57,8 +58,16 @@ class Figure1:
 
 
 def figure1(n: int = 6, m: int = 3) -> Figure1:
-    """Compute Figure 1's diagram for (n, m)."""
-    graph = hasse_diagram(canonical_family(n, m))
+    """Compute Figure 1's diagram for (n, m).
+
+    The canonical tasks come from the memoized family store, so the
+    expensive part of a repeated regeneration is only the containment
+    order itself.
+    """
+    canonical_tasks = [
+        entry.task for entry in get_store().canonical_entries(n, m)
+    ]
+    graph = hasse_diagram(canonical_tasks)
     return Figure1(n=n, m=m, graph=graph)
 
 

@@ -10,12 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .anchoring import anchoring_profile
-from .canonical import canonical_parameters, is_canonical
-from .feasibility import feasible_bound_pairs
 from .gsb import SymmetricGSBTask
-from .kernel import KernelVector, kernel_vectors
-from .solvability import Solvability, classify
+from .kernel import KernelVector
+from .solvability import Solvability
 
 
 @dataclass(frozen=True)
@@ -35,37 +32,25 @@ class FamilyEntry:
         return self.task.parameters
 
 
+def table_order_key(entry: FamilyEntry) -> tuple:
+    n, m, low, high = entry.parameters
+    # Table 1 interleaves rows by decreasing upper bound then increasing
+    # lower bound: (0,6), (1,6), (0,5), (1,5), (2,5), (0,4), ...
+    return (-high, low)
+
+
 def family_entries(n: int, m: int) -> list[FamilyEntry]:
     """All feasible ``<n, m, l, u>`` tasks with their annotations.
 
     Rows are ordered the way Table 1 lists them: by decreasing kernel-set
     size first (the <n,m,0,n> task with the full column set first), then by
-    (l, u).
+    (l, u).  Served from the process-wide :class:`repro.core.store.FamilyStore`:
+    the family is computed once and this call is O(rows) list construction
+    from then on.
     """
-    entries = []
-    for low, high in feasible_bound_pairs(n, m):
-        task = SymmetricGSBTask(n, m, low, high)
-        solvability, reason = classify(task)
-        entries.append(
-            FamilyEntry(
-                task=task,
-                kernel_set=task.kernel_set,
-                canonical=is_canonical(task),
-                canonical_parameters=canonical_parameters(n, m, low, high),
-                anchoring=anchoring_profile(task),
-                solvability=solvability,
-                solvability_reason=reason,
-            )
-        )
-    entries.sort(key=_table_order_key)
-    return entries
+    from .store import get_store
 
-
-def _table_order_key(entry: FamilyEntry) -> tuple:
-    n, m, low, high = entry.parameters
-    # Table 1 interleaves rows by decreasing upper bound then increasing
-    # lower bound: (0,6), (1,6), (0,5), (1,5), (2,5), (0,4), ...
-    return (-high, low)
+    return list(get_store().entries(n, m))
 
 
 def all_kernel_columns(n: int, m: int) -> tuple[KernelVector, ...]:
@@ -74,23 +59,20 @@ def all_kernel_columns(n: int, m: int) -> tuple[KernelVector, ...]:
     Every sibling task's kernel set is a subset of this one, so these are
     the columns of Table 1, in descending lexicographic order.
     """
-    return kernel_vectors(n, m, 0, n)
+    from .store import get_store
+
+    return get_store().kernel_columns(n, m)
 
 
 def canonical_entries(n: int, m: int) -> list[FamilyEntry]:
     """Only the canonical rows of the family (Figure 1's nodes)."""
-    return [entry for entry in family_entries(n, m) if entry.canonical]
+    from .store import get_store
+
+    return list(get_store().canonical_entries(n, m))
 
 
 def family_statistics(n: int, m: int) -> dict[str, int]:
     """Summary counts used by the atlas report."""
-    entries = family_entries(n, m)
-    by_class: dict[str, int] = {}
-    for entry in entries:
-        by_class[entry.solvability.value] = by_class.get(entry.solvability.value, 0) + 1
-    return {
-        "feasible_parameterizations": len(entries),
-        "synonym_classes": len({entry.canonical_parameters for entry in entries}),
-        "kernel_columns": len(all_kernel_columns(n, m)),
-        **{f"solvability[{name}]": count for name, count in sorted(by_class.items())},
-    }
+    from .store import get_store
+
+    return get_store().statistics(n, m)

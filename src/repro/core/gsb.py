@@ -21,6 +21,7 @@ from .bounds import BoundVector, GSBSpecificationError
 from .kernel import (
     KernelVector,
     asymmetric_counting_vectors,
+    count_asymmetric_counting_vectors,
     counting_vector,
     kernel_of_counting,
     kernel_vectors,
@@ -150,6 +151,16 @@ class GSBTask(Task):
             if self._bounds.admits_counts(counting_vector(vector, self.m)):
                 yield vector
 
+    @cached_property
+    def _counting_vector_count(self) -> int:
+        return count_asymmetric_counting_vectors(
+            self._n, self._bounds.lower, self._bounds.upper
+        )
+
+    def count_counting_vectors(self) -> int:
+        """Number of admitted counting vectors, by DP (nothing materialized)."""
+        return self._counting_vector_count
+
     def count_output_vectors(self) -> int:
         """Number of legal output vectors, via multinomials per counting vector."""
         total = 0
@@ -199,13 +210,25 @@ class GSBTask(Task):
     # Task identity and comparison
     # ------------------------------------------------------------------
 
+    def _kernel_signature(self) -> tuple[KernelVector, ...]:
+        """Kernel set derived from uniform bounds (symmetric tasks only)."""
+        low, high = self._bounds.pair(1)
+        return kernel_vectors(self._n, self.m, low, high)
+
     def same_task(self, other: "GSBTask") -> bool:
         """Synonym test: identical sets of legal output vectors.
 
-        Comparing admitted counting-vector sets is equivalent and avoids
-        the m**n blowup of materializing output vectors.
+        Symmetric tasks (uniform bounds) are compared by kernel set — the
+        complete finite description of Section 4 — which is exponentially
+        smaller than either the output-vector or the counting-vector set.
+        Asymmetric comparisons first match cardinalities via the counting
+        DP and only materialize counting-vector sets when the counts agree.
         """
         if self._n != other._n or self.m != other.m:
+            return False
+        if self.is_symmetric and other.is_symmetric:
+            return self._kernel_signature() == other._kernel_signature()
+        if self.count_counting_vectors() != other.count_counting_vectors():
             return False
         return set(self.counting_vectors()) == set(other.counting_vectors())
 
@@ -214,9 +237,15 @@ class GSBTask(Task):
 
         ``other.includes(self)`` false and ``self.includes(other)`` true
         means ``other`` is strictly harder (Section 4: any algorithm solving
-        the smaller task solves the larger one).
+        the smaller task solves the larger one).  Symmetric pairs compare
+        kernel sets; asymmetric pairs reject on cardinality first (a
+        superset cannot admit fewer counting vectors).
         """
         if self._n != other._n or self.m != other.m:
+            return False
+        if self.is_symmetric and other.is_symmetric:
+            return set(other._kernel_signature()) <= set(self._kernel_signature())
+        if self.count_counting_vectors() < other.count_counting_vectors():
             return False
         ours = set(self.counting_vectors())
         return all(counts in ours for counts in other.counting_vectors())
@@ -227,7 +256,13 @@ class GSBTask(Task):
         return self.same_task(other)
 
     def __hash__(self) -> int:
-        return hash((self._n, self.m, tuple(sorted(self.counting_vectors()))))
+        # Equality is extensional (same counting-vector set), and equal
+        # sets have equal cardinality, so hashing the DP-computed count
+        # keeps the hash/eq contract across every representation of the
+        # same task — symmetric, uniform-bounds GSBTask, or asymmetric —
+        # without materializing anything.  Same-count different tasks
+        # collide and fall through to the fast __eq__.
+        return hash((self._n, self.m, self._counting_vector_count))
 
     def __repr__(self) -> str:
         if self.is_symmetric:
@@ -301,9 +336,6 @@ class SymmetricGSBTask(GSBTask):
                 return False
             return set(other.kernel_set) <= set(self.kernel_set)
         return super().includes(other)
-
-    def __hash__(self) -> int:
-        return hash((self._n, self.m, self.kernel_set))
 
     def __repr__(self) -> str:
         suffix = f" ({self.label})" if self.label else ""

@@ -56,6 +56,20 @@ def kernel_vectors(n: int, m: int, low: int, high: int) -> tuple[KernelVector, .
     with every entry in ``[low..high]``, listed in descending lexicographic
     order (the total order of Lemma 3).
 
+    Kernel sets within one ``<n, m, -, ->`` family form a lattice under the
+    subset order, all contained in the loosest task's set (Table 1's column
+    set).  The implementation exploits this: once the ``<n, m, 0, n>``
+    master list has been enumerated (iteratively) and cached — which every
+    family sweep does first, via the store's kernel columns — every tighter
+    ``(low, high)`` set is a filter over it: a weakly decreasing vector
+    lies within bounds exactly when its first entry is ``<= high`` and its
+    last ``>= low``.  A whole family sweep therefore pays for one
+    enumeration instead of one per ``(l, u)`` pair.  A tight query whose
+    master is *not* cached enumerates directly with the pruned generator —
+    the master can be astronomically larger than the requested set (e.g.
+    ``<200,10,19,21>`` has 6 vectors, its master 1.2e9), so it is never
+    built speculatively.
+
     Returns an empty tuple when the task is infeasible.
     """
     if n < 0 or m < 1:
@@ -63,34 +77,115 @@ def kernel_vectors(n: int, m: int, low: int, high: int) -> tuple[KernelVector, .
     return _kernel_vectors_cached(n, m, max(low, 0), min(high, n))
 
 
-@lru_cache(maxsize=None)
+_KERNEL_SET_CACHE: dict[tuple[int, int, int, int], tuple[KernelVector, ...]] = {}
+
+
 def _kernel_vectors_cached(
     n: int, m: int, low: int, high: int
 ) -> tuple[KernelVector, ...]:
-    vectors = sorted(_descending_compositions(n, m, low, high), reverse=True)
-    return tuple(vectors)
+    key = (n, m, low, high)
+    cached = _KERNEL_SET_CACHE.get(key)
+    if cached is not None:
+        return cached
+    master = _KERNEL_SET_CACHE.get((n, m, 0, n))
+    if master is not None:
+        # The master list is in descending lexicographic order and
+        # filtering preserves it, so derived sets match direct enumeration
+        # byte for byte.
+        result = tuple(
+            vector
+            for vector in master
+            if vector[0] <= high and vector[-1] >= low
+        )
+    else:
+        result = tuple(_descending_compositions(n, m, low, high))
+    _KERNEL_SET_CACHE[key] = result
+    return result
 
 
 def _descending_compositions(
-    remaining: int, slots: int, low: int, high: int, cap: int | None = None
+    remaining: int, slots: int, low: int, high: int
 ) -> Iterator[KernelVector]:
-    """Weakly decreasing `slots`-tuples summing to `remaining`, entries in [low..high]."""
-    if cap is None:
-        cap = high
+    """Weakly decreasing `slots`-tuples summing to `remaining`, entries in [low..high].
+
+    Iterative depth-first walk (explicit choice stack) yielding descending
+    lexicographic order; each output tuple is built exactly once, with no
+    per-level ``(first, *rest)`` rebuilding and no recursion depth limit.
+    """
     if slots == 0:
         if remaining == 0:
             yield ()
         return
-    # Each of the remaining slots holds at least `low`, at most min(cap, high).
-    top = min(cap, high, remaining - low * (slots - 1))
-    bottom = max(low, math.ceil(remaining / slots) if slots else 0)
-    # The first (largest) entry must be at least the average of what is left,
-    # otherwise the weakly-decreasing suffix cannot absorb the remainder.
-    for first in range(top, bottom - 1, -1):
-        for rest in _descending_compositions(
-            remaining - first, slots - 1, low, high, cap=first
-        ):
-            yield (first, *rest)
+    prefix: list[int] = []
+    sums = [remaining] + [0] * slots  # sums[d]: total still to place at depth d
+
+    def choices(depth: int) -> Iterator[int]:
+        rest = sums[depth]
+        left = slots - depth
+        cap = prefix[depth - 1] if depth else high
+        # The largest entry must be at least the average of what is left
+        # (the weakly-decreasing suffix cannot absorb more), and must leave
+        # at least `low` per remaining slot.
+        top = min(cap, rest - low * (left - 1))
+        bottom = max(low, -(-rest // left))
+        return iter(range(top, bottom - 1, -1))
+
+    stack = [choices(0)]
+    while stack:
+        depth = len(stack) - 1
+        value = next(stack[-1], None)
+        if value is None:
+            stack.pop()
+            if prefix:
+                prefix.pop()
+            continue
+        if depth + 1 == slots:
+            yield (*prefix, value)
+            continue
+        prefix.append(value)
+        sums[depth + 1] = sums[depth] - value
+        stack.append(choices(depth + 1))
+
+
+def count_kernel_vectors(n: int, m: int, low: int, high: int) -> int:
+    """``len(kernel_vectors(n, m, low, high))`` without materializing vectors.
+
+    Counts weakly decreasing m-tuples summing to n with entries in
+    ``[low..high]`` by a bounded-partition DP: subtracting ``low`` from
+    every entry leaves partitions of ``n - m*low`` into at most m parts,
+    each at most ``high - low``.  Census-style workloads (solvability and
+    synonym rollups over whole parameter grids) use this to avoid
+    enumerating a single vector.
+    """
+    if n < 0 or m < 1:
+        raise ValueError(f"need n >= 0 and m >= 1, got n={n}, m={m}")
+    low = max(low, 0)
+    high = min(high, n)
+    if low > high:
+        return 0
+    shifted = n - m * low
+    if shifted < 0:
+        return 0
+    return _count_bounded_partitions(shifted, m, high - low)
+
+
+@lru_cache(maxsize=None)
+def _count_bounded_partitions(total: int, slots: int, cap: int) -> int:
+    """Partitions of ``total`` into at most ``slots`` parts, each ``<= cap``."""
+    if total == 0:
+        return 1
+    if slots == 0 or cap == 0:
+        return 0
+    top = min(cap, total)
+    bottom = -(-total // slots)
+    if bottom > top:
+        return 0
+    # Branch on the largest part; the remainder is a smaller instance with
+    # the cap lowered to it (recursion depth is at most `slots`).
+    return sum(
+        _count_bounded_partitions(total - first, slots - 1, first)
+        for first in range(bottom, top + 1)
+    )
 
 
 def counting_vectors(n: int, m: int, low: int, high: int) -> Iterator[tuple[int, ...]]:
@@ -138,6 +233,35 @@ def _bounded_compositions(
             break
         for rest in _bounded_compositions(remaining - first, lower[1:], upper[1:]):
             yield (first, *rest)
+
+
+def count_asymmetric_counting_vectors(
+    n: int, lower: Sequence[int], upper: Sequence[int]
+) -> int:
+    """Number of counting vectors admitted by per-value bounds, by DP.
+
+    Counts the bounded compositions :func:`asymmetric_counting_vectors`
+    would enumerate — ``O(m * n**2)`` work versus the potentially
+    exponential composition count — so synonym/containment checks can
+    reject mismatched tasks without materializing either side.
+    """
+    if n < 0:
+        raise ValueError(f"need n >= 0, got n={n}")
+    ways = [0] * (n + 1)
+    ways[0] = 1
+    for low, high in zip(lower, upper):
+        low = max(low, 0)
+        high = min(high, n)
+        if low > high:
+            return 0
+        nxt = [0] * (n + 1)
+        for partial, count in enumerate(ways):
+            if not count:
+                continue
+            for chosen in range(low, min(high, n - partial) + 1):
+                nxt[partial + chosen] += count
+        ways = nxt
+    return ways[n]
 
 
 def balanced_kernel_vector(n: int, m: int) -> KernelVector:

@@ -25,9 +25,10 @@ from enum import Enum
 from functools import lru_cache
 from typing import Iterator
 
+from .bounds import GSBSpecificationError
 from .canonical import canonical_parameters
-from .gsb import GSBTask, SymmetricGSBTask
-from .kernel import counting_vector
+from .feasibility import is_feasible_symmetric
+from .gsb import GSBTask
 from .task import identity_space
 
 
@@ -62,9 +63,17 @@ def is_communication_free_solvable(task: GSBTask) -> bool:
         return True
     if task.is_symmetric:
         symmetric = task.as_symmetric()
-        low, high = symmetric.low, symmetric.high
-        return low == 0 and high >= math.ceil((2 * task.n - 1) / task.m)
+        return _communication_free_symmetric(
+            task.n, task.m, symmetric.low, symmetric.high
+        )
     return _communication_free_group_sizes(task) is not None
+
+
+def _communication_free_symmetric(n: int, m: int, low: int, high: int) -> bool:
+    """Theorem 9's symmetric closed form (bounds already clamped, n >= 1)."""
+    if m == 1:
+        return True
+    return low == 0 and high >= math.ceil((2 * n - 1) / m)
 
 
 def communication_free_decision_function(task: GSBTask) -> dict[int, int] | None:
@@ -263,12 +272,38 @@ def classify_parameters(
 ) -> tuple[Solvability, str]:
     """Memoized classification of the symmetric task ``<n, m, low, high>``.
 
-    The cache is process-wide and unbounded (the parameter space touched
-    by any sweep is tiny compared to the cost of re-deriving Theorem 9's
-    partition search per call); inspect it via
-    :func:`classification_cache_info`.
+    Pure closed forms over the parameters — no task or bound objects are
+    built, which is what lets census sweeps classify hundreds of
+    thousands of parameterizations per second.  The cache is process-wide
+    and unbounded (the parameter space touched by any sweep is tiny
+    compared to the cost of re-deriving the theorems per call); inspect
+    it via :func:`classification_cache_info`.
     """
-    return _classify_uncached(SymmetricGSBTask(n, m, low, high))
+    # Mirror the SymmetricGSBTask constructor the old implementation went
+    # through: malformed specs raise (same messages, same precedence —
+    # bound checks before the process-count check) rather than being
+    # classified as merely infeasible.
+    low = max(low, 0)
+    if m < 1:
+        raise GSBSpecificationError(f"m must be at least 1, got {m}")
+    if high < 0:
+        raise GSBSpecificationError(
+            f"upper bound of value 1 is negative: {high}"
+        )
+    if low > high:
+        raise GSBSpecificationError(
+            f"value 1 has lower bound {low} > upper bound {high}"
+        )
+    if n < 1:
+        raise GSBSpecificationError(f"need at least one process, got n={n}")
+    high = min(high, n)
+    if not is_feasible_symmetric(n, m, low, high):
+        return Solvability.INFEASIBLE, "empty output set (Lemma 1)"
+    if n == 1:
+        return Solvability.TRIVIAL, "single process decides alone"
+    if _communication_free_symmetric(n, m, low, high):
+        return Solvability.TRIVIAL, "communication-free (Theorem 9)"
+    return _classify_symmetric_parameters(n, m, low, high)
 
 
 def classification_cache_info():
@@ -289,15 +324,20 @@ def _classify_uncached(task: GSBTask) -> tuple[Solvability, str]:
     if is_communication_free_solvable(task):
         return Solvability.TRIVIAL, "communication-free (Theorem 9)"
     if task.is_symmetric:
-        return _classify_symmetric(task.as_symmetric())
+        symmetric = task.as_symmetric()
+        return _classify_symmetric_parameters(
+            symmetric.n, symmetric.m, symmetric.low, symmetric.high
+        )
     if _is_election(task):
         return Solvability.UNSOLVABLE, "election (Theorem 11)"
     return Solvability.OPEN, "asymmetric task outside the paper's results"
 
 
-def _classify_symmetric(task: SymmetricGSBTask) -> tuple[Solvability, str]:
-    n, m, _, _ = task.parameters
-    low_c, high_c = canonical_parameters(n, m, task.low, task.high)
+def _classify_symmetric_parameters(
+    n: int, m: int, low: int, high: int
+) -> tuple[Solvability, str]:
+    """Sections 5.2-5.3 for a feasible, non-trivial symmetric task."""
+    low_c, high_c = canonical_parameters(n, m, low, high)
     if (m, low_c, high_c) == (n, 1, 1):
         return Solvability.UNSOLVABLE, "perfect renaming (Corollary 5)"
     if low_c >= 1 and m > 1 and not binomials_coprime(n):
@@ -306,7 +346,12 @@ def _classify_symmetric(task: SymmetricGSBTask) -> tuple[Solvability, str]:
             f"l >= 1 and gcd{{C({n},i)}} = {binomial_gcd(n)} != 1 "
             "(Theorem 10 with Lemma 5)",
         )
-    if _is_wsb(task) :
+    is_wsb = (
+        n >= 2
+        and m == 2
+        and (low_c, high_c) == canonical_parameters(n, 2, 1, n - 1)
+    )
+    if is_wsb:
         if binomials_coprime(n):
             return (
                 Solvability.SOLVABLE,
@@ -316,7 +361,7 @@ def _classify_symmetric(task: SymmetricGSBTask) -> tuple[Solvability, str]:
             Solvability.UNSOLVABLE,
             "WSB with non-coprime binomials (Theorem 10)",
         )
-    if _is_renaming(task, 2 * n - 2):
+    if m == 2 * n - 2 and (low_c, high_c) == (0, 1):
         if binomials_coprime(n):
             return (
                 Solvability.SOLVABLE,
@@ -327,21 +372,6 @@ def _classify_symmetric(task: SymmetricGSBTask) -> tuple[Solvability, str]:
             "(2n-2)-renaming with non-coprime binomials [17]",
         )
     return Solvability.OPEN, "between trivial and perfect renaming; open in the paper"
-
-
-def _is_wsb(task: SymmetricGSBTask) -> bool:
-    n = task.n
-    if n < 2 or task.m != 2:
-        return False
-    return canonical_parameters(n, 2, task.low, task.high) == canonical_parameters(
-        n, 2, 1, n - 1
-    )
-
-
-def _is_renaming(task: SymmetricGSBTask, m: int) -> bool:
-    if task.m != m:
-        return False
-    return canonical_parameters(task.n, m, task.low, task.high) == (0, 1)
 
 
 def _is_election(task: GSBTask) -> bool:

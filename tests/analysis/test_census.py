@@ -1,0 +1,143 @@
+"""Tests for the parallel census pipeline (repro.analysis.census)."""
+
+import json
+
+from repro.analysis import (
+    census_report_to_json,
+    compute_census_cell,
+    family_solvability_census,
+    grid_cells,
+    render_census_report,
+    run_census,
+    write_census_json,
+)
+from repro.analysis.census import _partition_cells
+from repro.core import (
+    Solvability,
+    classify,
+    family_entries,
+    family_statistics,
+)
+
+
+class TestCensusCell:
+    def test_cell_matches_family_statistics(self):
+        for n, m in [(6, 3), (8, 4), (5, 2), (2, 1)]:
+            cell = compute_census_cell(n, m)
+            stats = family_statistics(n, m)
+            assert cell.feasible_rows == stats["feasible_parameterizations"]
+            assert cell.synonym_classes == stats["synonym_classes"]
+            assert cell.kernel_columns == stats["kernel_columns"]
+            for verdict, count in cell.solvability_counts().items():
+                assert stats[f"solvability[{verdict.value}]"] == count
+
+    def test_cell_marks_equal_materialized_kernel_sets(self):
+        cell = compute_census_cell(6, 3)
+        assert cell.kernel_marks == sum(
+            len(entry.kernel_set) for entry in family_entries(6, 3)
+        )
+
+    def test_cell_verdicts_match_classify(self):
+        cell = compute_census_cell(7, 3)
+        direct = {}
+        for entry in family_entries(7, 3):
+            verdict, _ = classify(entry.task)
+            direct[verdict] = direct.get(verdict, 0) + 1
+        assert cell.solvability_counts() == direct
+
+
+class TestGrid:
+    def test_grid_skips_m_above_n(self):
+        cells = grid_cells(range(2, 5), range(1, 7))
+        assert (2, 3) not in cells
+        assert (4, 4) in cells
+        assert all(m <= n for n, m in cells)
+
+    def test_partition_covers_all_cells_disjointly(self):
+        cells = grid_cells(range(2, 15), range(1, 5))
+        shards = _partition_cells(cells, 4)
+        flattened = [cell for shard in shards for cell in shard]
+        assert sorted(flattened) == sorted(cells)
+        assert 1 <= len(shards) <= 4
+
+    def test_partition_with_more_shards_than_cells(self):
+        shards = _partition_cells([(2, 1), (3, 2)], 8)
+        assert sorted(c for s in shards for c in s) == [(2, 1), (3, 2)]
+
+
+class TestRunCensus:
+    def test_serial_census_pinned_to_pre_refactor_result(self):
+        # The acceptance grid: identical counts to the pre-store,
+        # full-enumeration implementation (captured at the seed commit).
+        census = family_solvability_census(range(2, 21), range(1, 7))
+        assert census == {
+            Solvability.TRIVIAL: 722,
+            Solvability.SOLVABLE: 21,
+            Solvability.UNSOLVABLE: 1384,
+            Solvability.OPEN: 1544,
+        }
+
+    def test_census_equals_entry_enumeration(self):
+        by_entries: dict[Solvability, int] = {}
+        for n in range(3, 9):
+            for m in range(1, 5):
+                if m > n:
+                    continue
+                for entry in family_entries(n, m):
+                    by_entries[entry.solvability] = (
+                        by_entries.get(entry.solvability, 0) + 1
+                    )
+        assert family_solvability_census(range(3, 9), range(1, 5)) == by_entries
+
+    def test_parallel_matches_serial(self):
+        serial = run_census(range(2, 11), range(1, 5), jobs=0)
+        parallel = run_census(range(2, 11), range(1, 5), jobs=2)
+        assert parallel.cells == serial.cells
+        assert parallel.solvability_totals() == serial.solvability_totals()
+
+    def test_report_rollups(self):
+        report = run_census(range(2, 7), range(1, 4))
+        assert report.feasible_rows == sum(
+            cell.feasible_rows for cell in report.cells
+        )
+        assert report.n_range == (2, 6)
+        assert report.m_range == (1, 3)
+        assert report.seconds >= 0
+
+
+class TestRendering:
+    def test_render_per_n_rollup(self):
+        report = run_census(range(2, 7), range(1, 4))
+        text = render_census_report(report)
+        assert "GSB universe census" in text
+        assert "solvability:" in text
+        assert "| n" in text
+
+    def test_render_per_cell(self):
+        report = run_census(range(2, 5), range(1, 3))
+        text = render_census_report(report, per_cell=True)
+        assert "| n" in text and "| m" in text
+
+    def test_json_roundtrip(self, tmp_path):
+        report = run_census(range(2, 7), range(1, 4))
+        path = tmp_path / "census.json"
+        write_census_json(report, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == census_report_to_json(report)
+        assert loaded["grid"]["max_n"] == 6
+        assert loaded["totals"]["feasible_rows"] == report.feasible_rows
+        assert len(loaded["cells"]) == len(report.cells)
+
+    def test_solvability_totals_order_is_stable(self):
+        report = run_census(range(2, 9), range(1, 4))
+        names = list(report.solvability_totals())
+        assert names == [
+            name
+            for name in (
+                Solvability.TRIVIAL.value,
+                Solvability.SOLVABLE.value,
+                Solvability.UNSOLVABLE.value,
+                Solvability.OPEN.value,
+            )
+            if name in names
+        ]

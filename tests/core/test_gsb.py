@@ -171,6 +171,73 @@ class TestIdentityAndComparison:
         assert SymmetricGSBTask(3, 2, 0, 3) != "not a task"
 
 
+class TestSynonymCheckScaling:
+    """Regression: base-class synonym checks must not materialize vectors.
+
+    Before the kernel-set fast path, comparing two plain GSBTask instances
+    with uniform bounds at n=60, m=8 built two counting-vector sets of
+    ~C(59,7) = 341 million tuples each — the old path visibly stalls
+    (hours), while the kernel comparison finishes in milliseconds.
+    """
+
+    def test_uniform_bound_gsb_tasks_compare_by_kernel_set(self):
+        import time
+
+        started = time.perf_counter()
+        # <60,8,1,53> and <60,8,1,60> are synonyms (a value can never be
+        # decided more than 60 - 7 = 53 times when all bounds are >= 1);
+        # <60,8,1,30> admits strictly fewer counting vectors.
+        wide = GSBTask(60, BoundVector.symmetric(8, 1, 60))
+        clamped = GSBTask(60, BoundVector.symmetric(8, 1, 53))
+        tight = GSBTask(60, BoundVector.symmetric(8, 1, 30))
+        assert wide.same_task(clamped)
+        assert hash(wide) == hash(clamped)
+        assert not wide.same_task(tight)
+        assert wide.includes(tight)
+        assert not tight.includes(wide)
+        assert time.perf_counter() - started < 10.0
+
+    def test_fast_path_agrees_with_materialized_sets_when_small(self):
+        for low, high in [(0, 4), (1, 3), (2, 2), (1, 4)]:
+            for other_low, other_high in [(0, 4), (1, 3), (1, 4)]:
+                first = GSBTask(4, BoundVector.symmetric(2, low, high))
+                second = GSBTask(
+                    4, BoundVector.symmetric(2, other_low, other_high)
+                )
+                materialized_same = set(first.counting_vectors()) == set(
+                    second.counting_vectors()
+                )
+                materialized_includes = set(second.counting_vectors()) <= set(
+                    first.counting_vectors()
+                )
+                assert first.same_task(second) == materialized_same
+                assert first.includes(second) == materialized_includes
+
+    def test_asymmetric_cardinality_precheck_rejects_cheaply(self):
+        # Counts differ, so the DP settles it without set comparison.
+        first = GSBTask(6, BoundVector(lower=(1, 0, 0), upper=(4, 4, 4)))
+        second = GSBTask(6, BoundVector(lower=(2, 0, 0), upper=(4, 4, 4)))
+        assert first.count_counting_vectors() != second.count_counting_vectors()
+        assert not first.same_task(second)
+
+    def test_count_counting_vectors_matches_enumeration(self):
+        task = GSBTask(5, BoundVector(lower=(0, 1, 0), upper=(3, 4, 2)))
+        assert task.count_counting_vectors() == sum(
+            1 for _ in task.counting_vectors()
+        )
+
+    def test_hash_eq_contract_across_representations(self):
+        # Extensionally equal tasks must hash equal whatever their
+        # representation: SymmetricGSBTask, uniform-bounds GSBTask, or an
+        # asymmetric bound vector admitting the same counting set.
+        uniform = GSBTask(4, BoundVector.symmetric(2, 1, 3))
+        lopsided = GSBTask(4, BoundVector(lower=(1, 1), upper=(3, 4)))
+        symmetric = SymmetricGSBTask(4, 2, 1, 3)
+        assert uniform == lopsided == symmetric
+        assert hash(uniform) == hash(lopsided) == hash(symmetric)
+        assert len({uniform, lopsided, symmetric}) == 1
+
+
 class TestFeasibility:
     def test_feasible(self):
         assert SymmetricGSBTask(6, 3, 1, 4).is_feasible

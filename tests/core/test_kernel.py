@@ -2,12 +2,16 @@
 
 import itertools
 import math
+import random
+import time
 
 import pytest
 
 from repro.core import (
     SymmetricGSBTask,
     balanced_kernel_vector,
+    count_asymmetric_counting_vectors,
+    count_kernel_vectors,
     counting_vector,
     is_gsb_kernel_set,
     is_kernel_vector,
@@ -19,6 +23,30 @@ from repro.core.kernel import (
     counting_vectors,
     kernel_set_is_lexicographically_sorted,
 )
+
+
+def _seed_descending_compositions(remaining, slots, low, high, cap=None):
+    """The seed repo's recursive enumeration, kept as the reference oracle."""
+    if cap is None:
+        cap = high
+    if slots == 0:
+        if remaining == 0:
+            yield ()
+        return
+    top = min(cap, high, remaining - low * (slots - 1))
+    bottom = max(low, math.ceil(remaining / slots))
+    for first in range(top, bottom - 1, -1):
+        for rest in _seed_descending_compositions(
+            remaining - first, slots - 1, low, high, cap=first
+        ):
+            yield (first, *rest)
+
+
+def _seed_kernel_vectors(n, m, low, high):
+    low, high = max(low, 0), min(high, n)
+    return tuple(
+        sorted(_seed_descending_compositions(n, m, low, high), reverse=True)
+    )
 
 
 class TestCountingVector:
@@ -87,6 +115,123 @@ class TestKernelVectors:
             kernel_vectors(-1, 3, 0, 1)
         with pytest.raises(ValueError):
             kernel_vectors(3, 0, 0, 1)
+
+
+class TestKernelLatticeSharing:
+    """The master-filter implementation must match the seed byte for byte."""
+
+    def test_byte_identical_to_seed_for_all_small_grids(self):
+        for n in range(0, 13):
+            for m in range(1, n + 2):
+                for low in range(0, n + 2):
+                    for high in range(low, n + 2):
+                        assert kernel_vectors(n, m, low, high) == (
+                            _seed_kernel_vectors(n, m, low, high)
+                        ), (n, m, low, high)
+
+    def test_every_tight_set_filters_the_master(self):
+        master = set(kernel_vectors(9, 4, 0, 9))
+        for low in range(0, 4):
+            for high in range(low, 10):
+                assert set(kernel_vectors(9, 4, low, high)) <= master
+
+    def test_filter_path_matches_direct_path(self):
+        from repro.core.kernel import _KERNEL_SET_CACHE
+
+        for low, high in [(1, 5), (2, 4), (0, 3)]:
+            _KERNEL_SET_CACHE.pop((11, 4, low, high), None)
+            _KERNEL_SET_CACHE.pop((11, 4, 0, 11), None)
+            direct = kernel_vectors(11, 4, low, high)
+            _KERNEL_SET_CACHE.pop((11, 4, low, high), None)
+            kernel_vectors(11, 4, 0, 11)  # cache the master
+            assert kernel_vectors(11, 4, low, high) == direct
+
+    def test_tight_query_never_builds_a_huge_master(self):
+        # <200,10,19,21> has 6 vectors; its master has ~1.2e9.  The tight
+        # query must use the pruned generator, not the master filter.
+        started = time.perf_counter()
+        kernels = kernel_vectors(200, 10, 19, 21)
+        assert time.perf_counter() - started < 5.0
+        assert len(kernels) == count_kernel_vectors(200, 10, 19, 21) == 6
+
+    def test_large_single_family_is_fast(self):
+        # The acceptance workload: <60,8,1,30> must complete well under a
+        # second (the generous bound absorbs slow CI machines).
+        started = time.perf_counter()
+        kernels = kernel_vectors(60, 8, 1, 30)
+        elapsed = time.perf_counter() - started
+        assert len(kernels) == count_kernel_vectors(60, 8, 1, 30)
+        assert elapsed < 5.0
+
+
+class TestCountKernelVectors:
+    def test_matches_enumeration_on_randomized_grid(self):
+        rng = random.Random(20260727)
+        for _ in range(300):
+            n = rng.randint(0, 24)
+            m = rng.randint(1, 8)
+            low = rng.randint(0, 5)
+            high = rng.randint(low, max(low, n + 2))
+            assert count_kernel_vectors(n, m, low, high) == len(
+                kernel_vectors(n, m, low, high)
+            ), (n, m, low, high)
+
+    def test_counts_without_materializing_at_scale(self):
+        # Far past any size the enumerator could touch: partitions of 400
+        # into at most 12 parts, counted exactly.
+        assert count_kernel_vectors(400, 12, 0, 400) > 10**12
+
+    def test_infeasible_counts_zero(self):
+        assert count_kernel_vectors(6, 3, 3, 3) == 0
+        assert count_kernel_vectors(6, 3, 0, 1) == 0
+
+    def test_cross_check_against_output_vector_totals(self):
+        # Summing multinomials over the kernel set must equal the task's
+        # own DP-free output-vector count, and m**n for the loosest task.
+        for n, m, low, high in [(6, 3, 0, 6), (6, 3, 1, 4), (7, 2, 1, 6)]:
+            task = SymmetricGSBTask(n, m, low, high)
+            by_kernels = sum(
+                count_output_vectors(kernel, n)
+                for kernel in kernel_vectors(n, m, low, high)
+            )
+            assert by_kernels == task.count_output_vectors()
+        assert sum(
+            count_output_vectors(kernel, 5)
+            for kernel in kernel_vectors(5, 3, 0, 5)
+        ) == 3**5
+
+    def test_rejects_bad_n_m(self):
+        with pytest.raises(ValueError):
+            count_kernel_vectors(-1, 3, 0, 1)
+        with pytest.raises(ValueError):
+            count_kernel_vectors(3, 0, 0, 1)
+
+
+class TestCountAsymmetricCountingVectors:
+    def test_matches_enumeration(self):
+        rng = random.Random(7)
+        for _ in range(100):
+            n = rng.randint(0, 10)
+            m = rng.randint(1, 4)
+            lower = tuple(rng.randint(0, 3) for _ in range(m))
+            upper = tuple(
+                low + rng.randint(0, 5) for low in lower
+            )
+            task = count_asymmetric_counting_vectors(n, lower, upper)
+            brute = sum(
+                1
+                for combo in itertools.product(range(n + 1), repeat=m)
+                if sum(combo) == n
+                and all(
+                    lo <= c <= min(up, n)
+                    for c, lo, up in zip(combo, lower, upper)
+                )
+            )
+            assert task == brute, (n, lower, upper)
+
+    def test_symmetric_case_agrees_with_counting_vectors(self):
+        total = count_asymmetric_counting_vectors(6, (1,) * 3, (4,) * 3)
+        assert total == sum(1 for _ in counting_vectors(6, 3, 1, 4))
 
 
 class TestCountingVectors:

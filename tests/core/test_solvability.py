@@ -151,6 +151,35 @@ class TestClassification:
         verdict, _ = classify(SymmetricGSBTask(1, 1, 1, 1))
         assert verdict is Solvability.TRIVIAL
 
+    def test_classify_parameters_rejects_malformed_specs(self):
+        # Same error contract as the SymmetricGSBTask constructor the old
+        # implementation routed through: malformed is an error, not
+        # INFEASIBLE.
+        from repro.core import GSBSpecificationError, classify_parameters
+
+        with pytest.raises(GSBSpecificationError, match="at least one"):
+            classify_parameters(0, 3, 0, 0)
+        with pytest.raises(GSBSpecificationError, match="at least one"):
+            classify_parameters(-2, 3, 0, 1)
+        with pytest.raises(GSBSpecificationError, match="m must be"):
+            classify_parameters(6, 0, 0, 3)
+        with pytest.raises(GSBSpecificationError, match="lower bound 5"):
+            classify_parameters(6, 3, 5, 2)
+        with pytest.raises(GSBSpecificationError, match="negative"):
+            classify_parameters(6, 3, 0, -1)
+
+    def test_classify_parameters_matches_task_classification(self):
+        from repro.core import classify_parameters
+
+        for n in range(1, 10):
+            for m in range(1, n + 1):
+                for low in range(n + 1):
+                    for high in range(low, n + 1):
+                        task = SymmetricGSBTask(n, m, low, high)
+                        assert classify_parameters(n, m, low, high) == (
+                            classify(task)
+                        )
+
     def test_perfect_renaming_unsolvable(self):
         for n in (2, 3, 5, 6):
             verdict, reason = classify(perfect_renaming(n))

@@ -46,6 +46,35 @@ class TestCommands:
         assert main(["classify", "6", "3", "3", "3"]) == 0
         assert "infeasible" in capsys.readouterr().out
 
+    def test_census(self, capsys):
+        assert main(["census", "--max-n", "10", "--max-m", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "GSB universe census" in out
+        assert "solvability:" in out
+
+    def test_census_per_cell_and_json(self, capsys, tmp_path):
+        path = tmp_path / "census.json"
+        assert (
+            main(
+                [
+                    "census", "--max-n", "8", "--max-m", "3",
+                    "--per-cell", "--json", str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"wrote {path}" in out
+        assert path.exists()
+
+    def test_census_parallel(self, capsys):
+        assert main(["census", "--max-n", "8", "--max-m", "3", "--jobs", "2"]) == 0
+        assert "jobs=2" in capsys.readouterr().out
+
+    def test_census_rejects_bad_range(self, capsys):
+        assert main(["census", "--min-n", "9", "--max-n", "4"]) == 2
+        assert "error" in capsys.readouterr().err
+
     def test_verify(self, capsys):
         assert main(["verify"]) == 0
         out = capsys.readouterr().out
