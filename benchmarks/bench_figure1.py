@@ -36,3 +36,36 @@ def bench_figure1_larger_family(benchmark):
     assert nx.is_directed_acyclic_graph(figure.graph)
     sinks = [n for n in figure.graph if figure.graph.out_degree(n) == 0]
     assert sinks == [(3, 3)]  # hardest <12,4> task
+
+
+# ----------------------------------------------------------------------
+# Satellite: containment via kernel-set bitmasks vs pairwise includes().
+# The two benches run the identical workload — the full strict-containment
+# digraph of a large canonical family — so their ratio is the measured win
+# of routing `containment_digraph` through the universe subsystem's masks.
+# ----------------------------------------------------------------------
+
+_BIG_FAMILY = (20, 5)
+
+
+def _canonical_tasks():
+    from repro.core import canonical_family
+
+    return canonical_family(*_BIG_FAMILY)
+
+
+def bench_containment_digraph_bitmask(benchmark):
+    from repro.core import containment_digraph
+
+    tasks = _canonical_tasks()
+    graph = benchmark(containment_digraph, tasks)
+    assert graph.number_of_nodes() == len(tasks)
+
+
+def bench_containment_digraph_legacy(benchmark):
+    from repro.core import containment_digraph
+
+    tasks = _canonical_tasks()
+    graph = benchmark(containment_digraph, tasks, "legacy")
+    # Same relation either way: the speedup must not change the edges.
+    assert set(graph.edges) == set(containment_digraph(tasks).edges)

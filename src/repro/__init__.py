@@ -17,6 +17,10 @@ mechanizes the whole development:
   substrate (Luby MIS, coloring, ring election) on networkx graphs.
 * :mod:`repro.analysis` — regenerates the paper's Table 1 and Figure 1 and
   the derived experiment reports.
+* :mod:`repro.universe` — the map of the universe itself: the persistent
+  cross-family reducibility graph (containment, Theorem 8 universality,
+  registry-certified reductions) with its disk-backed incremental store,
+  query API and DOT/JSON/GraphML exporters.
 
 Quickstart::
 

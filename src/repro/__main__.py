@@ -2,16 +2,28 @@
 
 Usage::
 
-    python -m repro table1 [--n 6 --m 3]
+    python -m repro table1 [--n 6 --m 3] [--json [PATH]]
     python -m repro figure1 [--n 6 --m 3] [--dot]
-    python -m repro atlas --n 8 --m 4
-    python -m repro named --n 6
+    python -m repro atlas --n 8 --m 4 [--json [PATH]]
+    python -m repro named --n 6 [--json [PATH]]
     python -m repro binomials [--max-n 32]
-    python -m repro classify N M L U
+    python -m repro classify N M L U [--json [PATH]]
     python -m repro census --max-n 40 [--min-n 2] [--max-m 6] [--jobs 8]
-                           [--per-cell] [--json out.json]
+                           [--per-cell] [--json [out.json]]
+    python -m repro universe build [--max-n 20 --max-m 6 --jobs 4]
+                                   [--dir universe_store] [--force]
+    python -m repro universe stats [--dir ...] [--json [PATH]]
+    python -m repro universe query [--dir ...] (--harder-than N M L U |
+                                   --weaker-than N M L U | --path 8xINT |
+                                   --frontier | --incomparable N M)
+    python -m repro universe export [--dir ...] --format dot|json|graphml
+                                    [--out PATH]
     python -m repro explore [--tasks wsb,election,renaming] [--n 2 3 4]
     python -m repro verify
+
+The ``--json`` flag is uniform across report subcommands: bare it prints
+the JSON payload to stdout instead of the ASCII rendering; with a path it
+writes the payload there and announces ``wrote PATH``.
 
 ``verify`` is the one-shot acceptance check: Table 1 and Figure 1 must
 match the published content, and Figure 2 must pass exhaustive model
@@ -24,13 +36,36 @@ import argparse
 import sys
 
 
+def _json_only(args) -> bool:
+    """Bare ``--json`` means: print the payload, skip the ASCII report."""
+    return getattr(args, "json", None) == "-"
+
+
 def _cmd_table1(args) -> int:
-    from .analysis import render_table1, table1, table1_matches_paper
+    from .analysis import (
+        emit_json,
+        render_table1,
+        table1,
+        table1_matches_paper,
+        table1_to_json,
+    )
 
     table = table1(args.n, args.m)
-    print(render_table1(table))
+    ok, problems = True, []
     if (args.n, args.m) == (6, 3):
         ok, problems = table1_matches_paper(table)
+    if args.json:
+        payload = table1_to_json(table)
+        if (args.n, args.m) == (6, 3):
+            payload["matches_paper"] = ok
+            if problems:
+                payload["problems"] = problems
+        emit_json(payload, args.json)
+        if _json_only(args):
+            # JSON mode still drives the exit code off the acceptance check.
+            return 0 if ok else 1
+    print(render_table1(table))
+    if (args.n, args.m) == (6, 3):
         print(f"\nmatches the published Table 1: {ok}")
         if problems:
             for problem in problems:
@@ -42,7 +77,7 @@ def _cmd_table1(args) -> int:
 def _cmd_figure1(args) -> int:
     from .analysis import figure1, render_figure1, to_dot
 
-    figure = figure1(args.n, args.m)
+    figure = figure1(args.n, args.m, method=args.method)
     if args.dot:
         print(to_dot(figure))
     else:
@@ -51,15 +86,23 @@ def _cmd_figure1(args) -> int:
 
 
 def _cmd_atlas(args) -> int:
-    from .analysis import render_family_atlas
+    from .analysis import atlas_to_json, emit_json, render_family_atlas
 
+    if args.json:
+        emit_json(atlas_to_json(args.n, args.m), args.json)
+        if _json_only(args):
+            return 0
     print(render_family_atlas(args.n, args.m))
     return 0
 
 
 def _cmd_named(args) -> int:
-    from .analysis import render_named_tasks
+    from .analysis import emit_json, named_to_json, render_named_tasks
 
+    if args.json:
+        emit_json(named_to_json(args.n), args.json)
+        if _json_only(args):
+            return 0
     print(render_named_tasks(args.n))
     return 0
 
@@ -72,8 +115,16 @@ def _cmd_binomials(args) -> int:
 
 
 def _cmd_classify(args) -> int:
+    from .analysis import classify_to_json, emit_json
     from .core import SymmetricGSBTask, canonical_representative, classify
 
+    if args.json:
+        emit_json(
+            classify_to_json(args.task_n, args.task_m, args.task_l, args.task_u),
+            args.json,
+        )
+        if _json_only(args):
+            return 0
     task = SymmetricGSBTask(args.task_n, args.task_m, args.task_l, args.task_u)
     verdict, reason = classify(task)
     print(f"task: {task}")
@@ -86,7 +137,12 @@ def _cmd_classify(args) -> int:
 
 
 def _cmd_census(args) -> int:
-    from .analysis import render_census_report, run_census, write_census_json
+    from .analysis import (
+        census_report_to_json,
+        emit_json,
+        render_census_report,
+        run_census,
+    )
 
     if args.min_n < 1 or args.max_n < args.min_n:
         print(
@@ -106,10 +162,202 @@ def _cmd_census(args) -> int:
         range(1, args.max_m + 1),
         jobs=args.jobs,
     )
-    print(render_census_report(report, per_cell=args.per_cell))
+    if not _json_only(args):
+        print(render_census_report(report, per_cell=args.per_cell))
+        if args.json:
+            print()
     if args.json:
-        write_census_json(report, args.json)
-        print(f"\nwrote {args.json}")
+        emit_json(census_report_to_json(report), args.json)
+    return 0
+
+
+def _universe_store(args):
+    from .universe import UniverseStore
+
+    return UniverseStore(args.dir)
+
+
+def _load_universe(args):
+    """Load the built graph, or print a friendly error and return None."""
+    try:
+        return _universe_store(args).load()
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+
+
+def _cmd_universe_build(args) -> int:
+    if args.max_n < 1 or args.max_m < 1:
+        print(
+            f"error: need --max-n, --max-m >= 1, got {args.max_n}, {args.max_m}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs < 0:
+        print(f"error: need --jobs >= 0, got {args.jobs}", file=sys.stderr)
+        return 2
+    store = _universe_store(args)
+    report = store.build(args.max_n, args.max_m, jobs=args.jobs, force=args.force)
+    print(
+        "universe build: rectangle n <= {}, m <= {} ({} cells: {} built, "
+        "{} reused, jobs={}, {:.2f}s) -> {}".format(
+            report.max_n, report.max_m, report.cells_total, report.cells_built,
+            report.cells_reused, report.jobs, report.seconds, store.root,
+        )
+    )
+    stats = store.stats()
+    print(
+        f"store now holds {stats['cells']} cells, {stats['nodes']} synonym "
+        f"classes, {stats['containment_edges']} containment edges"
+    )
+    return 0
+
+
+def _cmd_universe_stats(args) -> int:
+    from .analysis import emit_json
+    from .universe import render_universe_stats
+
+    graph = _load_universe(args)
+    if graph is None:
+        return 2
+    if args.json:
+        # Summary counts only; `universe export --format json` is the
+        # full dump (the aggregate register_certified count is in stats).
+        payload = {
+            "store": _universe_store(args).stats(),
+            "cells": [list(cell) for cell in sorted(graph.cells)],
+            "stats": graph.stats(),
+        }
+        emit_json(payload, args.json)
+        if _json_only(args):
+            return 0
+    print(render_universe_stats(graph))
+    return 0
+
+
+def _cmd_universe_query(args) -> int:
+    from .analysis import emit_json
+    from .universe import (
+        harder_cone,
+        incomparable_pairs,
+        reduction_path,
+        resolve_key,
+        solvability_frontier,
+        weaker_cone,
+    )
+
+    graph = _load_universe(args)
+    if graph is None:
+        return 2
+
+    def label(key) -> str:
+        node = graph.node(key)
+        names = f"  ({', '.join(node.labels)})" if node.labels else ""
+        return "<{},{},{},{}> [{}]{}".format(*key, node.solvability, names)
+
+    try:
+        if args.harder_than or args.weaker_than:
+            cone = harder_cone if args.harder_than else weaker_cone
+            key = resolve_key(graph, *(args.harder_than or args.weaker_than))
+            keys = cone(graph, key)
+            direction = "harder than" if args.harder_than else "weaker than"
+            payload = {
+                "query": direction.replace(" ", "_"),
+                "task": list(key),
+                "cone": [list(k) for k in keys],
+            }
+            if not _json_only(args):
+                print(f"{len(keys)} tasks {direction} {label(key)}:")
+                for other in keys:
+                    print(f"  {label(other)}")
+        elif args.path:
+            source = resolve_key(graph, *args.path[:4])
+            target = resolve_key(graph, *args.path[4:])
+            path = reduction_path(graph, source, target)
+            payload = {
+                "query": "path",
+                "source": list(source),
+                "target": list(target),
+                "path": None
+                if path is None
+                else [
+                    {
+                        "source": list(edge.source),
+                        "target": list(edge.target),
+                        "kind": edge.kind,
+                        "label": edge.label,
+                    }
+                    for edge in path
+                ],
+            }
+            if not _json_only(args):
+                if path is None:
+                    print(f"no certified path {label(source)} -> {label(target)}")
+                else:
+                    print(f"path ({len(path)} edges):")
+                    for edge in path:
+                        via = f" via {edge.label}" if edge.label else ""
+                        print(
+                            f"  {label(edge.source)} -> {label(edge.target)}"
+                            f"  [{edge.kind}{via}]"
+                        )
+        elif args.incomparable:
+            n, m = args.incomparable
+            pairs = incomparable_pairs(graph, n, m)
+            payload = {
+                "query": "incomparable",
+                "family": [n, m],
+                "pairs": [[list(a), list(b)] for a, b in pairs],
+            }
+            if not _json_only(args):
+                print(f"{len(pairs)} incomparable pairs in <{n},{m},-,->:")
+                for first, second in pairs:
+                    print(f"  {label(first)}  ||  {label(second)}")
+        else:  # --frontier
+            report = solvability_frontier(graph)
+            payload = {
+                "query": "frontier",
+                "counts": report.counts,
+                "boundary": [
+                    {
+                        "source": list(edge.source),
+                        "target": list(edge.target),
+                        "kind": edge.kind,
+                        "label": edge.label,
+                    }
+                    for edge in report.boundary
+                ],
+            }
+            if not _json_only(args):
+                print("solvability frontier:")
+                for verdict, count in report.counts.items():
+                    print(f"  {verdict}: {count}")
+                print(f"boundary edges (into unsolvability): {len(report.boundary)}")
+                for edge in report.boundary[: args.limit]:
+                    print(f"  {label(edge.source)} -> {label(edge.target)}")
+                if len(report.boundary) > args.limit:
+                    print(f"  ... {len(report.boundary) - args.limit} more")
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    if args.json:
+        emit_json(payload, args.json)
+    return 0
+
+
+def _cmd_universe_export(args) -> int:
+    from .universe import universe_export, write_text
+
+    graph = _load_universe(args)
+    if graph is None:
+        return 2
+    text = universe_export(graph, args.format)
+    if args.out:
+        write_text(text, args.out)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -219,24 +467,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_json_flag(target_parser) -> None:
+        """The uniform --json [PATH] flag shared by report subcommands."""
+        target_parser.add_argument(
+            "--json",
+            metavar="PATH",
+            nargs="?",
+            const="-",
+            default=None,
+            help="emit a JSON payload: to PATH, or to stdout when bare "
+            "(replacing the ASCII report)",
+        )
+
     table1_parser = subparsers.add_parser("table1", help="regenerate Table 1")
     table1_parser.add_argument("--n", type=int, default=6)
     table1_parser.add_argument("--m", type=int, default=3)
+    add_json_flag(table1_parser)
     table1_parser.set_defaults(handler=_cmd_table1)
 
     figure1_parser = subparsers.add_parser("figure1", help="regenerate Figure 1")
     figure1_parser.add_argument("--n", type=int, default=6)
     figure1_parser.add_argument("--m", type=int, default=3)
     figure1_parser.add_argument("--dot", action="store_true")
+    figure1_parser.add_argument(
+        "--method",
+        choices=["universe", "legacy"],
+        default="universe",
+        help="diagram construction path (regression tests pin them identical)",
+    )
     figure1_parser.set_defaults(handler=_cmd_figure1)
 
     atlas_parser = subparsers.add_parser("atlas", help="annotated family atlas")
     atlas_parser.add_argument("--n", type=int, required=True)
     atlas_parser.add_argument("--m", type=int, required=True)
+    add_json_flag(atlas_parser)
     atlas_parser.set_defaults(handler=_cmd_atlas)
 
     named_parser = subparsers.add_parser("named", help="named-task verdicts")
     named_parser.add_argument("--n", type=int, default=6)
+    add_json_flag(named_parser)
     named_parser.set_defaults(handler=_cmd_named)
 
     binomials_parser = subparsers.add_parser(
@@ -252,6 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
     classify_parser.add_argument("task_m", type=int, metavar="M")
     classify_parser.add_argument("task_l", type=int, metavar="L")
     classify_parser.add_argument("task_u", type=int, metavar="U")
+    add_json_flag(classify_parser)
     classify_parser.set_defaults(handler=_cmd_classify)
 
     census_parser = subparsers.add_parser(
@@ -275,10 +545,110 @@ def build_parser() -> argparse.ArgumentParser:
     census_parser.add_argument(
         "--json",
         metavar="PATH",
+        nargs="?",
+        const="-",
         default=None,
-        help="also dump the full per-cell census as JSON",
+        help="also dump the full per-cell census as JSON (to stdout when bare)",
     )
     census_parser.set_defaults(handler=_cmd_census)
+
+    universe_parser = subparsers.add_parser(
+        "universe",
+        help="the cross-family reducibility map (build/query/export/stats)",
+    )
+    universe_sub = universe_parser.add_subparsers(
+        dest="universe_command", required=True
+    )
+
+    def add_dir_flag(target_parser) -> None:
+        target_parser.add_argument(
+            "--dir",
+            default="universe_store",
+            help="store directory (default: ./universe_store)",
+        )
+
+    ubuild_parser = universe_sub.add_parser(
+        "build", help="incrementally materialize a parameter rectangle"
+    )
+    ubuild_parser.add_argument("--max-n", type=int, default=20)
+    ubuild_parser.add_argument("--max-m", type=int, default=6)
+    ubuild_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="shard missing cells over a process pool (0 = in-process)",
+    )
+    ubuild_parser.add_argument(
+        "--force", action="store_true", help="recompute cells already on disk"
+    )
+    add_dir_flag(ubuild_parser)
+    ubuild_parser.set_defaults(handler=_cmd_universe_build)
+
+    ustats_parser = universe_sub.add_parser(
+        "stats", help="store and graph summary counts"
+    )
+    add_dir_flag(ustats_parser)
+    add_json_flag(ustats_parser)
+    ustats_parser.set_defaults(handler=_cmd_universe_stats)
+
+    uquery_parser = universe_sub.add_parser(
+        "query", help="cones, paths, the frontier, incomparable pairs"
+    )
+    add_dir_flag(uquery_parser)
+    query_kind = uquery_parser.add_mutually_exclusive_group(required=True)
+    query_kind.add_argument(
+        "--harder-than",
+        type=int,
+        nargs=4,
+        metavar=("N", "M", "L", "U"),
+        help="every task at least as hard as <N,M,L,U>",
+    )
+    query_kind.add_argument(
+        "--weaker-than",
+        type=int,
+        nargs=4,
+        metavar=("N", "M", "L", "U"),
+        help="every task <N,M,L,U> solves",
+    )
+    query_kind.add_argument(
+        "--path",
+        type=int,
+        nargs=8,
+        metavar="INT",
+        help="certified reduction path: source N M L U, then target N M L U",
+    )
+    query_kind.add_argument(
+        "--frontier",
+        action="store_true",
+        help="solvability split and the edges crossing into unsolvability",
+    )
+    query_kind.add_argument(
+        "--incomparable",
+        type=int,
+        nargs=2,
+        metavar=("N", "M"),
+        help="canonical pairs of one family with no containment either way",
+    )
+    uquery_parser.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="max boundary edges printed by --frontier",
+    )
+    add_json_flag(uquery_parser)
+    uquery_parser.set_defaults(handler=_cmd_universe_query)
+
+    uexport_parser = universe_sub.add_parser(
+        "export", help="emit the graph as DOT, JSON or GraphML"
+    )
+    add_dir_flag(uexport_parser)
+    uexport_parser.add_argument(
+        "--format", choices=["dot", "json", "graphml"], default="dot"
+    )
+    uexport_parser.add_argument(
+        "--out", metavar="PATH", default=None, help="write here (default: stdout)"
+    )
+    uexport_parser.set_defaults(handler=_cmd_universe_export)
 
     explore_parser = subparsers.add_parser(
         "explore",
@@ -328,7 +698,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # The stdout consumer (e.g. `--json | head`) closed the pipe.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # does not raise again, and exit with the conventional 128+SIGPIPE.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -23,7 +23,12 @@ from ..core.named import (
 )
 from ..shm.runtime import Algorithm
 from .adaptive_renaming import adaptive_renaming_algorithm
-from .figure2 import figure2_renaming, figure2_system_factory, figure2_task
+from .figure2 import (
+    figure2_renaming,
+    figure2_slot_task,
+    figure2_system_factory,
+    figure2_task,
+)
 from .from_perfect import (
     election_from_perfect_renaming,
     gsb_from_perfect_renaming,
@@ -58,6 +63,11 @@ class Reduction:
         target: task solved, as a function of n.
         algorithm: protocol factory, as a function of n.
         system: per-run system factory builder ``(n, seed) -> factory``.
+        oracle: the task oracle the system provides, as a function of n,
+            or None when the construction runs on registers/splitters
+            alone.  The universe graph turns oracle-backed reductions
+            into certified ``target -> oracle`` edges and oracle-free
+            ones into register-solvability certificates.
     """
 
     name: str
@@ -67,6 +77,7 @@ class Reduction:
     target: Callable[[int], GSBTask]
     algorithm: Callable[[int], Algorithm]
     system: Callable[[int, int], SystemFactory]
+    oracle: Callable[[int], GSBTask] | None = None
 
 
 def _registers_only(n: int, seed: int) -> SystemFactory:
@@ -141,6 +152,7 @@ _register(
         target=figure2_task,
         algorithm=lambda n: figure2_renaming(),
         system=lambda n, seed: figure2_system_factory(n, seed),
+        oracle=figure2_slot_task,
     )
 )
 
@@ -153,6 +165,7 @@ _register(
         target=lambda n: weak_symmetry_breaking(n),
         algorithm=lambda n: wsb_from_renaming(),
         system=lambda n, seed: renaming_oracle_system_factory(n, 2 * n - 2, seed),
+        oracle=lambda n: renaming(n, 2 * n - 2),
     )
 )
 
@@ -165,6 +178,7 @@ _register(
         target=lambda n: renaming(n, 2 * n - 2),
         algorithm=lambda n: renaming_2n2_from_wsb(),
         system=lambda n, seed: wsb_oracle_system_factory(n, seed),
+        oracle=weak_symmetry_breaking,
     )
 )
 
@@ -177,6 +191,7 @@ _register(
         target=lambda n: k_weak_symmetry_breaking(n, 2),
         algorithm=lambda n: kwsb_from_renaming(n, 2),
         system=lambda n, seed: renaming_oracle_system_factory(n, 2 * (n - 2), seed),
+        oracle=lambda n: renaming(n, 2 * (n - 2)),
     )
 )
 
@@ -189,6 +204,7 @@ _register(
         target=election,
         algorithm=lambda n: election_from_perfect_renaming(n),
         system=lambda n, seed: perfect_renaming_system_factory(n, seed),
+        oracle=perfect_renaming,
     )
 )
 
@@ -201,6 +217,7 @@ _register(
         target=lambda n: k_slot(n, n - 1),
         algorithm=lambda n: gsb_from_perfect_renaming(k_slot(n, n - 1)),
         system=lambda n, seed: perfect_renaming_system_factory(n, seed),
+        oracle=perfect_renaming,
     )
 )
 
@@ -213,6 +230,7 @@ _register(
         target=perfect_renaming,
         algorithm=lambda n: gsb_from_perfect_renaming(perfect_renaming(n)),
         system=lambda n, seed: perfect_renaming_system_factory(n, seed),
+        oracle=perfect_renaming,
     )
 )
 
@@ -246,6 +264,7 @@ def _register_extended() -> None:
             target=lambda n: renaming_target(n, 2),
             algorithm=lambda n: renaming_from_slot(n, 2),
             system=lambda n, seed: slot_system_factory(n, 2, seed),
+            oracle=lambda n: k_slot(n, 2),
         )
     )
     _register(
@@ -257,6 +276,7 @@ def _register_extended() -> None:
             target=figure2_task,
             algorithm=lambda n: figure2_renaming_register_snapshot(),
             system=lambda n, seed: figure2_register_system_factory(n, seed),
+            oracle=figure2_slot_task,
         )
     )
     _register(

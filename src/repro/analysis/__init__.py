@@ -19,9 +19,17 @@ from .census import (
     census_report_to_json,
     compute_census_cell,
     grid_cells,
+    partition_cells,
     render_census_report,
     run_census,
     write_census_json,
+)
+from .serialize import (
+    atlas_to_json,
+    classify_to_json,
+    emit_json,
+    named_to_json,
+    table1_to_json,
 )
 from .binomials import (
     BinomialRow,
@@ -62,10 +70,13 @@ __all__ = [
     "PAPER_TABLE1_OMITTED_ROWS",
     "Table1",
     "Table1Row",
+    "atlas_to_json",
     "binomial_table",
     "census_report_to_json",
     "check_ram_theorem",
+    "classify_to_json",
     "compute_census_cell",
+    "emit_json",
     "entry_lookup",
     "family_solvability_census",
     "figure1",
@@ -73,6 +84,9 @@ __all__ = [
     "figure1_matches_paper",
     "kernel_label",
     "named_task_verdicts",
+    "named_to_json",
+    "partition_cells",
+    "table1_to_json",
     "render_binomial_table",
     "render_census_report",
     "render_family_atlas",

@@ -22,7 +22,6 @@ CLI front-end: ``python -m repro census --max-n 40 --jobs 8 --json out.json``.
 
 from __future__ import annotations
 
-import json
 import time
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
@@ -95,10 +94,17 @@ def _cell_cost(cell: tuple[int, int]) -> int:
     return n * n * m
 
 
-def _partition_cells(
+def partition_cells(
     cells: list[tuple[int, int]], shards: int
 ) -> list[list[tuple[int, int]]]:
-    """LPT balancing: heaviest cells first onto the lightest shard."""
+    """LPT balancing: heaviest cells first onto the lightest shard.
+
+    Shared by every per-``(n, m)``-cell pipeline (the census here, the
+    universe-graph store in :mod:`repro.universe.persist`): cells are
+    balanced by the ``n**2 * m`` cost estimate and each shard is returned
+    in ascending ``(n, m)`` order so a worker's process-local caches are
+    primed by the small cells before the large ones.
+    """
     shards = max(1, min(shards, len(cells)))
     buckets: list[list[tuple[int, int]]] = [[] for _ in range(shards)]
     loads = [0] * shards
@@ -163,7 +169,7 @@ def run_census(
     cells = grid_cells(n_range, m_range)
     started = time.perf_counter()
     if jobs and len(cells) > 1:
-        shards = _partition_cells(cells, jobs)
+        shards = partition_cells(cells, jobs)
         results: list[CensusCell] = []
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
             for shard_cells in pool.map(_census_shard, shards):
@@ -272,7 +278,7 @@ def census_report_to_json(report: CensusReport) -> dict:
 
 
 def write_census_json(report: CensusReport, path: str) -> None:
-    """Write the JSON dump to ``path``."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(census_report_to_json(report), handle, indent=2)
-        handle.write("\n")
+    """Write the JSON dump to ``path`` (via the shared serializer)."""
+    from .serialize import write_json_file
+
+    write_json_file(census_report_to_json(report), path)

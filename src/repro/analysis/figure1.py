@@ -57,18 +57,40 @@ class Figure1:
         return self.graph.nodes[node]["task"]
 
 
-def figure1(n: int = 6, m: int = 3) -> Figure1:
+def figure1(n: int = 6, m: int = 3, method: str = "universe") -> Figure1:
     """Compute Figure 1's diagram for (n, m).
 
-    The canonical tasks come from the memoized family store, so the
-    expensive part of a repeated regeneration is only the containment
-    order itself.
+    The default path is a thin view over the universe subsystem: the
+    family's cell (:func:`repro.universe.graph.build_cell`) already holds
+    the canonical synonym classes and their containment cover edges, so
+    the figure is a relabeling of one cell.  ``method="legacy"`` retains
+    the pairwise ``includes()`` construction; the regression tests pin
+    both paths to byte-identical DOT output.
     """
+    if method == "universe":
+        return Figure1(n=n, m=m, graph=_universe_figure_graph(n, m))
+    if method != "legacy":
+        raise ValueError(f"unknown method {method!r}; use 'universe' or 'legacy'")
     canonical_tasks = [
         entry.task for entry in get_store().canonical_entries(n, m)
     ]
-    graph = hasse_diagram(canonical_tasks)
+    graph = hasse_diagram(canonical_tasks, method="legacy")
     return Figure1(n=n, m=m, graph=graph)
+
+
+def _universe_figure_graph(n: int, m: int) -> nx.DiGraph:
+    """One universe cell, relabeled to Figure 1's ``(l, u)`` node keys."""
+    from ..universe.graph import single_cell_graph
+
+    universe = single_cell_graph(n, m)
+    graph = nx.DiGraph()
+    for entry in get_store().canonical_entries(n, m):
+        graph.add_node(
+            (entry.parameters[2], entry.parameters[3]), task=entry.task
+        )
+    for edge in universe.edges(("containment",)):
+        graph.add_edge(edge.source[2:], edge.target[2:])
+    return graph
 
 
 def render_figure1(figure: Figure1 | None = None) -> str:

@@ -1,0 +1,118 @@
+"""Shared JSON serialization for the CLI's ``--json`` flags.
+
+Every report-producing subcommand (``table1``, ``atlas``, ``named``,
+``classify``, ``census``, ``universe stats/query``) accepts a uniform
+``--json [PATH]`` flag routed through :func:`emit_json`: with a path it
+writes the payload to disk (and announces ``wrote PATH``), bare it prints
+the payload to stdout *instead of* the ASCII rendering, so shell
+pipelines get pure JSON.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: The ``--json`` sentinel meaning "print to stdout".
+STDOUT = "-"
+
+
+def write_json_file(payload: dict, path: str) -> None:
+    """The one JSON file writer (indent=2, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def emit_json(payload: dict, target: str) -> None:
+    """Write a payload where ``--json`` asked for it.
+
+    ``target == "-"`` prints the JSON document to stdout; any other value
+    is a file path, written via :func:`write_json_file` and acknowledged
+    with a ``wrote <path>`` line (matching the census subcommand's
+    historical contract).
+    """
+    if target == STDOUT:
+        print(json.dumps(payload, indent=2))
+        return
+    write_json_file(payload, target)
+    print(f"wrote {target}")
+
+
+def table1_to_json(table) -> dict:
+    """JSON payload for a :class:`repro.analysis.table1.Table1`."""
+    return {
+        "n": table.n,
+        "m": table.m,
+        "columns": [list(column) for column in table.columns],
+        "rows": [
+            {
+                "parameters": list(row.parameters),
+                "canonical": row.canonical,
+                "kernel_count": row.kernel_count,
+                "marks": list(row.marks),
+            }
+            for row in table.rows
+        ],
+    }
+
+
+def atlas_to_json(n: int, m: int) -> dict:
+    """JSON payload for one family's annotated atlas."""
+    from ..core.store import get_store
+
+    store = get_store()
+    return {
+        "n": n,
+        "m": m,
+        "entries": [
+            {
+                "parameters": list(entry.parameters),
+                "canonical": entry.canonical,
+                "representative": [n, m, *entry.canonical_parameters],
+                "anchoring": entry.anchoring,
+                "kernel_set": [list(kernel) for kernel in entry.kernel_set],
+                "solvability": entry.solvability.value,
+                "reason": entry.solvability_reason,
+            }
+            for entry in store.entries(n, m)
+        ],
+        "statistics": store.statistics(n, m),
+    }
+
+
+def named_to_json(n: int) -> dict:
+    """JSON payload for the named-task verdicts at one n."""
+    from .atlas import named_task_verdicts
+
+    return {
+        "n": n,
+        "tasks": [
+            {
+                "name": verdict.name,
+                "spec": repr(verdict.task),
+                "solvability": verdict.solvability.value,
+                "reason": verdict.reason,
+            }
+            for verdict in named_task_verdicts(n)
+        ],
+    }
+
+
+def classify_to_json(n: int, m: int, low: int, high: int) -> dict:
+    """JSON payload for one task's classification."""
+    from ..core import SymmetricGSBTask, canonical_representative, classify
+
+    task = SymmetricGSBTask(n, m, low, high)
+    verdict, reason = classify(task)
+    payload = {
+        "task": {"n": n, "m": m, "low": task.low, "high": task.high},
+        "feasible": task.is_feasible,
+        "solvability": verdict.value,
+        "reason": reason,
+    }
+    if task.is_feasible:
+        payload["kernel_set"] = [list(kernel) for kernel in task.kernel_set]
+        payload["canonical_representative"] = list(
+            canonical_representative(task).parameters
+        )
+    return payload

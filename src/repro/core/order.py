@@ -15,7 +15,7 @@ from typing import Iterable, Sequence
 
 import networkx as nx
 
-from .canonical import canonical_representative, is_canonical
+from .canonical import canonical_parameters, canonical_representative, is_canonical
 from .feasibility import feasible_bound_pairs
 from .gsb import SymmetricGSBTask
 
@@ -48,12 +48,26 @@ def check_lemma_5(task: SymmetricGSBTask, smaller_low: int) -> bool:
     return wider.includes(task)
 
 
+def hardest_parameters(n: int, m: int) -> tuple[int, int]:
+    """Theorem 5's hardest ``(l, u)`` pair, valid for every ``m >= 1``.
+
+    ``(floor(n/m), ceil(n/m))`` — for ``m > n`` this degenerates to
+    ``(0, 1)``, i.e. m-renaming, whose singleton kernel set is contained
+    in every feasible sibling of the wide family.  Shared by
+    :func:`hardest` and the universe subsystem's hardest-node flags and
+    Theorem 8 edges, so the three can never diverge.
+    """
+    if n < 1 or m < 1:
+        raise ValueError(f"need n, m >= 1, got n={n}, m={m}")
+    return (n // m, math.ceil(n / m))
+
+
 def hardest(n: int, m: int) -> SymmetricGSBTask:
     """Theorem 5: ``<n, m, floor(n/m), ceil(n/m)>`` is the hardest feasible
     ``<n, m, -, ->`` task: it is included in every feasible sibling."""
     if not 1 <= m <= n:
         raise ValueError(f"need 1 <= m <= n, got m={m}, n={n}")
-    return SymmetricGSBTask(n, m, n // m, math.ceil(n / m))
+    return SymmetricGSBTask(n, m, *hardest_parameters(n, m))
 
 
 def check_theorem_5(n: int, m: int) -> bool:
@@ -97,29 +111,94 @@ def canonical_family(n: int, m: int) -> list[SymmetricGSBTask]:
     ]
 
 
-def containment_digraph(tasks: Sequence[SymmetricGSBTask]) -> nx.DiGraph:
+def kernel_bitmasks(
+    n: int, m: int, pairs: Iterable[tuple[int, int]]
+) -> dict[tuple[int, int], int]:
+    """Kernel-set bitmasks over one family's master column list.
+
+    Bit ``i`` of the mask for ``(l, u)`` is set exactly when the i-th
+    kernel column of the loosest ``<n, m, 0, n>`` task belongs to the
+    kernel set of ``<n, m, l, u>`` — a weakly decreasing vector lies
+    within bounds iff its first entry is ``<= u`` and its last ``>= l``.
+    Containment then collapses to integer subset tests:
+    ``S(a) superset S(b)`` iff ``mask_b & ~mask_a == 0``.  This is the
+    shared substrate of :func:`containment_digraph` and the universe
+    graph subsystem (:mod:`repro.universe.graph`).
+    """
+    from .store import get_store  # store sits above order in core's init
+
+    columns = get_store().kernel_columns(n, m)
+    masks: dict[tuple[int, int], int] = {}
+    for low, high in pairs:
+        if (low, high) in masks:
+            continue
+        mask = 0
+        for bit, vector in enumerate(columns):
+            if vector[0] <= high and vector[-1] >= low:
+                mask |= 1 << bit
+        masks[(low, high)] = mask
+    return masks
+
+
+def containment_digraph(
+    tasks: Sequence[SymmetricGSBTask], method: str = "bitmask"
+) -> nx.DiGraph:
     """Full strict-containment relation as a DAG.
 
     Edge ``a -> b`` means ``S(a)`` strictly contains ``S(b)`` — i.e. b is
     strictly harder — matching Figure 1's arrow convention
     ("A -> B means A strictly includes B").
     Nodes are the tasks' ``(l, u)`` canonical parameters.
+
+    The default ``method="bitmask"`` routes through
+    :func:`kernel_bitmasks`: each family's masks are computed once over
+    the shared master column list and containment collapses to integer
+    subset tests, instead of the O(F^2) pairwise ``is_strictly_harder``
+    calls on task objects that ``method="legacy"`` retains (and the
+    tests pin the two identical).
     """
     graph = nx.DiGraph()
+    if method == "legacy":
+        for task in tasks:
+            graph.add_node(_node_key(task), task=task)
+        for outer in tasks:
+            for inner in tasks:
+                if outer is inner:
+                    continue
+                if is_strictly_harder(inner, outer):
+                    graph.add_edge(_node_key(outer), _node_key(inner))
+        return graph
+    if method != "bitmask":
+        raise ValueError(f"unknown method {method!r}; use 'bitmask' or 'legacy'")
+    # Canonicalize each task exactly once; the key doubles as the graph
+    # node and the edge endpoint below.
+    by_family: dict[tuple[int, int], list[tuple[SymmetricGSBTask, tuple]]] = {}
     for task in tasks:
-        graph.add_node(_node_key(task), task=task)
-    for outer in tasks:
-        for inner in tasks:
-            if outer is inner:
-                continue
-            if is_strictly_harder(inner, outer):
-                graph.add_edge(_node_key(outer), _node_key(inner))
+        key = canonical_parameters(task.n, task.m, task.low, task.high)
+        graph.add_node(key, task=task)
+        by_family.setdefault((task.n, task.m), []).append((task, key))
+    # Tasks from different families never contain one another, so only
+    # intra-family pairs are compared (matching the legacy behavior of
+    # ``includes`` returning False across families).
+    for (n, m), group in by_family.items():
+        masks = kernel_bitmasks(n, m, [(t.low, t.high) for t, _ in group])
+        annotated = [
+            (masks[(task.low, task.high)], key) for task, key in group
+        ]
+        for i, (outer_mask, outer_key) in enumerate(annotated):
+            for j, (inner_mask, inner_key) in enumerate(annotated):
+                if i == j:
+                    continue
+                if inner_mask != outer_mask and inner_mask & ~outer_mask == 0:
+                    graph.add_edge(outer_key, inner_key)
     return graph
 
 
-def hasse_diagram(tasks: Sequence[SymmetricGSBTask]) -> nx.DiGraph:
+def hasse_diagram(
+    tasks: Sequence[SymmetricGSBTask], method: str = "bitmask"
+) -> nx.DiGraph:
     """Transitive reduction of the containment DAG: Figure 1's edges."""
-    full = containment_digraph(tasks)
+    full = containment_digraph(tasks, method=method)
     reduced = nx.transitive_reduction(full)
     # transitive_reduction drops node attributes; restore them.
     for node, data in full.nodes(data=True):

@@ -1,0 +1,217 @@
+"""Exporters for the universe graph: Graphviz DOT, JSON, and GraphML.
+
+All three emit nodes and edges in sorted key order, so exports are
+deterministic across builds — a rebuilt store produces byte-identical
+artifacts, which the regression tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from xml.etree import ElementTree
+
+from .graph import NodeKey, UniverseGraph
+
+#: Graphviz fill colors per solvability verdict.
+_DOT_COLORS = {
+    "trivial": "palegreen",
+    "wait-free solvable": "lightskyblue",
+    "not wait-free solvable": "lightcoral",
+    "open": "lightgoldenrod",
+    "infeasible": "gray80",
+}
+
+#: Graphviz edge styles per edge kind.
+_DOT_STYLES = {
+    "containment": "solid",
+    "theorem8": "bold",
+    "reduction": "dashed",
+}
+
+
+def _node_id(key: NodeKey) -> str:
+    return "t{}_{}_{}_{}".format(*key)
+
+
+def _node_label(graph: UniverseGraph, key: NodeKey) -> str:
+    node = graph.node(key)
+    label = "<{},{},{},{}>".format(*key)
+    if node.labels:
+        label += "\\n" + ", ".join(node.labels)
+    return label
+
+
+def universe_to_dot(graph: UniverseGraph, cluster: bool = True) -> str:
+    """Graphviz rendering, one cluster per ``(n, m)`` family.
+
+    Nodes are colored by solvability verdict; containment edges are
+    solid, Theorem 8 edges bold, registry-reduction edges dashed with the
+    reduction name as label.
+    """
+    lines = [
+        'digraph "GSB universe" {',
+        "  rankdir=LR;",
+        '  node [shape=box, style=filled, fillcolor=white];',
+    ]
+    for n, m in sorted(graph.cells):
+        nodes = sorted(node.key for node in graph.family_nodes(n, m))
+        if not nodes:
+            continue
+        indent = "  "
+        if cluster:
+            lines.append(f"  subgraph cluster_n{n}_m{m} {{")
+            lines.append(f'    label="<{n},{m},-,->";')
+            indent = "    "
+        for key in nodes:
+            node = graph.node(key)
+            color = _DOT_COLORS.get(node.solvability, "white")
+            lines.append(
+                f'{indent}{_node_id(key)} [label="{_node_label(graph, key)}", '
+                f'fillcolor={color}];'
+            )
+        if cluster:
+            lines.append("  }")
+    for edge in sorted(
+        graph.edges(), key=lambda e: (e.source, e.target, e.kind, e.label)
+    ):
+        style = _DOT_STYLES.get(edge.kind, "solid")
+        attrs = [f"style={style}"]
+        if edge.kind == "reduction":
+            attrs.append(f'label="{edge.label}"')
+        lines.append(
+            f"  {_node_id(edge.source)} -> {_node_id(edge.target)} "
+            f"[{', '.join(attrs)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def universe_to_json(graph: UniverseGraph) -> dict:
+    """JSON-serializable dump: cells, nodes, edges, certificates, stats."""
+    return {
+        "cells": [list(cell) for cell in sorted(graph.cells)],
+        "nodes": [
+            {
+                "key": list(node.key),
+                "solvability": node.solvability,
+                "reason": node.reason,
+                "kernel_count": node.kernel_count,
+                "synonyms": [list(pair) for pair in node.synonyms],
+                "labels": list(node.labels),
+                "hardest": node.hardest,
+            }
+            for node in sorted(graph.nodes(), key=lambda n: n.key)
+        ],
+        "edges": [
+            {
+                "source": list(edge.source),
+                "target": list(edge.target),
+                "kind": edge.kind,
+                "label": edge.label,
+            }
+            for edge in sorted(
+                graph.edges(), key=lambda e: (e.source, e.target, e.kind, e.label)
+            )
+        ],
+        "certificates": {
+            ",".join(map(str, key)): list(names)
+            for key, names in sorted(graph.certificates.items())
+        },
+        "stats": graph.stats(),
+    }
+
+
+_GRAPHML_NS = "http://graphml.graphdrawing.org/xmlns"
+
+_NODE_KEYS = (
+    ("solvability", "string"),
+    ("labels", "string"),
+    ("kernel_count", "int"),
+    ("hardest", "boolean"),
+)
+_EDGE_KEYS = (("kind", "string"), ("label", "string"))
+
+
+def universe_to_graphml(graph: UniverseGraph) -> str:
+    """GraphML (stdlib ``xml.etree`` only) with typed node/edge data."""
+    ElementTree.register_namespace("", _GRAPHML_NS)
+    root = ElementTree.Element(f"{{{_GRAPHML_NS}}}graphml")
+    for name, attr_type in _NODE_KEYS:
+        ElementTree.SubElement(
+            root,
+            f"{{{_GRAPHML_NS}}}key",
+            id=f"node_{name}",
+            attrib={"for": "node", "attr.name": name, "attr.type": attr_type},
+        )
+    for name, attr_type in _EDGE_KEYS:
+        ElementTree.SubElement(
+            root,
+            f"{{{_GRAPHML_NS}}}key",
+            id=f"edge_{name}",
+            attrib={"for": "edge", "attr.name": name, "attr.type": attr_type},
+        )
+    body = ElementTree.SubElement(
+        root, f"{{{_GRAPHML_NS}}}graph", id="universe", edgedefault="directed"
+    )
+    for node in sorted(graph.nodes(), key=lambda n: n.key):
+        element = ElementTree.SubElement(
+            body, f"{{{_GRAPHML_NS}}}node", id=_node_id(node.key)
+        )
+        values = {
+            "solvability": node.solvability,
+            "labels": ";".join(node.labels),
+            "kernel_count": str(node.kernel_count),
+            "hardest": "true" if node.hardest else "false",
+        }
+        for name, _ in _NODE_KEYS:
+            data = ElementTree.SubElement(
+                element, f"{{{_GRAPHML_NS}}}data", key=f"node_{name}"
+            )
+            data.text = values[name]
+    for index, edge in enumerate(
+        sorted(graph.edges(), key=lambda e: (e.source, e.target, e.kind, e.label))
+    ):
+        element = ElementTree.SubElement(
+            body,
+            f"{{{_GRAPHML_NS}}}edge",
+            id=f"e{index}",
+            source=_node_id(edge.source),
+            target=_node_id(edge.target),
+        )
+        for name in ("kind", "label"):
+            data = ElementTree.SubElement(
+                element, f"{{{_GRAPHML_NS}}}data", key=f"edge_{name}"
+            )
+            data.text = getattr(edge, name)
+    ElementTree.indent(root)
+    return ElementTree.tostring(
+        root, encoding="unicode", xml_declaration=True
+    )
+
+
+def render_universe_stats(graph: UniverseGraph) -> str:
+    """One-line-per-count ASCII rendering of :meth:`UniverseGraph.stats`."""
+    stats = graph.stats()
+    width = max(len(name) for name in stats)
+    lines = ["GSB universe graph"]
+    lines.extend(f"  {name:<{width}}  {value}" for name, value in stats.items())
+    return "\n".join(lines)
+
+
+def write_text(text: str, path: str) -> None:
+    """Write an export artifact with a trailing newline."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+
+
+def universe_export(graph: UniverseGraph, fmt: str) -> str:
+    """Dispatch on format name: ``dot``, ``json`` or ``graphml``."""
+    if fmt == "dot":
+        return universe_to_dot(graph)
+    if fmt == "json":
+        return json.dumps(universe_to_json(graph), indent=2)
+    if fmt == "graphml":
+        return universe_to_graphml(graph)
+    raise ValueError(f"unknown export format {fmt!r}; use dot, json or graphml")

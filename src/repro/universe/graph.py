@@ -1,0 +1,411 @@
+"""Construction of the universe graph (the cross-family reducibility map).
+
+Nodes are *synonym classes*: one per canonical ``<n, m, l, u>`` task
+(Theorem 7), annotated with its solvability verdict (Theorems 9-11), its
+kernel-set size, the full list of ``(l, u)`` parameterizations that
+collapse onto it (the Theorem 6 bound-tightening inclusions, iterated to
+the fixed point), and the paper's named-task labels.
+
+Three edge kinds, all with one uniform meaning — ``u -> v`` says *a
+solution of v yields a solution of u* (v is at least as hard as u):
+
+* ``containment`` — intra-family cover edges of the strict-containment
+  order (Section 4.4).  ``S(v) subset S(u)`` means every v-legal output is
+  u-legal, so v's algorithm solves u directly.  Computed by kernel-set
+  **bitmask** subset tests over the family's master column list instead of
+  pairwise ``includes()`` on task objects, then transitively reduced, so a
+  cell's edges are exactly its Figure-1 Hasse diagram.
+* ``theorem8`` — universality of perfect renaming: ``<n, n, 1, 1>`` solves
+  every GSB task on n processes.  One edge per family, from the family's
+  hardest node (Theorem 5's unique sink, which every sibling already
+  reaches through containment edges) to the perfect-renaming node, keeps
+  the materialized edge set linear while preserving reachability.
+* ``reduction`` — certified by :data:`repro.algorithms.reductions.REDUCTIONS`:
+  each registry entry that consumes a task oracle contributes
+  ``target -> oracle`` edges at every n where both endpoints are nodes.
+  Registry entries that solve their target from registers alone become
+  *certificates* (:attr:`UniverseGraph.certificates`) instead of edges.
+
+Cells (one per ``(n, m)``) are independent, which is what the persistence
+layer shards on; cross-family edges are derived at assembly time from
+whichever cells are present, so they never have to be stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import networkx as nx
+
+from ..core.bounds import GSBSpecificationError
+from ..core.canonical import canonical_parameters
+from ..core.feasibility import is_feasible_symmetric
+from ..core.gsb import GSBTask, SymmetricGSBTask
+# kernel_bitmasks lives in core.order (it only needs the family store)
+# and is re-exported here: the universe builds on the same masks that
+# power containment_digraph.
+from ..core.order import hardest_parameters, kernel_bitmasks
+from ..core.store import get_store
+
+NodeKey = tuple[int, int, int, int]  # canonical (n, m, l, u)
+
+EDGE_CONTAINMENT = "containment"
+EDGE_THEOREM8 = "theorem8"
+EDGE_REDUCTION = "reduction"
+EDGE_KINDS = (EDGE_CONTAINMENT, EDGE_THEOREM8, EDGE_REDUCTION)
+
+
+@dataclass(frozen=True)
+class UniverseNode:
+    """One synonym class of the universe: a canonical symmetric task."""
+
+    key: NodeKey
+    solvability: str  # Solvability enum value
+    reason: str
+    kernel_count: int
+    synonyms: tuple[tuple[int, int], ...]  # every (l, u) collapsing here
+    labels: tuple[str, ...]  # paper names (WSB, m-renaming, ...)
+    mask: int  # kernel-set bitmask over the family's master columns
+    hardest: bool  # Theorem 5: the family's unique containment sink
+
+    @property
+    def n(self) -> int:
+        return self.key[0]
+
+    @property
+    def m(self) -> int:
+        return self.key[1]
+
+    @property
+    def low(self) -> int:
+        return self.key[2]
+
+    @property
+    def high(self) -> int:
+        return self.key[3]
+
+    @property
+    def family(self) -> tuple[int, int]:
+        return (self.key[0], self.key[1])
+
+
+@dataclass(frozen=True)
+class UniverseEdge:
+    """``source -> target``: a solution of target yields one of source."""
+
+    source: NodeKey
+    target: NodeKey
+    kind: str
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class UniverseCell:
+    """One ``(n, m)`` family's nodes and intra-family cover edges."""
+
+    n: int
+    m: int
+    nodes: tuple[UniverseNode, ...]
+    edges: tuple[UniverseEdge, ...]  # containment covers only
+
+
+def rectangle_cells(max_n: int, max_m: int) -> list[tuple[int, int]]:
+    """All ``(n, m)`` cells of a parameter rectangle.
+
+    Unlike the census grid, cells with ``m > n`` are included: they are
+    non-empty (every ``<n, m, 0, u>`` with ``m*u >= n`` is feasible) and
+    hold the renaming ladder — ``(2n-1)``-renaming lives at ``m = 2n-1``.
+    """
+    if max_n < 1 or max_m < 1:
+        raise ValueError(f"need max_n, max_m >= 1, got {max_n}, {max_m}")
+    return [(n, m) for n in range(1, max_n + 1) for m in range(1, max_m + 1)]
+
+
+def _family_labels(n: int, m: int) -> dict[tuple[int, int], tuple[str, ...]]:
+    """Named-task labels per canonical ``(l, u)`` key of one family."""
+    found: dict[tuple[int, int], list[str]] = {}
+
+    def add(low: int, high: int, name: str) -> None:
+        if is_feasible_symmetric(n, m, low, high):
+            key = canonical_parameters(n, m, max(low, 0), min(high, n))
+            found.setdefault(key, []).append(name)
+
+    if m == 2 and n >= 2:
+        add(1, n - 1, "WSB")
+        for k in range(2, n // 2 + 1):
+            add(k, n - k, f"{k}-WSB")
+    if m >= n:
+        add(0, 1, f"{m}-renaming")
+    if m == n:
+        add(1, 1, "perfect-renaming")
+    if 1 <= m <= n:
+        add(1, n, f"{m}-slot")
+    return {key: tuple(names) for key, names in found.items()}
+
+
+def build_cell(n: int, m: int) -> UniverseCell:
+    """Materialize one family's synonym classes and cover edges.
+
+    Rides the memoized family store for entries and kernel columns; the
+    containment relation is computed on bitmasks and transitively reduced,
+    so the cell's edge set *is* the family's Figure-1 Hasse diagram.
+    """
+    record = get_store().family(n, m)
+    # Masks are only needed per node; synonyms share their canonical
+    # representative's kernel set, so non-canonical pairs are skipped.
+    masks = kernel_bitmasks(
+        n,
+        m,
+        [
+            (entry.parameters[2], entry.parameters[3])
+            for entry in record.canonical_entries
+        ],
+    )
+    synonyms: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for entry in record.entries:
+        low, high = entry.parameters[2], entry.parameters[3]
+        synonyms.setdefault(entry.canonical_parameters, []).append((low, high))
+    labels = _family_labels(n, m)
+    hardest_pair = hardest_parameters(n, m)
+
+    nodes = []
+    for entry in record.canonical_entries:
+        low, high = entry.parameters[2], entry.parameters[3]
+        nodes.append(
+            UniverseNode(
+                key=(n, m, low, high),
+                solvability=entry.solvability.value,
+                reason=entry.solvability_reason,
+                kernel_count=len(entry.kernel_set),
+                synonyms=tuple(sorted(synonyms[(low, high)])),
+                labels=labels.get((low, high), ()),
+                mask=masks[(low, high)],
+                hardest=(low, high) == hardest_pair,
+            )
+        )
+
+    dag = nx.DiGraph()
+    dag.add_nodes_from(node.key for node in nodes)
+    for outer in nodes:
+        for inner in nodes:
+            if inner.mask != outer.mask and inner.mask & ~outer.mask == 0:
+                dag.add_edge(outer.key, inner.key)
+    covers = nx.transitive_reduction(dag)
+    edges = tuple(
+        UniverseEdge(source, target, EDGE_CONTAINMENT)
+        for source, target in sorted(covers.edges)
+    )
+    return UniverseCell(n=n, m=m, nodes=tuple(nodes), edges=edges)
+
+
+class UniverseGraph:
+    """The assembled reducibility map over a set of ``(n, m)`` cells."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[NodeKey, UniverseNode] = {}
+        self._out: dict[NodeKey, list[UniverseEdge]] = {}
+        self._in: dict[NodeKey, list[UniverseEdge]] = {}
+        self._edges: list[UniverseEdge] = []
+        self._edge_keys: set[tuple] = set()
+        self._families: dict[tuple[int, int], list[NodeKey]] = {}
+        self.cells: set[tuple[int, int]] = set()
+        #: node -> registry reductions solving it from registers alone.
+        self.certificates: dict[NodeKey, tuple[str, ...]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_cell(self, cell: UniverseCell) -> None:
+        if (cell.n, cell.m) in self.cells:
+            raise ValueError(f"cell ({cell.n}, {cell.m}) added twice")
+        self.cells.add((cell.n, cell.m))
+        for node in cell.nodes:
+            self._nodes[node.key] = node
+            self._families.setdefault((cell.n, cell.m), []).append(node.key)
+        for edge in cell.edges:
+            self.add_edge(edge)
+
+    def add_edge(self, edge: UniverseEdge) -> bool:
+        """Add one edge (idempotent); endpoints must already be nodes."""
+        if edge.source not in self._nodes or edge.target not in self._nodes:
+            raise KeyError(f"edge {edge} has an endpoint outside the graph")
+        dedupe = (edge.source, edge.target, edge.kind, edge.label)
+        if dedupe in self._edge_keys:
+            return False
+        self._edge_keys.add(dedupe)
+        self._edges.append(edge)
+        self._out.setdefault(edge.source, []).append(edge)
+        self._in.setdefault(edge.target, []).append(edge)
+        return True
+
+    def add_certificate(self, key: NodeKey, name: str) -> None:
+        current = self.certificates.get(key, ())
+        if name not in current:
+            self.certificates[key] = tuple(sorted((*current, name)))
+
+    # -- access ---------------------------------------------------------
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._nodes
+
+    def node(self, key: NodeKey) -> UniverseNode:
+        return self._nodes[key]
+
+    def nodes(self) -> Iterator[UniverseNode]:
+        yield from self._nodes.values()
+
+    def edges(self, kinds: Sequence[str] | None = None) -> Iterator[UniverseEdge]:
+        for edge in self._edges:
+            if kinds is None or edge.kind in kinds:
+                yield edge
+
+    def successors(self, key: NodeKey) -> tuple[UniverseEdge, ...]:
+        return tuple(self._out.get(key, ()))
+
+    def predecessors(self, key: NodeKey) -> tuple[UniverseEdge, ...]:
+        return tuple(self._in.get(key, ()))
+
+    def family_nodes(self, n: int, m: int) -> tuple[UniverseNode, ...]:
+        return tuple(self._nodes[key] for key in self._families.get((n, m), ()))
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def stats(self) -> dict[str, int]:
+        """Summary counts: cells, nodes, edges per kind, verdict split."""
+        by_kind = {kind: 0 for kind in EDGE_KINDS}
+        for edge in self._edges:
+            by_kind[edge.kind] = by_kind.get(edge.kind, 0) + 1
+        verdicts: dict[str, int] = {}
+        for node in self._nodes.values():
+            verdicts[node.solvability] = verdicts.get(node.solvability, 0) + 1
+        return {
+            "cells": len(self.cells),
+            "nodes": len(self._nodes),
+            "edges": len(self._edges),
+            **{f"edges[{kind}]": count for kind, count in sorted(by_kind.items())},
+            **{
+                f"solvability[{name}]": count
+                for name, count in sorted(verdicts.items())
+            },
+            "register_certified": len(self.certificates),
+        }
+
+    def to_networkx(self, kinds: Sequence[str] | None = None) -> nx.DiGraph:
+        """networkx view (node/edge attributes mirror the dataclasses)."""
+        graph = nx.DiGraph()
+        for key, node in self._nodes.items():
+            graph.add_node(
+                key,
+                solvability=node.solvability,
+                labels=node.labels,
+                hardest=node.hardest,
+                kernel_count=node.kernel_count,
+            )
+        for edge in self.edges(kinds):
+            graph.add_edge(edge.source, edge.target, kind=edge.kind, label=edge.label)
+        return graph
+
+
+def task_node_key(graph: UniverseGraph, task: GSBTask) -> NodeKey | None:
+    """The graph node a task canonicalizes to, or None.
+
+    None when the task is asymmetric (the universe's nodes are symmetric
+    synonym classes), infeasible, or outside the built rectangle.
+    """
+    if not task.is_symmetric:
+        return None
+    symmetric = (
+        task if isinstance(task, SymmetricGSBTask) else task.as_symmetric()
+    )
+    if not symmetric.is_feasible:
+        return None
+    n, m, low, high = symmetric.parameters
+    key = (n, m, *canonical_parameters(n, m, low, high))
+    return key if key in graph else None
+
+
+def add_cross_family_edges(graph: UniverseGraph) -> None:
+    """Derive theorem8 and reduction edges from the cells present."""
+    _add_theorem8_edges(graph)
+    _add_reduction_edges(graph)
+
+
+def _add_theorem8_edges(graph: UniverseGraph) -> None:
+    for n, m in sorted(graph.cells):
+        perfect_key = (n, n, 1, 1)
+        if perfect_key not in graph:
+            continue  # the (n, n) cell is outside the rectangle
+        hardest_key = (n, m, *hardest_parameters(n, m))
+        if hardest_key == perfect_key:
+            continue
+        # Every cell materializes its hardest node, so a missing key here
+        # would be a construction bug, not an out-of-rectangle condition.
+        assert hardest_key in graph, hardest_key
+        graph.add_edge(
+            UniverseEdge(hardest_key, perfect_key, EDGE_THEOREM8, "Theorem 8")
+        )
+
+
+def _add_reduction_edges(graph: UniverseGraph) -> None:
+    # Imported lazily: the registry pulls in the shm runtime and every
+    # protocol module, none of which graph construction otherwise needs.
+    from ..algorithms.reductions import REDUCTIONS
+
+    if not graph.cells:
+        return
+    max_n = max(n for n, _ in graph.cells)
+    for name in sorted(REDUCTIONS):
+        reduction = REDUCTIONS[name]
+        for n in range(reduction.min_n, max_n + 1):
+            try:
+                target_key = task_node_key(graph, reduction.target(n))
+            except GSBSpecificationError:
+                continue
+            if target_key is None:
+                continue
+            if reduction.oracle is None:
+                graph.add_certificate(target_key, name)
+                continue
+            try:
+                oracle_key = task_node_key(graph, reduction.oracle(n))
+            except GSBSpecificationError:
+                continue
+            if oracle_key is None or oracle_key == target_key:
+                continue
+            graph.add_edge(
+                UniverseEdge(target_key, oracle_key, EDGE_REDUCTION, name)
+            )
+
+
+def assemble(
+    cells: Iterable[UniverseCell], cross_family: bool = True
+) -> UniverseGraph:
+    """Build a :class:`UniverseGraph` from cells, plus derived cross edges."""
+    graph = UniverseGraph()
+    for cell in cells:
+        graph.add_cell(cell)
+    if cross_family:
+        add_cross_family_edges(graph)
+    return graph
+
+
+def single_cell_graph(n: int, m: int) -> UniverseGraph:
+    """One family's slice of the universe (Figure 1's view), no cross edges."""
+    return assemble([build_cell(n, m)], cross_family=False)
+
+
+def build_rectangle(
+    max_n: int, max_m: int, cross_family: bool = True
+) -> UniverseGraph:
+    """In-memory build of a whole rectangle (the disk-backed path is
+    :class:`repro.universe.persist.UniverseStore`)."""
+    return assemble(
+        (build_cell(n, m) for n, m in rectangle_cells(max_n, max_m)),
+        cross_family=cross_family,
+    )

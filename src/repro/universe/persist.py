@@ -1,0 +1,303 @@
+"""Disk-backed incremental store for the universe graph.
+
+Layout of a store directory::
+
+    <root>/
+      manifest.json          # schema version + per-cell summary counts
+      cells/
+        n{n:03d}_m{m:03d}.json   # one UniverseCell per (n, m)
+
+Shards hold only *per-cell* data (nodes and intra-family containment
+covers); cross-family edges depend on which cells exist and are derived
+at :meth:`UniverseStore.load` time, so incremental rebuilds are trivially
+correct — after widening the rectangle, ``build`` computes exactly the
+missing cells and everything already on disk is reused byte for byte.
+
+Parallel builds ride the census LPT sharding
+(:func:`repro.analysis.census.partition_cells`): missing cells are
+balanced over a process pool by the same ``n**2 * m`` cost estimate, each
+shard processed in ascending ``(n, m)`` order so the worker's
+process-local caches (kernel masters, classification, family store) are
+primed by the small cells.  Workers return plain JSON payloads; all file
+writes happen in the parent.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..analysis.census import partition_cells
+from .graph import (
+    EDGE_CONTAINMENT,
+    UniverseCell,
+    UniverseEdge,
+    UniverseGraph,
+    UniverseNode,
+    assemble,
+    build_cell,
+    rectangle_cells,
+)
+
+#: Bump when the cell payload layout changes; a mismatched store is
+#: rebuilt from scratch on the next ``build``.
+SCHEMA_VERSION = 1
+
+
+def cell_to_payload(cell: UniverseCell) -> dict:
+    """JSON-serializable dump of one cell (the shard file content)."""
+    return {
+        "version": SCHEMA_VERSION,
+        "n": cell.n,
+        "m": cell.m,
+        "nodes": [
+            {
+                "key": list(node.key),
+                "solvability": node.solvability,
+                "reason": node.reason,
+                "kernel_count": node.kernel_count,
+                "synonyms": [list(pair) for pair in node.synonyms],
+                "labels": list(node.labels),
+                "mask": hex(node.mask),
+                "hardest": node.hardest,
+            }
+            for node in cell.nodes
+        ],
+        "edges": [
+            [list(edge.source[2:]), list(edge.target[2:])] for edge in cell.edges
+        ],
+    }
+
+
+def cell_from_payload(payload: dict) -> UniverseCell:
+    """Inverse of :func:`cell_to_payload`; raises on schema mismatch."""
+    version = payload.get("version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"cell shard has schema version {version}, expected "
+            f"{SCHEMA_VERSION}; rebuild the store with force=True"
+        )
+    n, m = payload["n"], payload["m"]
+    nodes = tuple(
+        UniverseNode(
+            key=tuple(raw["key"]),
+            solvability=raw["solvability"],
+            reason=raw["reason"],
+            kernel_count=raw["kernel_count"],
+            synonyms=tuple(tuple(pair) for pair in raw["synonyms"]),
+            labels=tuple(raw["labels"]),
+            mask=int(raw["mask"], 16),
+            hardest=raw["hardest"],
+        )
+        for raw in payload["nodes"]
+    )
+    edges = tuple(
+        UniverseEdge((n, m, *source), (n, m, *target), EDGE_CONTAINMENT)
+        for source, target in payload["edges"]
+    )
+    return UniverseCell(n=n, m=m, nodes=nodes, edges=edges)
+
+
+def _build_cell_shard(cells: list[tuple[int, int]]) -> list[dict]:
+    """Worker entry point: payloads for one shard, caches primed by order."""
+    return [cell_to_payload(build_cell(n, m)) for n, m in cells]
+
+
+@dataclass(frozen=True)
+class BuildReport:
+    """Outcome of one incremental build."""
+
+    max_n: int
+    max_m: int
+    cells_total: int
+    cells_built: int
+    cells_reused: int
+    jobs: int
+    seconds: float
+
+
+class UniverseStore:
+    """A directory of per-cell shards plus a manifest."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    @property
+    def cells_dir(self) -> Path:
+        return self.root / "cells"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    def cell_path(self, n: int, m: int) -> Path:
+        return self.cells_dir / f"n{n:03d}_m{m:03d}.json"
+
+    def has_cell(self, n: int, m: int) -> bool:
+        return self.cell_path(n, m).is_file()
+
+    def built_cells(self) -> list[tuple[int, int]]:
+        """Every ``(n, m)`` with a shard on disk, ascending."""
+        cells = []
+        if self.cells_dir.is_dir():
+            for path in self.cells_dir.glob("n*_m*.json"):
+                try:
+                    n_part, m_part = path.stem.split("_")
+                    cells.append((int(n_part[1:]), int(m_part[1:])))
+                except ValueError:
+                    continue  # not one of ours
+        return sorted(cells)
+
+    def read_cell(self, n: int, m: int) -> UniverseCell:
+        with open(self.cell_path(n, m), encoding="utf-8") as handle:
+            return cell_from_payload(json.load(handle))
+
+    def write_cell_payload(self, payload: dict) -> None:
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+        path = self.cell_path(payload["n"], payload["m"])
+        # Write-then-rename so an interrupted build never leaves a
+        # truncated shard behind (has_cell must imply readable).
+        staging = path.with_suffix(".json.tmp")
+        with open(staging, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+        staging.replace(path)
+
+    def manifest(self) -> dict:
+        if not self.manifest_path.is_file():
+            return {"version": SCHEMA_VERSION, "cells": {}}
+        with open(self.manifest_path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def _write_manifest(self, manifest: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # -- build ----------------------------------------------------------
+
+    def build(
+        self, max_n: int, max_m: int, jobs: int = 0, force: bool = False
+    ) -> BuildReport:
+        """Incrementally materialize a rectangle.
+
+        Only cells without a shard are computed (all of them under
+        ``force``, or when the on-disk schema version is stale); a warm
+        rebuild of an already-built rectangle touches no cell at all.
+        """
+        started = time.perf_counter()
+        cells = rectangle_cells(max_n, max_m)
+        manifest = self.manifest()
+        if manifest.get("version") != SCHEMA_VERSION:
+            # Stale schema: every shard on disk is unreadable, including
+            # cells outside the requested rectangle — wipe them all so
+            # load() never sees a mixed-schema directory.
+            for stale in self.built_cells():
+                self.cell_path(*stale).unlink()
+            manifest = {"version": SCHEMA_VERSION, "cells": {}}
+        missing = [
+            cell for cell in cells if force or not self.has_cell(*cell)
+        ]
+        # Heal manifest entries for reused shards (e.g. after a build that
+        # wrote shards but was interrupted before the manifest write).
+        # A shard that turns out unreadable is recomputed, not reused.
+        noted = manifest.setdefault("cells", {})
+        for n, m in sorted(set(cells) - set(missing)):
+            if f"{n},{m}" not in noted:
+                try:
+                    with open(self.cell_path(n, m), encoding="utf-8") as handle:
+                        payload = json.load(handle)
+                    if payload.get("version") != SCHEMA_VERSION:
+                        raise ValueError("stale shard schema")
+                    self._note_cell(manifest, payload)
+                except (OSError, ValueError, KeyError, TypeError):
+                    # Torn, malformed, wrong-shape or stale-schema shard:
+                    # recompute it instead of reusing it.
+                    missing.append((n, m))
+        if missing:
+            if jobs and len(missing) > 1:
+                shards = partition_cells(missing, jobs)
+                with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+                    for payloads in pool.map(_build_cell_shard, shards):
+                        for payload in payloads:
+                            self.write_cell_payload(payload)
+                            self._note_cell(manifest, payload)
+            else:
+                for payload in _build_cell_shard(missing):
+                    self.write_cell_payload(payload)
+                    self._note_cell(manifest, payload)
+        report = BuildReport(
+            max_n=max_n,
+            max_m=max_m,
+            cells_total=len(cells),
+            cells_built=len(missing),
+            cells_reused=len(cells) - len(missing),
+            jobs=jobs,
+            seconds=time.perf_counter() - started,
+        )
+        manifest["last_build"] = {
+            "max_n": max_n,
+            "max_m": max_m,
+            "jobs": jobs,
+            "cells_built": report.cells_built,
+            "cells_reused": report.cells_reused,
+            "seconds": report.seconds,
+        }
+        self._write_manifest(manifest)
+        return report
+
+    @staticmethod
+    def _note_cell(manifest: dict, payload: dict) -> None:
+        manifest.setdefault("cells", {})[f"{payload['n']},{payload['m']}"] = {
+            "nodes": len(payload["nodes"]),
+            "edges": len(payload["edges"]),
+        }
+
+    # -- load -----------------------------------------------------------
+
+    def load(
+        self,
+        max_n: int | None = None,
+        max_m: int | None = None,
+        cross_family: bool = True,
+    ) -> UniverseGraph:
+        """Assemble the graph from every built cell (optionally clipped).
+
+        Cross-family edges are derived from the loaded cell set; raises
+        ``FileNotFoundError`` when the store holds no cells.
+        """
+        cells = [
+            (n, m)
+            for n, m in self.built_cells()
+            if (max_n is None or n <= max_n) and (max_m is None or m <= max_m)
+        ]
+        if not cells:
+            raise FileNotFoundError(
+                f"universe store at {self.root} has no built cells; run "
+                "`python -m repro universe build` first"
+            )
+        return assemble(
+            (self.read_cell(n, m) for n, m in cells), cross_family=cross_family
+        )
+
+    def stats(self) -> dict:
+        """Store-level summary from the manifest and directory listing."""
+        manifest = self.manifest()
+        cells = self.built_cells()
+        noted = manifest.get("cells", {})
+        return {
+            "root": str(self.root),
+            "version": manifest.get("version"),
+            "cells": len(cells),
+            "max_n": max((n for n, _ in cells), default=0),
+            "max_m": max((m for _, m in cells), default=0),
+            "nodes": sum(entry.get("nodes", 0) for entry in noted.values()),
+            "containment_edges": sum(
+                entry.get("edges", 0) for entry in noted.values()
+            ),
+            "last_build": manifest.get("last_build"),
+        }

@@ -1,0 +1,175 @@
+"""Queries over an assembled :class:`UniverseGraph`.
+
+Edges point toward harder tasks (``u -> v`` means a solution of v yields a
+solution of u), so the *harder-than cone* of a node is its descendant set
+and the *weaker-than cone* its ancestor set.  Containment edges alone form
+a DAG; reduction edges may add cycles (wait-free equivalences such as
+WSB <-> (2n-2)-renaming), which is why cones are computed by plain BFS
+reachability rather than topological machinery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.canonical import canonical_parameters
+from ..core.feasibility import is_feasible_symmetric
+from ..core.solvability import Solvability
+from .graph import NodeKey, UniverseEdge, UniverseGraph
+
+#: Verdicts that certify wait-free solvability.
+SOLVABLE_VERDICTS = frozenset(
+    {Solvability.TRIVIAL.value, Solvability.SOLVABLE.value}
+)
+
+
+def resolve_key(
+    graph: UniverseGraph, n: int, m: int, low: int, high: int
+) -> NodeKey:
+    """Canonicalize arbitrary parameters to the node they denote.
+
+    Raises ``ValueError`` for infeasible parameters and ``KeyError`` when
+    the synonym class lies outside the built rectangle.
+    """
+    if not is_feasible_symmetric(n, m, low, high):
+        raise ValueError(f"<{n},{m},{low},{high}> is infeasible")
+    key = (n, m, *canonical_parameters(n, m, max(low, 0), min(high, n)))
+    if key not in graph:
+        raise KeyError(
+            f"<{n},{m},{low},{high}> canonicalizes to {key}, which is "
+            "outside the built rectangle"
+        )
+    return key
+
+
+def _cone(
+    graph: UniverseGraph,
+    key: NodeKey,
+    forward: bool,
+    kinds: Sequence[str] | None,
+) -> list[NodeKey]:
+    if key not in graph:
+        raise KeyError(f"{key} is not a universe node")
+    step = graph.successors if forward else graph.predecessors
+    seen = {key}
+    queue = deque([key])
+    while queue:
+        for edge in step(queue.popleft()):
+            if kinds is not None and edge.kind not in kinds:
+                continue
+            neighbor = edge.target if forward else edge.source
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    seen.discard(key)
+    return sorted(seen)
+
+
+def harder_cone(
+    graph: UniverseGraph, key: NodeKey, kinds: Sequence[str] | None = None
+) -> list[NodeKey]:
+    """Every node at least as hard as ``key`` (descendants; key excluded)."""
+    return _cone(graph, key, forward=True, kinds=kinds)
+
+
+def weaker_cone(
+    graph: UniverseGraph, key: NodeKey, kinds: Sequence[str] | None = None
+) -> list[NodeKey]:
+    """Every node that ``key`` solves (ancestors; key excluded)."""
+    return _cone(graph, key, forward=False, kinds=kinds)
+
+
+def reduction_path(
+    graph: UniverseGraph,
+    source: NodeKey,
+    target: NodeKey,
+    kinds: Sequence[str] | None = None,
+) -> list[UniverseEdge] | None:
+    """A shortest certified path ``source -> ... -> target``, or None.
+
+    Each edge of the path is a certificate that its target solves its
+    source, so the whole path certifies that ``target`` solves ``source``.
+    """
+    for key in (source, target):
+        if key not in graph:
+            raise KeyError(f"{key} is not a universe node")
+    if source == target:
+        return []
+    parents: dict[NodeKey, UniverseEdge] = {}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        for edge in graph.successors(current):
+            if kinds is not None and edge.kind not in kinds:
+                continue
+            if edge.target in parents or edge.target == source:
+                continue
+            parents[edge.target] = edge
+            if edge.target == target:
+                path = [edge]
+                while path[0].source != source:
+                    path.insert(0, parents[path[0].source])
+                return path
+            queue.append(edge.target)
+    return None
+
+
+@dataclass(frozen=True)
+class FrontierReport:
+    """The solvable/unsolvable frontier of the built rectangle."""
+
+    counts: dict[str, int]  # verdict value -> node count
+    boundary: tuple[UniverseEdge, ...]  # last step into unsolvability
+
+    @property
+    def solvable_nodes(self) -> int:
+        return sum(
+            count
+            for verdict, count in self.counts.items()
+            if verdict in SOLVABLE_VERDICTS
+        )
+
+
+def solvability_frontier(graph: UniverseGraph) -> FrontierReport:
+    """Per-verdict node counts plus the boundary edges.
+
+    A boundary edge is any edge ``u -> v`` where v is not wait-free
+    solvable but u still might be (u is anything except unsolvable or
+    infeasible): the exact step at which hardness crosses the wait-free
+    frontier of Theorems 9-11.
+    """
+    counts: dict[str, int] = {}
+    for node in graph.nodes():
+        counts[node.solvability] = counts.get(node.solvability, 0) + 1
+    unsolvable = Solvability.UNSOLVABLE.value
+    excluded = {unsolvable, Solvability.INFEASIBLE.value}
+    boundary = tuple(
+        edge
+        for edge in graph.edges()
+        if graph.node(edge.target).solvability == unsolvable
+        and graph.node(edge.source).solvability not in excluded
+    )
+    return FrontierReport(counts=dict(sorted(counts.items())), boundary=boundary)
+
+
+def incomparable_pairs(
+    graph: UniverseGraph, n: int, m: int
+) -> list[tuple[NodeKey, NodeKey]]:
+    """Canonical pairs of one family with no containment either way.
+
+    Section 7 asks about these; for (6, 3) the paper points out
+    ``<6,3,1,4>`` and ``<6,3,0,3>``.  Computed directly on the stored
+    kernel bitmasks — no edges, no task objects.
+    """
+    nodes = graph.family_nodes(n, m)
+    if not nodes:
+        raise KeyError(f"family ({n}, {m}) is outside the built rectangle")
+    pairs = []
+    for i, first in enumerate(nodes):
+        for second in nodes[i + 1 :]:
+            join = first.mask & second.mask
+            if join != first.mask and join != second.mask:
+                pairs.append(tuple(sorted((first.key, second.key))))
+    return sorted(pairs)

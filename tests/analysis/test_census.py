@@ -11,7 +11,7 @@ from repro.analysis import (
     run_census,
     write_census_json,
 )
-from repro.analysis.census import _partition_cells
+from repro.analysis.census import partition_cells as _partition_cells
 from repro.core import (
     Solvability,
     classify,

@@ -142,6 +142,51 @@ class TestFigure1:
             assert task.parameters[2:] == node
 
 
+class TestBitmaskContainment:
+    """The bitmask path must reproduce the legacy pairwise relation."""
+
+    @pytest.mark.parametrize("n,m", [(6, 3), (8, 4), (7, 2), (9, 3), (5, 5)])
+    def test_canonical_family_identical(self, n, m):
+        family = canonical_family(n, m)
+        fast = containment_digraph(family)
+        slow = containment_digraph(family, method="legacy")
+        assert set(fast.nodes) == set(slow.nodes)
+        assert set(fast.edges) == set(slow.edges)
+
+    def test_full_family_with_synonyms_identical(self):
+        from repro.core import feasible_bound_pairs
+
+        tasks = [
+            SymmetricGSBTask(6, 3, low, high)
+            for low, high in feasible_bound_pairs(6, 3)
+        ]
+        fast = containment_digraph(tasks)
+        slow = containment_digraph(tasks, method="legacy")
+        assert set(fast.nodes) == set(slow.nodes)
+        assert set(fast.edges) == set(slow.edges)
+
+    def test_mixed_families_get_no_cross_edges(self):
+        tasks = canonical_family(4, 2) + canonical_family(5, 3)
+        fast = containment_digraph(tasks)
+        slow = containment_digraph(tasks, method="legacy")
+        assert set(fast.edges) == set(slow.edges)
+
+    def test_hasse_diagram_identical(self):
+        family = canonical_family(8, 4)
+        assert set(hasse_diagram(family).edges) == set(
+            hasse_diagram(family, method="legacy").edges
+        )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            containment_digraph(canonical_family(6, 3), method="nope")
+
+    def test_node_attributes_preserved(self):
+        graph = containment_digraph(canonical_family(6, 3))
+        for node in graph.nodes:
+            assert graph.nodes[node]["task"].parameters[2:] == node
+
+
 class TestOtherFamilies:
     def test_hasse_for_other_parameters_is_dag_with_hardest_sink(self):
         for n, m in [(8, 4), (5, 2), (7, 3)]:

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -75,6 +77,12 @@ class TestCommands:
         assert main(["census", "--min-n", "9", "--max-n", "4"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_figure1_legacy_method_matches(self, capsys):
+        assert main(["figure1", "--dot"]) == 0
+        universe_dot = capsys.readouterr().out
+        assert main(["figure1", "--dot", "--method", "legacy"]) == 0
+        assert capsys.readouterr().out == universe_dot
+
     def test_verify(self, capsys):
         assert main(["verify"]) == 0
         out = capsys.readouterr().out
@@ -85,3 +93,137 @@ class TestCommands:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestUniformJsonFlag:
+    """Every report subcommand shares the same --json [PATH] contract."""
+
+    def test_table1_json_stdout(self, capsys):
+        assert main(["table1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n"] == 6 and payload["m"] == 3
+        assert len(payload["rows"]) == 15
+        # JSON mode still runs the acceptance check and reports it.
+        assert payload["matches_paper"] is True
+        assert "problems" not in payload
+
+    def test_table1_json_file(self, capsys, tmp_path):
+        path = tmp_path / "table1.json"
+        assert main(["table1", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {path}" in out
+        assert "matches the published Table 1: True" in out
+        assert json.loads(path.read_text())["m"] == 3
+
+    def test_atlas_json_stdout(self, capsys):
+        assert main(["atlas", "--n", "5", "--m", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["statistics"]["synonym_classes"] == 3
+        assert all("solvability" in entry for entry in payload["entries"])
+
+    def test_named_json_stdout(self, capsys):
+        assert main(["named", "--n", "6", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {task["name"] for task in payload["tasks"]}
+        assert "election" in names and "WSB" in names
+
+    def test_classify_json_stdout(self, capsys):
+        assert main(["classify", "6", "3", "1", "6", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["canonical_representative"] == [6, 3, 1, 4]
+        assert payload["solvability"] == "open"
+
+    def test_classify_json_infeasible(self, capsys):
+        assert main(["classify", "6", "3", "3", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["feasible"] is False
+        assert "kernel_set" not in payload
+
+    def test_census_json_stdout(self, capsys):
+        assert main(["census", "--max-n", "8", "--max-m", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["grid"]["max_n"] == 8
+
+
+class TestUniverseCommands:
+    @pytest.fixture()
+    def store_dir(self, tmp_path, capsys):
+        path = tmp_path / "universe"
+        assert main(["universe", "build", "--max-n", "6", "--max-m", "4",
+                     "--dir", str(path)]) == 0
+        capsys.readouterr()  # drain the build chatter
+        return str(path)
+
+    def test_build_cold_then_warm(self, capsys, tmp_path):
+        path = str(tmp_path / "u")
+        assert main(["universe", "build", "--max-n", "5", "--max-m", "3",
+                     "--dir", path]) == 0
+        assert "15 built, 0 reused" in capsys.readouterr().out
+        assert main(["universe", "build", "--max-n", "5", "--max-m", "3",
+                     "--dir", path]) == 0
+        assert "0 built, 15 reused" in capsys.readouterr().out
+
+    def test_build_parallel(self, capsys, tmp_path):
+        path = str(tmp_path / "u")
+        assert main(["universe", "build", "--max-n", "5", "--max-m", "3",
+                     "--jobs", "2", "--dir", path]) == 0
+        assert "jobs=2" in capsys.readouterr().out
+
+    def test_build_rejects_bad_rectangle(self, capsys):
+        assert main(["universe", "build", "--max-n", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stats(self, capsys, store_dir):
+        assert main(["universe", "stats", "--dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "GSB universe graph" in out
+        assert "edges[containment]" in out
+
+    def test_stats_json(self, capsys, store_dir):
+        assert main(["universe", "stats", "--dir", store_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["cells"] == 24
+        assert payload["store"]["cells"] == 24
+
+    def test_query_harder_than(self, capsys, store_dir):
+        assert main(["universe", "query", "--dir", store_dir,
+                     "--harder-than", "6", "3", "0", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "<6,3,2,2>" in out
+
+    def test_query_path_json(self, capsys, store_dir):
+        assert main(["universe", "query", "--dir", store_dir, "--json",
+                     "--path", "4", "2", "0", "4", "4", "4", "1", "1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["path"][-1]["kind"] == "theorem8"
+
+    def test_query_frontier(self, capsys, store_dir):
+        assert main(["universe", "query", "--dir", store_dir,
+                     "--frontier"]) == 0
+        assert "boundary edges" in capsys.readouterr().out
+
+    def test_query_incomparable(self, capsys, store_dir):
+        assert main(["universe", "query", "--dir", store_dir,
+                     "--incomparable", "6", "3"]) == 0
+        assert "1 incomparable pairs" in capsys.readouterr().out
+
+    def test_query_infeasible_task_rejected(self, capsys, store_dir):
+        assert main(["universe", "query", "--dir", store_dir,
+                     "--harder-than", "6", "3", "3", "3"]) == 2
+        assert "infeasible" in capsys.readouterr().err
+
+    def test_query_missing_store_rejected(self, capsys, tmp_path):
+        assert main(["universe", "query", "--dir", str(tmp_path / "nope"),
+                     "--frontier"]) == 2
+        assert "no built cells" in capsys.readouterr().err
+
+    def test_export_dot_stdout(self, capsys, store_dir):
+        assert main(["universe", "export", "--dir", store_dir]) == 0
+        assert capsys.readouterr().out.startswith('digraph "GSB universe"')
+
+    def test_export_graphml_file(self, capsys, store_dir, tmp_path):
+        out_path = tmp_path / "u.graphml"
+        assert main(["universe", "export", "--dir", store_dir,
+                     "--format", "graphml", "--out", str(out_path)]) == 0
+        assert f"wrote {out_path}" in capsys.readouterr().out
+        assert out_path.read_text().lstrip().startswith("<?xml")

@@ -1,0 +1,93 @@
+"""Tests for the DOT / JSON / GraphML exporters."""
+
+import json
+from xml.etree import ElementTree
+
+import pytest
+
+from repro.universe import (
+    build_rectangle,
+    universe_export,
+    universe_to_dot,
+    universe_to_graphml,
+    universe_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def rect():
+    return build_rectangle(6, 4)
+
+
+class TestDot:
+    def test_shape(self, rect):
+        dot = universe_to_dot(rect)
+        assert dot.startswith('digraph "GSB universe"')
+        assert dot.rstrip().endswith("}")
+        assert dot.count("subgraph cluster_") == len(rect.cells)
+        assert dot.count(" -> ") == rect.edge_count
+
+    def test_reduction_edges_labeled(self, rect):
+        dot = universe_to_dot(rect)
+        assert "style=dashed" in dot
+        assert 'label="wsb-from-2n2-renaming"' in dot
+
+    def test_deterministic(self, rect):
+        assert universe_to_dot(rect) == universe_to_dot(build_rectangle(6, 4))
+
+    def test_unclustered(self, rect):
+        assert "subgraph" not in universe_to_dot(rect, cluster=False)
+
+
+class TestJson:
+    def test_roundtrips_through_json(self, rect):
+        payload = json.loads(json.dumps(universe_to_json(rect)))
+        assert len(payload["nodes"]) == rect.node_count
+        assert len(payload["edges"]) == rect.edge_count
+        assert payload["stats"]["cells"] == len(rect.cells)
+
+    def test_node_payload_shape(self, rect):
+        node = universe_to_json(rect)["nodes"][0]
+        assert set(node) == {
+            "key", "solvability", "reason", "kernel_count", "synonyms",
+            "labels", "hardest",
+        }
+
+    def test_certificates_serialized(self, rect):
+        payload = universe_to_json(rect)
+        assert any(
+            "identity-renaming" in names
+            for names in payload["certificates"].values()
+        )
+
+
+class TestGraphml:
+    def test_well_formed_and_complete(self, rect):
+        root = ElementTree.fromstring(universe_to_graphml(rect))
+        ns = {"g": "http://graphml.graphdrawing.org/xmlns"}
+        nodes = root.findall("./g:graph/g:node", ns)
+        edges = root.findall("./g:graph/g:edge", ns)
+        assert len(nodes) == rect.node_count
+        assert len(edges) == rect.edge_count
+
+    def test_edge_kind_attribute(self, rect):
+        root = ElementTree.fromstring(universe_to_graphml(rect))
+        ns = {"g": "http://graphml.graphdrawing.org/xmlns"}
+        kinds = {
+            data.text
+            for data in root.findall(
+                "./g:graph/g:edge/g:data[@key='edge_kind']", ns
+            )
+        }
+        assert kinds == {"containment", "theorem8", "reduction"}
+
+
+class TestDispatch:
+    def test_formats(self, rect):
+        assert universe_export(rect, "dot").startswith("digraph")
+        assert json.loads(universe_export(rect, "json"))
+        assert universe_export(rect, "graphml").lstrip().startswith("<?xml")
+
+    def test_unknown_format(self, rect):
+        with pytest.raises(ValueError, match="unknown export format"):
+            universe_export(rect, "svg")

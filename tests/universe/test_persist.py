@@ -1,0 +1,161 @@
+"""Tests for the disk-backed incremental universe store."""
+
+import json
+
+import pytest
+
+from repro.universe import (
+    SCHEMA_VERSION,
+    UniverseStore,
+    build_cell,
+    build_rectangle,
+)
+from repro.universe.persist import cell_from_payload, cell_to_payload
+
+
+def graph_signature(graph):
+    """Comparable dump of a graph: node keys, edges, certificates."""
+    return (
+        {node.key: (node.solvability, node.mask, node.synonyms) for node in graph.nodes()},
+        {(e.source, e.target, e.kind, e.label) for e in graph.edges()},
+        dict(graph.certificates),
+    )
+
+
+class TestCellRoundtrip:
+    @pytest.mark.parametrize("n,m", [(6, 3), (8, 2), (3, 6), (1, 1)])
+    def test_payload_roundtrip_is_identity(self, n, m):
+        cell = build_cell(n, m)
+        assert cell_from_payload(cell_to_payload(cell)) == cell
+
+    def test_payload_is_json_serializable(self):
+        json.dumps(cell_to_payload(build_cell(7, 3)))
+
+    def test_stale_schema_rejected(self):
+        payload = cell_to_payload(build_cell(4, 2))
+        payload["version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            cell_from_payload(payload)
+
+
+class TestIncrementalBuild:
+    def test_cold_then_warm(self, tmp_path):
+        store = UniverseStore(tmp_path / "u")
+        cold = store.build(6, 4)
+        assert cold.cells_built == cold.cells_total == 24
+        assert cold.cells_reused == 0
+        warm = store.build(6, 4)
+        assert warm.cells_built == 0
+        assert warm.cells_reused == 24
+        assert warm.seconds < cold.seconds + 1  # sanity; warm is ~free
+
+    def test_widening_builds_only_new_cells(self, tmp_path):
+        store = UniverseStore(tmp_path / "u")
+        store.build(6, 4)
+        widened = store.build(8, 5)
+        assert widened.cells_total == 40
+        assert widened.cells_reused == 24
+        assert widened.cells_built == 16
+        assert sorted(store.built_cells()) == [
+            (n, m) for n in range(1, 9) for m in range(1, 6)
+        ]
+
+    def test_force_rebuilds_everything(self, tmp_path):
+        store = UniverseStore(tmp_path / "u")
+        store.build(4, 3)
+        forced = store.build(4, 3, force=True)
+        assert forced.cells_built == forced.cells_total
+
+    def test_schema_bump_forces_rebuild(self, tmp_path):
+        store = UniverseStore(tmp_path / "u")
+        store.build(4, 3)
+        manifest = store.manifest()
+        manifest["version"] = SCHEMA_VERSION - 1
+        store._write_manifest(manifest)
+        rebuilt = store.build(4, 3)
+        assert rebuilt.cells_built == rebuilt.cells_total
+        assert store.manifest()["version"] == SCHEMA_VERSION
+
+    def test_schema_bump_wipes_out_of_rectangle_shards(self, tmp_path):
+        # A stale-schema store must not keep unreadable shards outside
+        # the rebuilt rectangle: load() reads every shard on disk.
+        store = UniverseStore(tmp_path / "u")
+        store.build(6, 4)
+        manifest = store.manifest()
+        manifest["version"] = SCHEMA_VERSION - 1
+        store._write_manifest(manifest)
+        store.build(4, 3)  # narrower rectangle than what is on disk
+        assert store.built_cells() == [
+            (n, m) for n in range(1, 5) for m in range(1, 4)
+        ]
+        assert graph_signature(store.load()) == graph_signature(
+            build_rectangle(4, 3)
+        )
+
+    def test_truncated_shard_is_recomputed(self, tmp_path):
+        # Shard writes are atomic, but defend against torn files anyway:
+        # an unreadable reused shard must be rebuilt, not trusted.
+        store = UniverseStore(tmp_path / "u")
+        store.build(5, 3)
+        store.manifest_path.unlink()
+        store.cell_path(4, 2).write_text('{"version":')  # torn write
+        store.cell_path(3, 2).write_text("{}\n")  # valid JSON, wrong shape
+        report = store.build(5, 3)
+        assert report.cells_built == 2
+        assert graph_signature(store.load()) == graph_signature(
+            build_rectangle(5, 3)
+        )
+
+    def test_interrupted_build_heals_manifest(self, tmp_path):
+        # Shards written but the manifest never reached disk (crash /
+        # Ctrl-C): the next build must re-note the reused cells so
+        # stats() reports real counts.
+        store = UniverseStore(tmp_path / "u")
+        store.build(5, 3)
+        store.manifest_path.unlink()
+        report = store.build(5, 3)
+        assert report.cells_built == 0
+        stats = store.stats()
+        assert stats["nodes"] == build_rectangle(5, 3).node_count
+        assert stats["containment_edges"] > 0
+
+    def test_parallel_build_matches_serial(self, tmp_path):
+        serial = UniverseStore(tmp_path / "serial")
+        serial.build(7, 4)
+        parallel = UniverseStore(tmp_path / "parallel")
+        report = parallel.build(7, 4, jobs=2)
+        assert report.jobs == 2
+        assert graph_signature(serial.load()) == graph_signature(parallel.load())
+
+
+class TestLoad:
+    def test_load_equals_in_memory_build(self, tmp_path):
+        store = UniverseStore(tmp_path / "u")
+        store.build(7, 5)
+        assert graph_signature(store.load()) == graph_signature(
+            build_rectangle(7, 5)
+        )
+
+    def test_load_clips_to_sub_rectangle(self, tmp_path):
+        store = UniverseStore(tmp_path / "u")
+        store.build(7, 5)
+        clipped = store.load(max_n=5, max_m=3)
+        assert clipped.cells == {
+            (n, m) for n in range(1, 6) for m in range(1, 4)
+        }
+        # Cross-family edges are re-derived for the clipped cell set.
+        assert graph_signature(clipped) == graph_signature(build_rectangle(5, 3))
+
+    def test_load_empty_store_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no built cells"):
+            UniverseStore(tmp_path / "missing").load()
+
+    def test_stats(self, tmp_path):
+        store = UniverseStore(tmp_path / "u")
+        store.build(5, 3, jobs=0)
+        stats = store.stats()
+        assert stats["cells"] == 15
+        assert stats["max_n"] == 5
+        assert stats["max_m"] == 3
+        assert stats["nodes"] == build_rectangle(5, 3).node_count
+        assert stats["last_build"]["cells_built"] == 15

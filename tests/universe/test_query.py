@@ -1,0 +1,139 @@
+"""Tests for universe queries: cones, paths, frontier, incomparability."""
+
+import pytest
+
+from repro.core import Solvability
+from repro.core.order import incomparable_pairs as order_incomparable_pairs
+from repro.core.order import canonical_family
+from repro.universe import (
+    EDGE_CONTAINMENT,
+    build_rectangle,
+    harder_cone,
+    incomparable_pairs,
+    reduction_path,
+    resolve_key,
+    solvability_frontier,
+    weaker_cone,
+)
+
+
+@pytest.fixture(scope="module")
+def rect():
+    return build_rectangle(8, 6)
+
+
+class TestResolveKey:
+    def test_canonicalizes_synonyms(self, rect):
+        assert resolve_key(rect, 6, 3, 1, 6) == (6, 3, 1, 4)
+
+    def test_infeasible_raises_value_error(self, rect):
+        with pytest.raises(ValueError, match="infeasible"):
+            resolve_key(rect, 6, 3, 3, 3)
+
+    def test_outside_rectangle_raises_key_error(self, rect):
+        with pytest.raises(KeyError, match="outside the built rectangle"):
+            resolve_key(rect, 20, 3, 0, 20)
+
+
+class TestCones:
+    def test_loosest_task_reaches_whole_family_and_perfect(self, rect):
+        cone = harder_cone(rect, (6, 3, 0, 6))
+        family = {key for key in cone if key[:2] == (6, 3)}
+        assert len(family) == 6  # the other six canonical <6,3> classes
+        assert (6, 6, 1, 1) in cone  # via Theorem 8
+
+    def test_weaker_cone_inverts_harder_cone(self, rect):
+        harder = harder_cone(rect, (6, 3, 0, 6))
+        for key in harder:
+            assert (6, 3, 0, 6) in weaker_cone(rect, key)
+
+    def test_kind_filter(self, rect):
+        cone = harder_cone(rect, (6, 3, 0, 6), kinds=(EDGE_CONTAINMENT,))
+        assert all(key[:2] == (6, 3) for key in cone)
+
+    def test_unknown_key_raises(self, rect):
+        with pytest.raises(KeyError):
+            harder_cone(rect, (99, 1, 0, 99))
+
+
+class TestReductionPath:
+    def test_path_to_perfect_renaming_ends_with_theorem8(self, rect):
+        path = reduction_path(rect, (6, 3, 0, 6), (6, 6, 1, 1))
+        assert path is not None
+        assert path[0].source == (6, 3, 0, 6)
+        assert path[-1].target == (6, 6, 1, 1)
+        assert path[-1].kind == "theorem8"
+        # Consecutive edges chain.
+        for earlier, later in zip(path, path[1:]):
+            assert earlier.target == later.source
+
+    def test_registry_certified_path(self, rect):
+        # WSB -> (2n-2)-renaming at n=3 is the single registry edge saying
+        # the renaming oracle solves WSB ("wsb-from-2n2-renaming").
+        path = reduction_path(rect, (3, 2, 1, 2), (3, 4, 0, 1))
+        assert path is not None
+        assert [edge.kind for edge in path] == ["reduction"]
+        assert path[0].label == "wsb-from-2n2-renaming"
+        # The converse registry entry certifies the opposite direction.
+        back = reduction_path(rect, (3, 4, 0, 1), (3, 2, 1, 2))
+        assert [edge.label for edge in back] == ["2n2-renaming-from-wsb"]
+
+    def test_no_path_across_unrelated_families(self, rect):
+        # Nothing makes a <7,3> task solve a <5,2> task in this universe.
+        assert reduction_path(rect, (7, 3, 2, 3), (5, 2, 2, 3)) is None
+
+    def test_trivial_path_is_empty(self, rect):
+        assert reduction_path(rect, (6, 3, 2, 2), (6, 3, 2, 2)) == []
+
+
+class TestFrontier:
+    def test_counts_match_node_annotations(self, rect):
+        report = solvability_frontier(rect)
+        recounted = {}
+        for node in rect.nodes():
+            recounted[node.solvability] = recounted.get(node.solvability, 0) + 1
+        assert report.counts == recounted
+        assert sum(report.counts.values()) == rect.node_count
+
+    def test_boundary_edges_cross_into_unsolvability(self, rect):
+        report = solvability_frontier(rect)
+        assert report.boundary
+        unsolvable = Solvability.UNSOLVABLE.value
+        for edge in report.boundary:
+            assert rect.node(edge.target).solvability == unsolvable
+            assert rect.node(edge.source).solvability != unsolvable
+
+    def test_trivial_to_perfect_renaming_is_on_the_boundary(self, rect):
+        # <4,4,0,2> is trivial, its cover <4,4,1,1> is perfect renaming.
+        report = solvability_frontier(rect)
+        assert ((4, 4, 0, 2), (4, 4, 1, 1)) in {
+            (edge.source, edge.target) for edge in report.boundary
+        }
+
+    def test_solvable_node_count(self, rect):
+        report = solvability_frontier(rect)
+        assert report.solvable_nodes == sum(
+            1
+            for node in rect.nodes()
+            if node.solvability
+            in (Solvability.TRIVIAL.value, Solvability.SOLVABLE.value)
+        )
+
+
+class TestIncomparablePairs:
+    def test_paper_pair(self, rect):
+        assert ((6, 3, 0, 3), (6, 3, 1, 4)) in incomparable_pairs(rect, 6, 3)
+
+    @pytest.mark.parametrize("n,m", [(6, 3), (8, 4), (7, 2)])
+    def test_matches_order_module(self, rect, n, m):
+        expected = {
+            tuple(sorted([a.parameters, b.parameters]))
+            for a, b in order_incomparable_pairs(canonical_family(n, m))
+        }
+        assert {
+            tuple(sorted(pair)) for pair in incomparable_pairs(rect, n, m)
+        } == expected
+
+    def test_unknown_family_raises(self, rect):
+        with pytest.raises(KeyError):
+            incomparable_pairs(rect, 50, 2)

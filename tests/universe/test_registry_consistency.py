@@ -1,0 +1,114 @@
+"""Satellite: every registry reduction agrees with the universe graph.
+
+For each :class:`repro.algorithms.reductions.Reduction` and every n where
+both endpoints denote nodes of a test rectangle:
+
+* oracle-backed reductions must appear as ``target -> oracle`` edges
+  labeled with the registry name;
+* oracle-free reductions (solved from registers/splitters alone) must
+  appear as register-solvability certificates on their target node;
+* solvability verdicts must be monotone along every edge of the graph —
+  if the harder endpoint is wait-free solvable, the easier one cannot be
+  classified unsolvable.
+
+Asymmetric targets (election) have no symmetric synonym class and are
+exempt by construction; perfect-from-perfect maps both endpoints to the
+same node and contributes no edge.
+"""
+
+import pytest
+
+from repro.algorithms import REDUCTIONS
+from repro.core import Solvability
+from repro.core.bounds import GSBSpecificationError
+from repro.universe import EDGE_REDUCTION, build_rectangle, task_node_key
+
+MAX_N = 4
+MAX_M = 7  # fits (2n-1)-renaming up to n = 4
+
+SOLVABLE = {Solvability.TRIVIAL.value, Solvability.SOLVABLE.value}
+UNSOLVABLE = Solvability.UNSOLVABLE.value
+
+
+@pytest.fixture(scope="module")
+def rect():
+    return build_rectangle(MAX_N, MAX_M)
+
+
+def representable_pairs(rect, reduction):
+    """(n, target_key, oracle_key) triples the rectangle can express."""
+    triples = []
+    for n in range(reduction.min_n, MAX_N + 1):
+        try:
+            target_key = task_node_key(rect, reduction.target(n))
+            oracle_key = (
+                task_node_key(rect, reduction.oracle(n))
+                if reduction.oracle is not None
+                else None
+            )
+        except GSBSpecificationError:
+            continue
+        triples.append((n, target_key, oracle_key))
+    return triples
+
+
+class TestRegistryGraphConsistency:
+    @pytest.mark.parametrize("name", sorted(REDUCTIONS))
+    def test_reduction_is_represented(self, rect, name):
+        reduction = REDUCTIONS[name]
+        edges = {
+            (edge.source, edge.target)
+            for edge in rect.edges((EDGE_REDUCTION,))
+            if edge.label == name
+        }
+        expected_edges = 0
+        expected_certificates = 0
+        for n, target_key, oracle_key in representable_pairs(rect, reduction):
+            if target_key is None:
+                continue  # asymmetric target (election) or outside rectangle
+            if reduction.oracle is None:
+                assert name in rect.certificates.get(target_key, ())
+                expected_certificates += 1
+                continue
+            if oracle_key is None or oracle_key == target_key:
+                continue  # oracle not representable, or a self-reduction
+            assert (target_key, oracle_key) in edges
+            expected_edges += 1
+        # Nothing beyond the expected endpoints sneaks into the graph.
+        assert len(edges) == expected_edges
+        # Every reduction shows up at least once, as an edge or a
+        # certificate — except the pure self-reduction and the asymmetric
+        # election target, which have nothing to materialize.
+        if name not in ("perfect-from-perfect", "election-from-perfect"):
+            assert expected_edges + expected_certificates > 0
+
+    @pytest.mark.parametrize("name", sorted(REDUCTIONS))
+    def test_verdicts_monotone_along_reduction(self, rect, name):
+        """A solvable oracle cannot have an unsolvable target."""
+        reduction = REDUCTIONS[name]
+        if reduction.oracle is None:
+            return
+        for _, target_key, oracle_key in representable_pairs(rect, reduction):
+            if target_key is None or oracle_key is None:
+                continue
+            oracle_verdict = rect.node(oracle_key).solvability
+            target_verdict = rect.node(target_key).solvability
+            assert not (
+                oracle_verdict in SOLVABLE and target_verdict == UNSOLVABLE
+            ), (name, oracle_key, target_key)
+
+
+class TestGraphWideMonotonicity:
+    def test_every_edge_is_verdict_monotone(self, rect):
+        """Edge u -> v means v solves u: v solvable => u not unsolvable."""
+        for edge in rect.edges():
+            harder = rect.node(edge.target).solvability
+            easier = rect.node(edge.source).solvability
+            assert not (harder in SOLVABLE and easier == UNSOLVABLE), edge
+
+    def test_wider_rectangle_stays_monotone(self):
+        wide = build_rectangle(10, 5)
+        for edge in wide.edges():
+            harder = wide.node(edge.target).solvability
+            easier = wide.node(edge.source).solvability
+            assert not (harder in SOLVABLE and easier == UNSOLVABLE), edge
