@@ -5,19 +5,25 @@ Usage::
     python -m repro table1 [--n 6 --m 3] [--json [PATH]]
     python -m repro figure1 [--n 6 --m 3] [--dot]
     python -m repro atlas --n 8 --m 4 [--json [PATH]]
-    python -m repro named --n 6 [--json [PATH]]
+    python -m repro named [--n 6] [--json [PATH]]
     python -m repro binomials [--max-n 32]
     python -m repro classify N M L U [--json [PATH]]
+    python -m repro decide N M L U [--budget N] [--max-rounds R]
+                           [--max-empirical-n N] [--dir universe_store]
+                           [--no-cache] [--check] [--json [PATH]]
     python -m repro census --max-n 40 [--min-n 2] [--max-m 6] [--jobs 8]
                            [--per-cell] [--json [out.json]]
     python -m repro universe build [--max-n 20 --max-m 6 --jobs 4]
                                    [--dir universe_store] [--force]
+                                   [--close-open] [--max-empirical-n 4]
+                                   [--max-rounds 2] [--budget N]
     python -m repro universe stats [--dir ...] [--json [PATH]]
     python -m repro universe query [--dir ...] (--harder-than N M L U |
                                    --weaker-than N M L U | --path 8xINT |
                                    --frontier | --incomparable N M)
     python -m repro universe export [--dir ...] --format dot|json|graphml
                                     [--out PATH]
+    python -m repro universe check [--dir ...]
     python -m repro explore [--tasks wsb,election,renaming] [--n 2 3 4]
     python -m repro verify
 
@@ -25,21 +31,37 @@ The ``--json`` flag is uniform across report subcommands: bare it prints
 the JSON payload to stdout instead of the ASCII rendering; with a path it
 writes the payload there and announces ``wrote PATH``.
 
+``decide`` runs the tiered decision pipeline (closed forms, value
+padding, reduction closure, bounded empirical search) and prints the
+verdict with its machine-checkable certificate; ``universe check``
+replays every certificate stored alongside a universe store.
+
 ``verify`` is the one-shot acceptance check: Table 1 and Figure 1 must
 match the published content, and Figure 2 must pass exhaustive model
 checking at n = 3.
+
+Command registration is declarative: one :data:`COMMANDS` table of
+:class:`Command` rows, with the copy-paste-prone flags (``--json``,
+``--jobs``, ``--dir``, the ``N M L U`` positionals, the decision-budget
+knobs) defined once as named argument groups.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
+from typing import Callable
 
 
 def _json_only(args) -> bool:
     """Bare ``--json`` means: print the payload, skip the ASCII report."""
     return getattr(args, "json", None) == "-"
 
+
+# ======================================================================
+# Handlers
+# ======================================================================
 
 def _cmd_table1(args) -> int:
     from .analysis import (
@@ -136,6 +158,76 @@ def _cmd_classify(args) -> int:
     return 0
 
 
+def _decision_budget(args):
+    from .decision import DecisionBudget
+
+    return DecisionBudget(
+        max_empirical_n=args.max_empirical_n,
+        max_rounds=args.max_rounds,
+        max_assignments=args.budget,
+    )
+
+
+def _cmd_decide(args) -> int:
+    from .analysis import emit_json
+    from .core.bounds import GSBSpecificationError
+    from .decision import DecisionPipeline
+    from .universe import UniverseStore
+
+    store = UniverseStore(args.dir)
+    graph = None
+    if store.built_cells():
+        try:
+            graph = store.load()
+        except (OSError, ValueError):
+            graph = None  # unreadable store: the pipeline builds its own row
+    pipeline = DecisionPipeline(
+        budget=_decision_budget(args),
+        cache=None if args.no_cache else store.decision_cache,
+        graph=graph,
+    )
+    try:
+        verdict = pipeline.decide(
+            args.task_n, args.task_m, args.task_l, args.task_u
+        )
+    except GSBSpecificationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    if args.check and verdict.certificate is not None:
+        problems = verdict.certificate.check()
+    if args.json:
+        payload = verdict.to_json()
+        if args.check:
+            payload["check"] = {"ok": not problems, "problems": problems}
+        emit_json(payload, args.json)
+        if _json_only(args):
+            return 1 if problems else 0
+    print("task: <{},{},{},{}>  (canonical <{},{},{},{}>)".format(
+        *verdict.task, *verdict.canonical
+    ))
+    print(f"verdict: {verdict.solvability.value}")
+    print(f"because: {verdict.reason}")
+    source = "cache" if verdict.cached else f"tier {verdict.tier}"
+    print(f"decided by: {verdict.procedure} [{source}] "
+          f"in {verdict.seconds * 1000:.1f} ms")
+    if verdict.certificate is not None:
+        print(f"certificate: {verdict.certificate_id} "
+              f"[{verdict.certificate.kind}]")
+    for note in verdict.evidence:
+        print(f"evidence: {note}")
+    if args.check:
+        if verdict.certificate is None:
+            print("check: nothing to check (no certificate for OPEN verdicts)")
+        elif problems:
+            print("check: FAILED")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print("check: certificate replays cleanly")
+    return 1 if problems else 0
+
+
 def _cmd_census(args) -> int:
     from .analysis import (
         census_report_to_json,
@@ -205,10 +297,31 @@ def _cmd_universe_build(args) -> int:
             report.cells_reused, report.jobs, report.seconds, store.root,
         )
     )
+    if args.close_open:
+        closed = store.close_open(_decision_budget(args))
+        print(
+            "close-open sweep: {} OPEN before, {} after ({} closed, "
+            "{} with new search evidence)".format(
+                closed.open_before,
+                closed.open_after,
+                closed.closed_count,
+                len(closed.evidence),
+            )
+        )
+        for key, result in sorted(closed.closed.items()):
+            print(
+                "  closed <{},{},{},{}>: {} (tier {}, {})".format(
+                    *key,
+                    result.solvability.value,
+                    result.tier,
+                    result.procedure,
+                )
+            )
     stats = store.stats()
     print(
         f"store now holds {stats['cells']} cells, {stats['nodes']} synonym "
-        f"classes, {stats['containment_edges']} containment edges"
+        f"classes, {stats['containment_edges']} containment edges, "
+        f"{stats['overrides']} close-open overrides"
     )
     return 0
 
@@ -361,6 +474,46 @@ def _cmd_universe_export(args) -> int:
     return 0
 
 
+def _cmd_universe_check(args) -> int:
+    """Replay every certificate stored with (or cached beside) a store."""
+    from .decision import certificate_id, check_certificate_payload
+
+    store = _universe_store(args)
+    graph = _load_universe(args)
+    if graph is None:
+        return 2
+    failures = 0
+    checked = 0
+    for stored_id, payload in sorted(graph.certificate_payloads.items()):
+        problems = check_certificate_payload(payload)
+        checked += 1
+        if problems:
+            failures += 1
+            print(f"FAIL {stored_id}: {problems[0]}")
+    cached = 0
+    for key, payload in store.decision_cache.iter_certificates():
+        if certificate_id(payload) in graph.certificate_payloads:
+            continue  # already replayed from the graph above
+        problems = check_certificate_payload(payload)
+        cached += 1
+        if problems:
+            failures += 1
+            print(f"FAIL cache <{key}>: {problems[0]}")
+    uncertified = sum(
+        1
+        for node in graph.nodes()
+        if node.solvability != "open" and not node.certificate_id
+    )
+    if uncertified:
+        failures += 1
+        print(f"FAIL: {uncertified} non-OPEN nodes carry no certificate id")
+    print(
+        f"replayed {checked} graph certificates and {cached} cached "
+        f"certificates: {'all OK' if not failures else f'{failures} FAILURES'}"
+    )
+    return 1 if failures else 0
+
+
 def _cmd_explore(args) -> int:
     from .shm.engine import (
         ExplorationBudgetExceeded,
@@ -460,16 +613,40 @@ def _cmd_verify(args) -> int:
     return 1 if failures else 0
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Reproduction of 'The Universe of Symmetry Breaking Tasks'",
-    )
-    subparsers = parser.add_subparsers(dest="command", required=True)
+# ======================================================================
+# Declarative command registration
+# ======================================================================
 
-    def add_json_flag(target_parser) -> None:
-        """The uniform --json [PATH] flag shared by report subcommands."""
-        target_parser.add_argument(
+@dataclass(frozen=True)
+class Arg:
+    """One ``add_argument`` call, optionally inside a mutex group."""
+
+    flags: tuple[str, ...]
+    options: dict
+    mutex: str | None = None
+
+
+def arg(*flags: str, mutex: str | None = None, **options) -> Arg:
+    return Arg(flags=flags, options=options, mutex=mutex)
+
+
+@dataclass(frozen=True)
+class Command:
+    """One subcommand: its help, handler, arguments and shared groups."""
+
+    name: str
+    help: str
+    handler: Callable | None = None
+    groups: tuple[str, ...] = ()
+    args: tuple[Arg, ...] = ()
+    subcommands: tuple["Command", ...] = ()
+    sub_dest: str = "subcommand"
+
+
+#: The shared argument groups the old parser copy-pasted per command.
+SHARED_GROUPS: dict[str, tuple[Arg, ...]] = {
+    "json": (
+        arg(
             "--json",
             metavar="PATH",
             nargs="?",
@@ -477,221 +654,344 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="emit a JSON payload: to PATH, or to stdout when bare "
             "(replacing the ASCII report)",
-        )
-
-    table1_parser = subparsers.add_parser("table1", help="regenerate Table 1")
-    table1_parser.add_argument("--n", type=int, default=6)
-    table1_parser.add_argument("--m", type=int, default=3)
-    add_json_flag(table1_parser)
-    table1_parser.set_defaults(handler=_cmd_table1)
-
-    figure1_parser = subparsers.add_parser("figure1", help="regenerate Figure 1")
-    figure1_parser.add_argument("--n", type=int, default=6)
-    figure1_parser.add_argument("--m", type=int, default=3)
-    figure1_parser.add_argument("--dot", action="store_true")
-    figure1_parser.add_argument(
-        "--method",
-        choices=["universe", "legacy"],
-        default="universe",
-        help="diagram construction path (regression tests pin them identical)",
-    )
-    figure1_parser.set_defaults(handler=_cmd_figure1)
-
-    atlas_parser = subparsers.add_parser("atlas", help="annotated family atlas")
-    atlas_parser.add_argument("--n", type=int, required=True)
-    atlas_parser.add_argument("--m", type=int, required=True)
-    add_json_flag(atlas_parser)
-    atlas_parser.set_defaults(handler=_cmd_atlas)
-
-    named_parser = subparsers.add_parser("named", help="named-task verdicts")
-    named_parser.add_argument("--n", type=int, default=6)
-    add_json_flag(named_parser)
-    named_parser.set_defaults(handler=_cmd_named)
-
-    binomials_parser = subparsers.add_parser(
-        "binomials", help="Theorem 10 gcd table"
-    )
-    binomials_parser.add_argument("--max-n", type=int, default=32)
-    binomials_parser.set_defaults(handler=_cmd_binomials)
-
-    classify_parser = subparsers.add_parser(
-        "classify", help="classify a <n,m,l,u> task"
-    )
-    classify_parser.add_argument("task_n", type=int, metavar="N")
-    classify_parser.add_argument("task_m", type=int, metavar="M")
-    classify_parser.add_argument("task_l", type=int, metavar="L")
-    classify_parser.add_argument("task_u", type=int, metavar="U")
-    add_json_flag(classify_parser)
-    classify_parser.set_defaults(handler=_cmd_classify)
-
-    census_parser = subparsers.add_parser(
-        "census",
-        help="whole-universe family census on the closed-form pipeline",
-    )
-    census_parser.add_argument("--max-n", type=int, default=40)
-    census_parser.add_argument("--min-n", type=int, default=2)
-    census_parser.add_argument("--max-m", type=int, default=6)
-    census_parser.add_argument(
-        "--jobs",
-        type=int,
-        default=0,
-        help="shard (n, m) cells over a process pool (0 = in-process)",
-    )
-    census_parser.add_argument(
-        "--per-cell",
-        action="store_true",
-        help="print one row per (n, m) family instead of the per-n rollup",
-    )
-    census_parser.add_argument(
-        "--json",
-        metavar="PATH",
-        nargs="?",
-        const="-",
-        default=None,
-        help="also dump the full per-cell census as JSON (to stdout when bare)",
-    )
-    census_parser.set_defaults(handler=_cmd_census)
-
-    universe_parser = subparsers.add_parser(
-        "universe",
-        help="the cross-family reducibility map (build/query/export/stats)",
-    )
-    universe_sub = universe_parser.add_subparsers(
-        dest="universe_command", required=True
-    )
-
-    def add_dir_flag(target_parser) -> None:
-        target_parser.add_argument(
+        ),
+    ),
+    "paper-nm": (
+        arg("--n", type=int, default=6),
+        arg("--m", type=int, default=3),
+    ),
+    "task-nmlu": (
+        arg("task_n", type=int, metavar="N"),
+        arg("task_m", type=int, metavar="M"),
+        arg("task_l", type=int, metavar="L"),
+        arg("task_u", type=int, metavar="U"),
+    ),
+    "jobs": (
+        arg(
+            "--jobs",
+            type=int,
+            default=0,
+            help="shard work over a process pool (0 = in-process)",
+        ),
+    ),
+    "store-dir": (
+        arg(
             "--dir",
             default="universe_store",
             help="store directory (default: ./universe_store)",
-        )
+        ),
+    ),
+    "decision-budget": (
+        arg(
+            "--budget",
+            type=int,
+            default=500_000,
+            metavar="N",
+            help="empirical search budget in CSP assignments per round",
+        ),
+        arg(
+            "--max-rounds",
+            type=int,
+            default=2,
+            help="deepest immediate-snapshot round the empirical tier tries",
+        ),
+        arg(
+            "--max-empirical-n",
+            type=int,
+            default=4,
+            help="largest n the empirical tier searches",
+        ),
+    ),
+}
 
-    ubuild_parser = universe_sub.add_parser(
-        "build", help="incrementally materialize a parameter rectangle"
-    )
-    ubuild_parser.add_argument("--max-n", type=int, default=20)
-    ubuild_parser.add_argument("--max-m", type=int, default=6)
-    ubuild_parser.add_argument(
-        "--jobs",
-        type=int,
-        default=0,
-        help="shard missing cells over a process pool (0 = in-process)",
-    )
-    ubuild_parser.add_argument(
-        "--force", action="store_true", help="recompute cells already on disk"
-    )
-    add_dir_flag(ubuild_parser)
-    ubuild_parser.set_defaults(handler=_cmd_universe_build)
 
-    ustats_parser = universe_sub.add_parser(
-        "stats", help="store and graph summary counts"
-    )
-    add_dir_flag(ustats_parser)
-    add_json_flag(ustats_parser)
-    ustats_parser.set_defaults(handler=_cmd_universe_stats)
-
-    uquery_parser = universe_sub.add_parser(
-        "query", help="cones, paths, the frontier, incomparable pairs"
-    )
-    add_dir_flag(uquery_parser)
-    query_kind = uquery_parser.add_mutually_exclusive_group(required=True)
-    query_kind.add_argument(
-        "--harder-than",
-        type=int,
-        nargs=4,
-        metavar=("N", "M", "L", "U"),
-        help="every task at least as hard as <N,M,L,U>",
-    )
-    query_kind.add_argument(
-        "--weaker-than",
-        type=int,
-        nargs=4,
-        metavar=("N", "M", "L", "U"),
-        help="every task <N,M,L,U> solves",
-    )
-    query_kind.add_argument(
-        "--path",
-        type=int,
-        nargs=8,
-        metavar="INT",
-        help="certified reduction path: source N M L U, then target N M L U",
-    )
-    query_kind.add_argument(
-        "--frontier",
-        action="store_true",
-        help="solvability split and the edges crossing into unsolvability",
-    )
-    query_kind.add_argument(
-        "--incomparable",
-        type=int,
-        nargs=2,
-        metavar=("N", "M"),
-        help="canonical pairs of one family with no containment either way",
-    )
-    uquery_parser.add_argument(
-        "--limit",
-        type=int,
-        default=20,
-        help="max boundary edges printed by --frontier",
-    )
-    add_json_flag(uquery_parser)
-    uquery_parser.set_defaults(handler=_cmd_universe_query)
-
-    uexport_parser = universe_sub.add_parser(
-        "export", help="emit the graph as DOT, JSON or GraphML"
-    )
-    add_dir_flag(uexport_parser)
-    uexport_parser.add_argument(
-        "--format", choices=["dot", "json", "graphml"], default="dot"
-    )
-    uexport_parser.add_argument(
-        "--out", metavar="PATH", default=None, help="write here (default: stdout)"
-    )
-    uexport_parser.set_defaults(handler=_cmd_universe_export)
-
-    explore_parser = subparsers.add_parser(
-        "explore",
+COMMANDS: tuple[Command, ...] = (
+    Command(
+        name="table1",
+        help="regenerate Table 1",
+        handler=_cmd_table1,
+        groups=("paper-nm", "json"),
+    ),
+    Command(
+        name="figure1",
+        help="regenerate Figure 1",
+        handler=_cmd_figure1,
+        groups=("paper-nm",),
+        args=(
+            arg("--dot", action="store_true"),
+            arg(
+                "--method",
+                choices=["universe", "legacy"],
+                default="universe",
+                help="diagram construction path (regression tests pin them "
+                "identical)",
+            ),
+        ),
+    ),
+    Command(
+        name="atlas",
+        help="annotated family atlas",
+        handler=_cmd_atlas,
+        groups=("json",),
+        args=(
+            arg("--n", type=int, required=True),
+            arg("--m", type=int, required=True),
+        ),
+    ),
+    Command(
+        name="named",
+        help="named-task verdicts",
+        handler=_cmd_named,
+        groups=("json",),
+        args=(arg("--n", type=int, default=6),),
+    ),
+    Command(
+        name="binomials",
+        help="Theorem 10 gcd table",
+        handler=_cmd_binomials,
+        args=(arg("--max-n", type=int, default=32),),
+    ),
+    Command(
+        name="classify",
+        help="classify a <n,m,l,u> task (the paper's closed forms)",
+        handler=_cmd_classify,
+        groups=("task-nmlu", "json"),
+    ),
+    Command(
+        name="decide",
+        help="run the tiered decision pipeline with certificates",
+        handler=_cmd_decide,
+        groups=("task-nmlu", "decision-budget", "store-dir", "json"),
+        args=(
+            arg(
+                "--no-cache",
+                action="store_true",
+                help="skip the verdict cache (always recompute)",
+            ),
+            arg(
+                "--check",
+                action="store_true",
+                help="replay the certificate before reporting success",
+            ),
+        ),
+    ),
+    Command(
+        name="census",
+        help="whole-universe family census on the closed-form pipeline",
+        handler=_cmd_census,
+        groups=("jobs",),
+        args=(
+            arg("--max-n", type=int, default=40),
+            arg("--min-n", type=int, default=2),
+            arg("--max-m", type=int, default=6),
+            arg(
+                "--per-cell",
+                action="store_true",
+                help="print one row per (n, m) family instead of the per-n "
+                "rollup",
+            ),
+            arg(
+                "--json",
+                metavar="PATH",
+                nargs="?",
+                const="-",
+                default=None,
+                help="also dump the full per-cell census as JSON (to stdout "
+                "when bare)",
+            ),
+        ),
+    ),
+    Command(
+        name="universe",
+        help="the cross-family reducibility map (build/query/export/stats)",
+        sub_dest="universe_command",
+        subcommands=(
+            Command(
+                name="build",
+                help="incrementally materialize a parameter rectangle",
+                handler=_cmd_universe_build,
+                groups=("jobs", "store-dir", "decision-budget"),
+                args=(
+                    arg("--max-n", type=int, default=20),
+                    arg("--max-m", type=int, default=6),
+                    arg(
+                        "--force",
+                        action="store_true",
+                        help="recompute cells already on disk",
+                    ),
+                    arg(
+                        "--close-open",
+                        action="store_true",
+                        help="run the decision pipeline's close-open sweep "
+                        "(tiers 3-4) and persist the verdicts",
+                    ),
+                ),
+            ),
+            Command(
+                name="stats",
+                help="store and graph summary counts",
+                handler=_cmd_universe_stats,
+                groups=("store-dir", "json"),
+            ),
+            Command(
+                name="query",
+                help="cones, paths, the frontier, incomparable pairs",
+                handler=_cmd_universe_query,
+                groups=("store-dir", "json"),
+                args=(
+                    arg(
+                        "--harder-than",
+                        type=int,
+                        nargs=4,
+                        metavar=("N", "M", "L", "U"),
+                        mutex="query",
+                        help="every task at least as hard as <N,M,L,U>",
+                    ),
+                    arg(
+                        "--weaker-than",
+                        type=int,
+                        nargs=4,
+                        metavar=("N", "M", "L", "U"),
+                        mutex="query",
+                        help="every task <N,M,L,U> solves",
+                    ),
+                    arg(
+                        "--path",
+                        type=int,
+                        nargs=8,
+                        metavar="INT",
+                        mutex="query",
+                        help="certified reduction path: source N M L U, then "
+                        "target N M L U",
+                    ),
+                    arg(
+                        "--frontier",
+                        action="store_true",
+                        mutex="query",
+                        help="solvability split and the edges crossing into "
+                        "unsolvability",
+                    ),
+                    arg(
+                        "--incomparable",
+                        type=int,
+                        nargs=2,
+                        metavar=("N", "M"),
+                        mutex="query",
+                        help="canonical pairs of one family with no "
+                        "containment either way",
+                    ),
+                    arg(
+                        "--limit",
+                        type=int,
+                        default=20,
+                        help="max boundary edges printed by --frontier",
+                    ),
+                ),
+            ),
+            Command(
+                name="export",
+                help="emit the graph as DOT, JSON or GraphML",
+                handler=_cmd_universe_export,
+                groups=("store-dir",),
+                args=(
+                    arg(
+                        "--format",
+                        choices=["dot", "json", "graphml"],
+                        default="dot",
+                    ),
+                    arg(
+                        "--out",
+                        metavar="PATH",
+                        default=None,
+                        help="write here (default: stdout)",
+                    ),
+                ),
+            ),
+            Command(
+                name="check",
+                help="replay every stored solvability certificate",
+                handler=_cmd_universe_check,
+                groups=("store-dir",),
+            ),
+        ),
+    ),
+    Command(
+        name="explore",
         help="batched exhaustive exploration on the prefix-sharing engine",
-    )
-    explore_parser.add_argument(
-        "--tasks",
-        default="all",
-        help="comma-separated registry names, or 'all' (default)",
-    )
-    explore_parser.add_argument(
-        "--n", type=int, nargs="+", default=[2, 3], help="system sizes"
-    )
-    explore_parser.add_argument(
-        "--jobs",
-        type=int,
-        default=0,
-        help="fan out on a process pool with this many workers (0 = serial)",
-    )
-    explore_parser.add_argument(
-        "--max-runs",
-        type=int,
-        default=None,
-        help="per-job budget on materialized runs (memoized logical runs "
-        "are free)",
-    )
-    explore_parser.add_argument(
-        "--no-memo",
-        action="store_true",
-        help="disable state memoization (fork-sharing only)",
-    )
-    explore_parser.add_argument(
-        "--compare-legacy",
-        action="store_true",
-        help="also time the legacy re-execution explorer and print speedups",
-    )
-    explore_parser.set_defaults(handler=_cmd_explore)
+        handler=_cmd_explore,
+        args=(
+            arg(
+                "--tasks",
+                default="all",
+                help="comma-separated registry names, or 'all' (default)",
+            ),
+            arg("--n", type=int, nargs="+", default=[2, 3], help="system sizes"),
+            arg(
+                "--jobs",
+                type=int,
+                default=0,
+                help="fan out on a process pool with this many workers "
+                "(0 = serial)",
+            ),
+            arg(
+                "--max-runs",
+                type=int,
+                default=None,
+                help="per-job budget on materialized runs (memoized logical "
+                "runs are free)",
+            ),
+            arg(
+                "--no-memo",
+                action="store_true",
+                help="disable state memoization (fork-sharing only)",
+            ),
+            arg(
+                "--compare-legacy",
+                action="store_true",
+                help="also time the legacy re-execution explorer and print "
+                "speedups",
+            ),
+        ),
+    ),
+    Command(
+        name="verify",
+        help="one-shot artifact acceptance check",
+        handler=_cmd_verify,
+    ),
+)
 
-    verify_parser = subparsers.add_parser(
-        "verify", help="one-shot artifact acceptance check"
-    )
-    verify_parser.set_defaults(handler=_cmd_verify)
 
+def _register(parser_factory, command: Command) -> None:
+    parser = parser_factory.add_parser(command.name, help=command.help)
+    mutex_groups: dict[str, argparse._MutuallyExclusiveGroup] = {}
+    for group_name in command.groups:
+        for one in SHARED_GROUPS[group_name]:
+            parser.add_argument(*one.flags, **one.options)
+    for one in command.args:
+        if one.mutex is not None:
+            group = mutex_groups.get(one.mutex)
+            if group is None:
+                group = parser.add_mutually_exclusive_group(required=True)
+                mutex_groups[one.mutex] = group
+            group.add_argument(*one.flags, **one.options)
+        else:
+            parser.add_argument(*one.flags, **one.options)
+    if command.subcommands:
+        nested = parser.add_subparsers(dest=command.sub_dest, required=True)
+        for sub in command.subcommands:
+            _register(nested, sub)
+    if command.handler is not None:
+        parser.set_defaults(handler=command.handler)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The Universe of Symmetry Breaking Tasks'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for command in COMMANDS:
+        _register(subparsers, command)
     return parser
 
 

@@ -99,8 +99,20 @@ def named_to_json(n: int) -> dict:
 
 
 def classify_to_json(n: int, m: int, low: int, high: int) -> dict:
-    """JSON payload for one task's classification."""
-    from ..core import SymmetricGSBTask, canonical_representative, classify
+    """JSON payload for one task's classification.
+
+    ``classify`` is tier 1 of the decision pipeline, so the payload also
+    carries the tier-1 theorem certificate when one exists (the full
+    pipeline, including padding/closure/empirical tiers, is
+    ``python -m repro decide``).
+    """
+    from ..core import (
+        SymmetricGSBTask,
+        canonical_representative,
+        classify,
+        classify_parameters_certified,
+    )
+    from ..decision import certificate_id
 
     task = SymmetricGSBTask(n, m, low, high)
     verdict, reason = classify(task)
@@ -110,6 +122,13 @@ def classify_to_json(n: int, m: int, low: int, high: int) -> dict:
         "solvability": verdict.value,
         "reason": reason,
     }
+    if task.is_symmetric:
+        symmetric = task.as_symmetric()
+        certificate = classify_parameters_certified(*symmetric.parameters)[2]
+        payload["certificate"] = certificate
+        payload["certificate_id"] = (
+            certificate_id(certificate) if certificate else None
+        )
     if task.is_feasible:
         payload["kernel_set"] = [list(kernel) for kernel in task.kernel_set]
         payload["canonical_representative"] = list(

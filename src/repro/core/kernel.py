@@ -13,8 +13,9 @@ GSB tasks are synonyms exactly when their kernel sets coincide.
 from __future__ import annotations
 
 import math
-from functools import lru_cache
 from typing import Iterable, Iterator, Sequence
+
+from .cache_config import BoundedDictCache, managed_cache
 
 KernelVector = tuple[int, ...]
 
@@ -77,7 +78,7 @@ def kernel_vectors(n: int, m: int, low: int, high: int) -> tuple[KernelVector, .
     return _kernel_vectors_cached(n, m, max(low, 0), min(high, n))
 
 
-_KERNEL_SET_CACHE: dict[tuple[int, int, int, int], tuple[KernelVector, ...]] = {}
+_KERNEL_SET_CACHE = BoundedDictCache("kernel.kernel_sets")
 
 
 def _kernel_vectors_cached(
@@ -87,7 +88,7 @@ def _kernel_vectors_cached(
     cached = _KERNEL_SET_CACHE.get(key)
     if cached is not None:
         return cached
-    master = _KERNEL_SET_CACHE.get((n, m, 0, n))
+    master = _KERNEL_SET_CACHE.peek((n, m, 0, n))
     if master is not None:
         # The master list is in descending lexicographic order and
         # filtering preserves it, so derived sets match direct enumeration
@@ -99,7 +100,7 @@ def _kernel_vectors_cached(
         )
     else:
         result = tuple(_descending_compositions(n, m, low, high))
-    _KERNEL_SET_CACHE[key] = result
+    _KERNEL_SET_CACHE.put(key, result)
     return result
 
 
@@ -169,7 +170,7 @@ def count_kernel_vectors(n: int, m: int, low: int, high: int) -> int:
     return _count_bounded_partitions(shifted, m, high - low)
 
 
-@lru_cache(maxsize=None)
+@managed_cache("kernel.count_bounded_partitions")
 def _count_bounded_partitions(total: int, slots: int, cap: int) -> int:
     """Partitions of ``total`` into at most ``slots`` parts, each ``<= cap``."""
     if total == 0:

@@ -22,10 +22,10 @@ from __future__ import annotations
 import itertools
 import math
 from enum import Enum
-from functools import lru_cache
 from typing import Iterator
 
 from .bounds import GSBSpecificationError
+from .cache_config import managed_cache
 from .canonical import canonical_parameters
 from .feasibility import is_feasible_symmetric
 from .gsb import GSBTask
@@ -186,7 +186,7 @@ def homonymous_decision_function(n: int, x: int) -> dict[int, int]:
 # Theorem 10: the binomial-coefficient coprimality condition
 # ----------------------------------------------------------------------
 
-@lru_cache(maxsize=None)
+@managed_cache("solvability.binomial_gcd")
 def binomial_gcd(n: int) -> int:
     """``gcd{ C(n, i) : 1 <= i <= floor(n/2) }`` (0 when the set is empty)."""
     if n < 2:
@@ -243,6 +243,34 @@ def wsb_wait_free_solvable(n: int) -> bool:
 # ----------------------------------------------------------------------
 # Classification
 # ----------------------------------------------------------------------
+#
+# Tier 1 of the decision-procedure stack (:mod:`repro.decision`): every
+# closed-form verdict below is *certified* — alongside the verdict and
+# its one-line reason, the classifier emits a plain-dict certificate
+# payload naming the rule applied and the parameters it was applied
+# with.  :mod:`repro.decision.certificates` wraps these payloads in
+# typed certificates whose ``check()`` re-derives each rule with
+# independent code.  The legacy :func:`classify`/:func:`classify_parameters`
+# API is a thin projection that drops the payload — pinned byte-identical
+# to the pre-certificate behavior by the tier-1 suite.
+
+def certificate_payload(
+    rule: str,
+    task: tuple[int, int, int, int],
+    verdict: "Solvability",
+    cite: str,
+    **params,
+) -> dict:
+    """Canonical shape of a tier-1 (theorem) certificate payload."""
+    return {
+        "kind": "theorem",
+        "rule": rule,
+        "task": list(task),
+        "verdict": verdict.value,
+        "cite": cite,
+        "params": params,
+    }
+
 
 def classify(task: GSBTask) -> tuple[Solvability, str]:
     """Wait-free solvability classification with a one-line justification.
@@ -266,7 +294,6 @@ def classify(task: GSBTask) -> tuple[Solvability, str]:
     return _classify_uncached(task)
 
 
-@lru_cache(maxsize=None)
 def classify_parameters(
     n: int, m: int, low: int, high: int
 ) -> tuple[Solvability, str]:
@@ -274,10 +301,25 @@ def classify_parameters(
 
     Pure closed forms over the parameters — no task or bound objects are
     built, which is what lets census sweeps classify hundreds of
-    thousands of parameterizations per second.  The cache is process-wide
-    and unbounded (the parameter space touched by any sweep is tiny
-    compared to the cost of re-deriving the theorems per call); inspect
-    it via :func:`classification_cache_info`.
+    thousands of parameterizations per second.  Thin wrapper over
+    :func:`classify_parameters_certified` (tier 1 of the decision stack)
+    that drops the certificate payload; the memo is process-wide and
+    bounded by :mod:`repro.core.cache_config`, inspectable via
+    :func:`classification_cache_info`.
+    """
+    return classify_parameters_certified(n, m, low, high)[:2]
+
+
+@managed_cache("solvability.classify_parameters")
+def classify_parameters_certified(
+    n: int, m: int, low: int, high: int
+) -> tuple[Solvability, str, dict | None]:
+    """Certified closed-form classification: verdict, reason, certificate.
+
+    The third element is a tier-1 certificate payload
+    (:func:`certificate_payload`) naming the theorem applied, or None
+    when the parameters fall outside the paper's closed forms (verdict
+    OPEN — there is nothing to certify).
     """
     # Mirror the SymmetricGSBTask constructor the old implementation went
     # through: malformed specs raise (same messages, same precedence —
@@ -297,23 +339,46 @@ def classify_parameters(
     if n < 1:
         raise GSBSpecificationError(f"need at least one process, got n={n}")
     high = min(high, n)
+    key = (n, m, low, high)
     if not is_feasible_symmetric(n, m, low, high):
-        return Solvability.INFEASIBLE, "empty output set (Lemma 1)"
+        return (
+            Solvability.INFEASIBLE,
+            "empty output set (Lemma 1)",
+            certificate_payload(
+                "lemma1-infeasible", key, Solvability.INFEASIBLE, "Lemma 1"
+            ),
+        )
     if n == 1:
-        return Solvability.TRIVIAL, "single process decides alone"
+        return (
+            Solvability.TRIVIAL,
+            "single process decides alone",
+            certificate_payload(
+                "single-process", key, Solvability.TRIVIAL, "Section 3"
+            ),
+        )
     if _communication_free_symmetric(n, m, low, high):
-        return Solvability.TRIVIAL, "communication-free (Theorem 9)"
+        return (
+            Solvability.TRIVIAL,
+            "communication-free (Theorem 9)",
+            certificate_payload(
+                "theorem9",
+                key,
+                Solvability.TRIVIAL,
+                "Theorem 9",
+                threshold=math.ceil((2 * n - 1) / m),
+            ),
+        )
     return _classify_symmetric_parameters(n, m, low, high)
 
 
 def classification_cache_info():
     """Hit/miss statistics of the memoized classification layer."""
-    return classify_parameters.cache_info()
+    return classify_parameters_certified.cache_info()
 
 
 def clear_classification_cache() -> None:
     """Drop all memoized classifications (mainly for benchmarks/tests)."""
-    classify_parameters.cache_clear()
+    classify_parameters_certified.cache_clear()
 
 
 def _classify_uncached(task: GSBTask) -> tuple[Solvability, str]:
@@ -327,7 +392,7 @@ def _classify_uncached(task: GSBTask) -> tuple[Solvability, str]:
         symmetric = task.as_symmetric()
         return _classify_symmetric_parameters(
             symmetric.n, symmetric.m, symmetric.low, symmetric.high
-        )
+        )[:2]
     if _is_election(task):
         return Solvability.UNSOLVABLE, "election (Theorem 11)"
     return Solvability.OPEN, "asymmetric task outside the paper's results"
@@ -335,16 +400,35 @@ def _classify_uncached(task: GSBTask) -> tuple[Solvability, str]:
 
 def _classify_symmetric_parameters(
     n: int, m: int, low: int, high: int
-) -> tuple[Solvability, str]:
+) -> tuple[Solvability, str, dict | None]:
     """Sections 5.2-5.3 for a feasible, non-trivial symmetric task."""
+    key = (n, m, low, high)
     low_c, high_c = canonical_parameters(n, m, low, high)
     if (m, low_c, high_c) == (n, 1, 1):
-        return Solvability.UNSOLVABLE, "perfect renaming (Corollary 5)"
+        return (
+            Solvability.UNSOLVABLE,
+            "perfect renaming (Corollary 5)",
+            certificate_payload(
+                "corollary5-perfect",
+                key,
+                Solvability.UNSOLVABLE,
+                "Corollary 5",
+                canonical=[low_c, high_c],
+            ),
+        )
     if low_c >= 1 and m > 1 and not binomials_coprime(n):
         return (
             Solvability.UNSOLVABLE,
             f"l >= 1 and gcd{{C({n},i)}} = {binomial_gcd(n)} != 1 "
             "(Theorem 10 with Lemma 5)",
+            certificate_payload(
+                "theorem10-lemma5",
+                key,
+                Solvability.UNSOLVABLE,
+                "Theorem 10 with Lemma 5",
+                canonical=[low_c, high_c],
+                gcd=binomial_gcd(n),
+            ),
         )
     is_wsb = (
         n >= 2
@@ -356,22 +440,58 @@ def _classify_symmetric_parameters(
             return (
                 Solvability.SOLVABLE,
                 "WSB with coprime binomials (Castaneda-Rajsbaum via [17, 29])",
+                certificate_payload(
+                    "wsb-solvable",
+                    key,
+                    Solvability.SOLVABLE,
+                    "Theorem 10 / [17, 29]",
+                    canonical=[low_c, high_c],
+                    gcd=binomial_gcd(n),
+                ),
             )
         return (
             Solvability.UNSOLVABLE,
             "WSB with non-coprime binomials (Theorem 10)",
+            certificate_payload(
+                "wsb-unsolvable",
+                key,
+                Solvability.UNSOLVABLE,
+                "Theorem 10",
+                canonical=[low_c, high_c],
+                gcd=binomial_gcd(n),
+            ),
         )
     if m == 2 * n - 2 and (low_c, high_c) == (0, 1):
         if binomials_coprime(n):
             return (
                 Solvability.SOLVABLE,
                 "(2n-2)-renaming, equivalent to WSB [29], binomials coprime",
+                certificate_payload(
+                    "renaming-2n2-solvable",
+                    key,
+                    Solvability.SOLVABLE,
+                    "Theorem 10 / [17, 29]",
+                    canonical=[low_c, high_c],
+                    gcd=binomial_gcd(n),
+                ),
             )
         return (
             Solvability.UNSOLVABLE,
             "(2n-2)-renaming with non-coprime binomials [17]",
+            certificate_payload(
+                "renaming-2n2-unsolvable",
+                key,
+                Solvability.UNSOLVABLE,
+                "Theorem 10 / [17]",
+                canonical=[low_c, high_c],
+                gcd=binomial_gcd(n),
+            ),
         )
-    return Solvability.OPEN, "between trivial and perfect renaming; open in the paper"
+    return (
+        Solvability.OPEN,
+        "between trivial and perfect renaming; open in the paper",
+        None,
+    )
 
 
 def _is_election(task: GSBTask) -> bool:

@@ -1,0 +1,161 @@
+"""Disk-backed cache of verdicts and their certificates.
+
+Layout of a cache directory (conventionally ``<store>/decision`` next to
+a :class:`repro.universe.persist.UniverseStore`)::
+
+    <root>/
+      n{n:03d}_m{m:03d}.json    # one shard per (n, m) family
+
+Each shard maps ``"l,u"`` (canonical parameters) to a verdict entry::
+
+    {"solvability": ..., "reason": ..., "tier": ..., "procedure": ...,
+     "certificate_id": ..., "certificate": <payload or null>,
+     "evidence": [...], "budget": {...}}
+
+Entries are written atomically (write-then-rename) and read lazily with
+per-family memoization, so a warm ``decide`` is one dict lookup.  A
+corrupt or stale shard is treated as empty and silently rewritten on the
+next ``put`` — the cache is a pure memo, never the source of truth.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+#: Bump when the entry layout changes; mismatched shards read as empty.
+CACHE_SCHEMA_VERSION = 1
+
+Key = tuple[int, int, int, int]
+
+
+class CertificateCache:
+    """Family-sharded verdict + certificate store with O(1) warm lookups."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self._families: dict[tuple[int, int], dict[str, dict]] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def shard_path(self, n: int, m: int) -> Path:
+        return self.root / f"n{n:03d}_m{m:03d}.json"
+
+    @staticmethod
+    def _entry_key(low: int, high: int) -> str:
+        return f"{low},{high}"
+
+    def _family(self, n: int, m: int) -> dict[str, dict]:
+        family = self._families.get((n, m))
+        if family is not None:
+            return family
+        family = {}
+        path = self.shard_path(n, m)
+        if path.is_file():
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                if payload.get("version") == CACHE_SCHEMA_VERSION:
+                    entries = payload.get("entries")
+                    if isinstance(entries, dict):
+                        family = entries
+                # Stale schema: start empty; the next put rewrites it.
+            except (OSError, ValueError):
+                family = {}  # torn/garbage shard: self-heal by rebuild
+        self._families[(n, m)] = family
+        return family
+
+    def get(self, key: Key) -> dict | None:
+        """The stored entry for a canonical key, or None."""
+        n, m, low, high = key
+        entry = self._family(n, m).get(self._entry_key(low, high))
+        if entry is None:
+            self._misses += 1
+        else:
+            self._hits += 1
+        return entry
+
+    def put(self, key: Key, entry: dict) -> None:
+        """Store one entry and persist its family shard atomically."""
+        n, m, low, high = key
+        family = self._family(n, m)
+        family[self._entry_key(low, high)] = entry
+        self._write_family(n, m, family)
+
+    def put_many(self, entries: dict[Key, dict]) -> None:
+        """Batch store (one shard write per touched family)."""
+        touched: set[tuple[int, int]] = set()
+        for (n, m, low, high), entry in entries.items():
+            self._family(n, m)[self._entry_key(low, high)] = entry
+            touched.add((n, m))
+        for n, m in sorted(touched):
+            self._write_family(n, m, self._families[(n, m)])
+
+    def _write_family(self, n: int, m: int, family: dict[str, dict]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.shard_path(n, m)
+        staging = path.with_suffix(".json.tmp")
+        payload = {
+            "version": CACHE_SCHEMA_VERSION,
+            "n": n,
+            "m": m,
+            "entries": dict(sorted(family.items())),
+        }
+        with open(staging, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        staging.replace(path)
+
+    # -- enumeration (replay passes, stats) -----------------------------
+
+    def families_on_disk(self) -> list[tuple[int, int]]:
+        cells = []
+        if self.root.is_dir():
+            for path in self.root.glob("n*_m*.json"):
+                try:
+                    n_part, m_part = path.stem.split("_")
+                    cells.append((int(n_part[1:]), int(m_part[1:])))
+                except ValueError:
+                    continue
+        return sorted(cells)
+
+    def iter_entries(self) -> Iterator[tuple[Key, dict]]:
+        """Every stored entry, loading all shards (replay passes)."""
+        for n, m in self.families_on_disk():
+            for raw_key, entry in sorted(self._family(n, m).items()):
+                low, high = (int(part) for part in raw_key.split(","))
+                yield (n, m, low, high), entry
+
+    def iter_certificates(self) -> Iterator[tuple[Key, dict]]:
+        """Every stored certificate payload (deduped by id)."""
+        seen: set[str] = set()
+        for key, entry in self.iter_entries():
+            payload = entry.get("certificate")
+            identifier = entry.get("certificate_id")
+            if payload is None or identifier in seen:
+                continue
+            seen.add(identifier)
+            yield key, payload
+
+    def stats(self) -> dict[str, int | str]:
+        """Hit/miss counters plus disk shape, FamilyStore-style."""
+        return {
+            "root": str(self.root),
+            "hits": self._hits,
+            "misses": self._misses,
+            "families_loaded": len(self._families),
+            "families_on_disk": len(self.families_on_disk()),
+            "entries": sum(
+                len(family) for family in self._families.values()
+            ),
+        }
+
+    def clear(self) -> None:
+        """Drop memory and disk content (tests/benchmarks)."""
+        self._families.clear()
+        self._hits = 0
+        self._misses = 0
+        if self.root.is_dir():
+            for path in self.root.glob("n*_m*.json"):
+                path.unlink()

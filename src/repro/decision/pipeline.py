@@ -1,0 +1,245 @@
+"""The unified decision pipeline: one ``decide()`` over all four tiers.
+
+``decide(n, m, l, u)`` canonicalizes the task to its synonym-class
+representative, then runs the procedures of
+:mod:`repro.decision.procedures` in cost order — closed forms, value
+padding, reduction closure over a universe graph (one family row is
+built on demand when none is supplied), and bounded empirical decision —
+returning a :class:`Verdict` that carries the verdict, the tier that
+produced it, a machine-checkable certificate, and any OPEN evidence the
+expensive tiers accumulated.
+
+Verdicts are memoized in an optional
+:class:`repro.decision.cache.CertificateCache`: repeat calls (same
+canonical parameters) are a dict lookup, across processes.  Cached OPEN
+verdicts remember the budget they were computed under and are recomputed
+when asked with a strictly larger budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..core.solvability import Solvability
+from .cache import CertificateCache
+from .certificates import Certificate, certificate_from_payload
+from .procedures import (
+    DecisionBudget,
+    ProcedureResult,
+    canonical_key,
+    closed_form,
+    empirical,
+    reduction_closure,
+    value_padding,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..universe.graph import UniverseGraph
+
+Key = tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The pipeline's answer for one task."""
+
+    task: Key  # parameters as given
+    canonical: Key  # the synonym-class representative decided
+    solvability: Solvability
+    reason: str
+    tier: int  # 0 = cache hit (original tier in `procedure`)
+    procedure: str
+    certificate: Certificate | None = None
+    evidence: tuple[str, ...] = ()
+    cached: bool = False
+    seconds: float = 0.0
+
+    @property
+    def certificate_id(self) -> str:
+        return self.certificate.id if self.certificate is not None else ""
+
+    def to_json(self) -> dict:
+        payload = {
+            "task": list(self.task),
+            "canonical": list(self.canonical),
+            "solvability": self.solvability.value,
+            "reason": self.reason,
+            "tier": self.tier,
+            "procedure": self.procedure,
+            "certificate_id": self.certificate_id or None,
+            "certificate": (
+                self.certificate.payload()
+                if self.certificate is not None
+                else None
+            ),
+            "evidence": list(self.evidence),
+            "cached": self.cached,
+            "seconds": self.seconds,
+        }
+        return payload
+
+
+def cache_entry(verdict: Verdict, budget: DecisionBudget) -> dict:
+    """The disk form of a verdict (what CertificateCache stores)."""
+    return {
+        "solvability": verdict.solvability.value,
+        "reason": verdict.reason,
+        "tier": verdict.tier,
+        "procedure": verdict.procedure,
+        "certificate_id": verdict.certificate_id or None,
+        "certificate": (
+            verdict.certificate.payload()
+            if verdict.certificate is not None
+            else None
+        ),
+        "evidence": list(verdict.evidence),
+        "budget": budget.signature(),
+    }
+
+
+def _verdict_from_entry(
+    task: Key, canonical: Key, entry: dict, seconds: float
+) -> Verdict:
+    payload = entry.get("certificate")
+    certificate = (
+        certificate_from_payload(payload) if payload is not None else None
+    )
+    return Verdict(
+        task=task,
+        canonical=canonical,
+        solvability=Solvability(entry["solvability"]),
+        reason=entry["reason"],
+        tier=int(entry.get("tier", 0)),
+        procedure=entry.get("procedure", "cache"),
+        certificate=certificate,
+        evidence=tuple(entry.get("evidence", ())),
+        cached=True,
+        seconds=seconds,
+    )
+
+
+@dataclass
+class DecisionPipeline:
+    """Tiers + budget + optional cache and graph, wired together.
+
+    ``graph`` may be a pre-assembled :class:`UniverseGraph` (the CLI
+    passes the loaded store); when absent and the budget allows, tier 3
+    assembles the task's family row ``(n, 1..max_m)`` on demand — every
+    universe edge kind stays within one n, so the row is the complete
+    tier-3 context for a single task.
+    """
+
+    budget: DecisionBudget = field(default_factory=DecisionBudget)
+    cache: CertificateCache | None = None
+    graph: "UniverseGraph | None" = None
+    _row_graphs: dict = field(default_factory=dict, repr=False)
+
+    def decide(self, n: int, m: int, low: int, high: int) -> Verdict:
+        started = time.perf_counter()
+        task: Key = (n, m, low, high)
+        canonical = canonical_key(n, m, low, high)
+        if self.cache is not None:
+            entry = self.cache.get(canonical)
+            if entry is not None and self._entry_fresh(entry):
+                try:
+                    return _verdict_from_entry(
+                        task, canonical, entry, time.perf_counter() - started
+                    )
+                except (KeyError, TypeError, ValueError):
+                    pass  # malformed entry: treat as a miss and rewrite it
+        result, evidence = self._run_tiers(canonical)
+        verdict = Verdict(
+            task=task,
+            canonical=canonical,
+            solvability=result.solvability,
+            reason=result.reason,
+            tier=result.tier,
+            procedure=result.procedure,
+            certificate=result.certificate,
+            evidence=tuple(evidence),
+            cached=False,
+            seconds=time.perf_counter() - started,
+        )
+        if self.cache is not None:
+            self.cache.put(canonical, cache_entry(verdict, self.budget))
+        return verdict
+
+    def _entry_fresh(self, entry: dict) -> bool:
+        """Non-OPEN entries never go stale; OPEN ones expire under a
+        larger budget (a deeper search might now decide them)."""
+        if entry.get("solvability") != Solvability.OPEN.value:
+            return True
+        stored = entry.get("budget", {})
+        current = self.budget.signature()
+        return all(
+            stored.get(name, -1) >= value for name, value in current.items()
+        )
+
+    def _run_tiers(self, key: Key) -> tuple[ProcedureResult, list[str]]:
+        evidence: list[str] = []
+        result = closed_form(*key)
+        if result.decided:
+            return result, evidence
+        padded = value_padding(*key)
+        if padded is not None and padded.decided:
+            return padded, evidence
+        graph = self._graph_for(key)
+        if graph is not None:
+            closed = reduction_closure(graph, key)
+            if closed is not None and closed.decided:
+                return closed, evidence
+        outcome = empirical(*key, budget=self.budget)
+        evidence.extend(outcome.evidence)
+        if outcome.decided:
+            return outcome, evidence
+        # Everything exhausted: faithfully OPEN, with the evidence trail.
+        # Attributed to the empirical tier (the last one that ran, and
+        # what close_open writes for OPEN survivors) while keeping the
+        # classifier's more informative reason line.
+        return (
+            ProcedureResult(
+                solvability=Solvability.OPEN,
+                reason=result.reason,
+                tier=outcome.tier,
+                procedure=outcome.procedure,
+            ),
+            evidence,
+        )
+
+    def _graph_for(self, key: Key) -> "UniverseGraph | None":
+        if self.graph is not None:
+            return self.graph if key in self.graph else None
+        if not self.budget.use_graph:
+            return None
+        n = key[0]
+        if n > self.budget.graph_max_n:
+            return None
+        max_m = max(key[1], self.budget.graph_max_m)
+        row = self._row_graphs.get((n, max_m))
+        if row is None:
+            from ..universe.graph import assemble, build_cell
+
+            row = assemble(
+                (build_cell(n, m) for m in range(1, max_m + 1)),
+                cross_family=True,
+            )
+            self._row_graphs[(n, max_m)] = row
+        return row if key in row else None
+
+
+def decide(
+    n: int,
+    m: int,
+    low: int,
+    high: int,
+    budget: DecisionBudget | None = None,
+    cache: CertificateCache | None = None,
+    graph: "UniverseGraph | None" = None,
+) -> Verdict:
+    """One-shot ``decide`` (constructs a throwaway pipeline)."""
+    pipeline = DecisionPipeline(
+        budget=budget or DecisionBudget(), cache=cache, graph=graph
+    )
+    return pipeline.decide(n, m, low, high)

@@ -49,6 +49,26 @@ def facet_decisions(
     return [assignment.get(classes[vertex]) for vertex in facet]
 
 
+def decision_class_order(complex_: ISProtocolComplex) -> list[View]:
+    """Canonical classes in deterministic first-appearance order.
+
+    Shared by the search below and by decision-map certificates
+    (:mod:`repro.decision.certificates`), which serialize an assignment
+    as a list of values in exactly this order — keeping the two in one
+    place is what makes the serialized form replayable.
+    """
+    classes = complex_.canonical_classes()
+    class_order: list[View] = []
+    seen: set[View] = set()
+    for facet in complex_.facets():
+        for vertex in facet:
+            label = classes[vertex]
+            if label not in seen:
+                seen.add(label)
+                class_order.append(label)
+    return class_order
+
+
 def search_decision_map(
     task: GSBTask,
     complex_: ISProtocolComplex,
@@ -66,14 +86,7 @@ def search_decision_map(
         )
     classes = complex_.canonical_classes()
     facets = complex_.facets()
-    class_order: list[View] = []
-    seen: set[View] = set()
-    for facet in facets:
-        for vertex in facet:
-            label = classes[vertex]
-            if label not in seen:
-                seen.add(label)
-                class_order.append(label)
+    class_order = decision_class_order(complex_)
 
     # Facets as class-index vectors, and for each class the facets touching
     # it: assigning a class triggers a *partial* legality check on each of

@@ -20,9 +20,9 @@ n=3 -> 13^r, n=4 -> 75^r.
 from __future__ import annotations
 
 import itertools
-from functools import lru_cache
 from typing import Iterator, Sequence
 
+from ..core.cache_config import managed_cache
 from .simplicial import SimplicialComplex
 from .views import (
     View,
@@ -54,7 +54,7 @@ def ordered_partitions(elements: Sequence[int]) -> Iterator[Partition]:
                 yield (first_block, *tail)
 
 
-@lru_cache(maxsize=None)
+@managed_cache("topology.ordered_bell_number")
 def ordered_bell_number(n: int) -> int:
     """Number of ordered set partitions of an n-set (Fubini numbers)."""
     if n == 0:

@@ -31,6 +31,7 @@ from .export import (
 from .graph import (
     EDGE_CONTAINMENT,
     EDGE_KINDS,
+    EDGE_PADDING,
     EDGE_REDUCTION,
     EDGE_THEOREM8,
     NodeKey,
@@ -62,6 +63,7 @@ __all__ = [
     "BuildReport",
     "EDGE_CONTAINMENT",
     "EDGE_KINDS",
+    "EDGE_PADDING",
     "EDGE_REDUCTION",
     "EDGE_THEOREM8",
     "FrontierReport",

@@ -26,6 +26,7 @@ _DOT_STYLES = {
     "containment": "solid",
     "theorem8": "bold",
     "reduction": "dashed",
+    "padding": "dotted",
 }
 
 
@@ -99,6 +100,7 @@ def universe_to_json(graph: UniverseGraph) -> dict:
                 "synonyms": [list(pair) for pair in node.synonyms],
                 "labels": list(node.labels),
                 "hardest": node.hardest,
+                "certificate_id": node.certificate_id or None,
             }
             for node in sorted(graph.nodes(), key=lambda n: n.key)
         ],
@@ -116,6 +118,12 @@ def universe_to_json(graph: UniverseGraph) -> dict:
         "certificates": {
             ",".join(map(str, key)): list(names)
             for key, names in sorted(graph.certificates.items())
+        },
+        "certificate_payloads": {
+            certificate_id: payload
+            for certificate_id, payload in sorted(
+                graph.certificate_payloads.items()
+            )
         },
         "stats": graph.stats(),
     }

@@ -25,6 +25,21 @@ solution of v yields a solution of u* (v is at least as hard as u):
   ``target -> oracle`` edges at every n where both endpoints are nodes.
   Registry entries that solve their target from registers alone become
   *certificates* (:attr:`UniverseGraph.certificates`) instead of edges.
+* ``padding`` — value padding: with no lower bound, a task over fewer
+  values is harder (its outputs zero-extend), so every canonical
+  ``<n, m, 0, u>`` node points at the canonical class of
+  ``<n, m-1, 0, u>`` when that family is feasible and present.  These
+  edges materialize the renaming ladder across families and are what
+  lets reduction closure (tier 3 of :mod:`repro.decision`) move
+  verdicts between ``m``-columns.
+
+Node verdicts are the *structural* tiers of the decision pipeline
+(:func:`repro.decision.procedures.structural_verdict`): the certified
+closed forms plus value-padding arguments — deterministic, budget-free,
+so cells remain a pure function of ``(n, m)``.  Every non-OPEN node
+carries the content-hash id of its machine-checkable certificate; the
+payloads ride along in :attr:`UniverseCell.certificates` and are exposed
+via :meth:`UniverseGraph.certificate_payload`.
 
 Cells (one per ``(n, m)``) are independent, which is what the persistence
 layer shards on; cross-family edges are derived at assembly time from
@@ -33,7 +48,7 @@ whichever cells are present, so they never have to be stored.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 import networkx as nx
@@ -53,7 +68,8 @@ NodeKey = tuple[int, int, int, int]  # canonical (n, m, l, u)
 EDGE_CONTAINMENT = "containment"
 EDGE_THEOREM8 = "theorem8"
 EDGE_REDUCTION = "reduction"
-EDGE_KINDS = (EDGE_CONTAINMENT, EDGE_THEOREM8, EDGE_REDUCTION)
+EDGE_PADDING = "padding"
+EDGE_KINDS = (EDGE_CONTAINMENT, EDGE_PADDING, EDGE_REDUCTION, EDGE_THEOREM8)
 
 
 @dataclass(frozen=True)
@@ -68,6 +84,7 @@ class UniverseNode:
     labels: tuple[str, ...]  # paper names (WSB, m-renaming, ...)
     mask: int  # kernel-set bitmask over the family's master columns
     hardest: bool  # Theorem 5: the family's unique containment sink
+    certificate_id: str = ""  # content hash of the verdict's certificate
 
     @property
     def n(self) -> int:
@@ -102,12 +119,14 @@ class UniverseEdge:
 
 @dataclass(frozen=True)
 class UniverseCell:
-    """One ``(n, m)`` family's nodes and intra-family cover edges."""
+    """One ``(n, m)`` family's nodes, cover edges and certificates."""
 
     n: int
     m: int
     nodes: tuple[UniverseNode, ...]
     edges: tuple[UniverseEdge, ...]  # containment covers only
+    #: certificate payloads keyed by content-hash id (never hash a cell)
+    certificates: dict = field(default_factory=dict)
 
 
 def rectangle_cells(max_n: int, max_m: int) -> list[tuple[int, int]]:
@@ -150,7 +169,14 @@ def build_cell(n: int, m: int) -> UniverseCell:
     Rides the memoized family store for entries and kernel columns; the
     containment relation is computed on bitmasks and transitively reduced,
     so the cell's edge set *is* the family's Figure-1 Hasse diagram.
+    Verdicts come from the structural decision tiers (certified closed
+    forms plus value padding), and every non-OPEN node carries its
+    certificate id with the payload stored on the cell.
     """
+    # Imported lazily: the decision package sits above core and below the
+    # universe in the layer order, and only cell *construction* needs it.
+    from ..decision.procedures import structural_verdict
+
     record = get_store().family(n, m)
     # Masks are only needed per node; synonyms share their canonical
     # representative's kernel set, so non-canonical pairs are skipped.
@@ -170,18 +196,25 @@ def build_cell(n: int, m: int) -> UniverseCell:
     hardest_pair = hardest_parameters(n, m)
 
     nodes = []
+    certificates: dict[str, dict] = {}
     for entry in record.canonical_entries:
         low, high = entry.parameters[2], entry.parameters[3]
+        verdict = structural_verdict(n, m, low, high)
+        certificate_id = ""
+        if verdict.certificate is not None:
+            certificate_id = verdict.certificate.id
+            certificates[certificate_id] = verdict.certificate.payload()
         nodes.append(
             UniverseNode(
                 key=(n, m, low, high),
-                solvability=entry.solvability.value,
-                reason=entry.solvability_reason,
+                solvability=verdict.solvability.value,
+                reason=verdict.reason,
                 kernel_count=len(entry.kernel_set),
                 synonyms=tuple(sorted(synonyms[(low, high)])),
                 labels=labels.get((low, high), ()),
                 mask=masks[(low, high)],
                 hardest=(low, high) == hardest_pair,
+                certificate_id=certificate_id,
             )
         )
 
@@ -196,7 +229,9 @@ def build_cell(n: int, m: int) -> UniverseCell:
         UniverseEdge(source, target, EDGE_CONTAINMENT)
         for source, target in sorted(covers.edges)
     )
-    return UniverseCell(n=n, m=m, nodes=tuple(nodes), edges=edges)
+    return UniverseCell(
+        n=n, m=m, nodes=tuple(nodes), edges=edges, certificates=certificates
+    )
 
 
 class UniverseGraph:
@@ -212,6 +247,8 @@ class UniverseGraph:
         self.cells: set[tuple[int, int]] = set()
         #: node -> registry reductions solving it from registers alone.
         self.certificates: dict[NodeKey, tuple[str, ...]] = {}
+        #: content-hash id -> machine-checkable certificate payload.
+        self.certificate_payloads: dict[str, dict] = {}
 
     # -- construction ---------------------------------------------------
 
@@ -222,8 +259,30 @@ class UniverseGraph:
         for node in cell.nodes:
             self._nodes[node.key] = node
             self._families.setdefault((cell.n, cell.m), []).append(node.key)
+        self.certificate_payloads.update(cell.certificates)
         for edge in cell.edges:
             self.add_edge(edge)
+
+    def override_node(
+        self,
+        key: NodeKey,
+        solvability: str,
+        reason: str,
+        certificate_id: str,
+        certificate_payload: dict | None = None,
+    ) -> None:
+        """Replace one node's verdict (close-open results at load time)."""
+        from dataclasses import replace
+
+        node = self._nodes[key]
+        self._nodes[key] = replace(
+            node,
+            solvability=solvability,
+            reason=reason,
+            certificate_id=certificate_id,
+        )
+        if certificate_payload is not None and certificate_id:
+            self.certificate_payloads[certificate_id] = certificate_payload
 
     def add_edge(self, edge: UniverseEdge) -> bool:
         """Add one edge (idempotent); endpoints must already be nodes."""
@@ -242,6 +301,10 @@ class UniverseGraph:
         current = self.certificates.get(key, ())
         if name not in current:
             self.certificates[key] = tuple(sorted((*current, name)))
+
+    def certificate_payload(self, certificate_id: str) -> dict | None:
+        """The stored payload for a certificate id, or None."""
+        return self.certificate_payloads.get(certificate_id)
 
     # -- access ---------------------------------------------------------
 
@@ -282,8 +345,10 @@ class UniverseGraph:
         for edge in self._edges:
             by_kind[edge.kind] = by_kind.get(edge.kind, 0) + 1
         verdicts: dict[str, int] = {}
+        certified = 0
         for node in self._nodes.values():
             verdicts[node.solvability] = verdicts.get(node.solvability, 0) + 1
+            certified += bool(node.certificate_id)
         return {
             "cells": len(self.cells),
             "nodes": len(self._nodes),
@@ -293,6 +358,8 @@ class UniverseGraph:
                 f"solvability[{name}]": count
                 for name, count in sorted(verdicts.items())
             },
+            "certified_nodes": certified,
+            "certificate_payloads": len(self.certificate_payloads),
             "register_certified": len(self.certificates),
         }
 
@@ -331,9 +398,10 @@ def task_node_key(graph: UniverseGraph, task: GSBTask) -> NodeKey | None:
 
 
 def add_cross_family_edges(graph: UniverseGraph) -> None:
-    """Derive theorem8 and reduction edges from the cells present."""
+    """Derive theorem8, reduction and padding edges from the cells present."""
     _add_theorem8_edges(graph)
     _add_reduction_edges(graph)
+    _add_padding_edges(graph)
 
 
 def _add_theorem8_edges(graph: UniverseGraph) -> None:
@@ -380,6 +448,29 @@ def _add_reduction_edges(graph: UniverseGraph) -> None:
                 continue
             graph.add_edge(
                 UniverseEdge(target_key, oracle_key, EDGE_REDUCTION, name)
+            )
+
+
+def _add_padding_edges(graph: UniverseGraph) -> None:
+    """Value-padding edges: ``<n, m, 0, u> -> <n, m-1, 0, u>``.
+
+    With no lower bound, a solution over fewer values is a solution over
+    more (unused values stay at count 0, which ``l = 0`` allows), so the
+    task on ``m-1`` values is at least as hard.  One edge per adjacent
+    ``m`` keeps the set linear; chains reach every smaller m.  The target
+    key is the canonical class of the padded parameters — padding often
+    lands on a synonym (e.g. ``<n, n, 0, 1>`` is perfect renaming).
+    """
+    for key in sorted(graph._nodes):
+        n, m, low, high = key
+        if low != 0 or m < 2 or high < 1:
+            continue
+        if not is_feasible_symmetric(n, m - 1, 0, high):
+            continue
+        target = (n, m - 1, *canonical_parameters(n, m - 1, 0, min(high, n)))
+        if target in graph and target != key:
+            graph.add_edge(
+                UniverseEdge(key, target, EDGE_PADDING, "value padding")
             )
 
 

@@ -20,6 +20,22 @@ shard processed in ascending ``(n, m)`` order so the worker's
 process-local caches (kernel masters, classification, family store) are
 primed by the small cells.  Workers return plain JSON payloads; all file
 writes happen in the parent.
+
+Beyond the cells, a store carries the decision pipeline's persistent
+state:
+
+* ``decision/`` — a :class:`repro.decision.cache.CertificateCache` shard
+  set holding verdict entries and certificate payloads, shared with the
+  ``decide`` CLI;
+* ``overrides.json`` — verdicts the close-open sweep (tiers 3-4 of
+  :mod:`repro.decision`) established for nodes the structural cells
+  leave OPEN.  :meth:`UniverseStore.load` re-applies them, so a rebuilt
+  graph keeps its closed frontier without re-searching.
+
+``load`` self-heals: a torn, garbage or stale-schema shard encountered
+while assembling is recomputed in place (and re-noted in the manifest)
+instead of failing the load, and manifest entries for vanished shards
+are pruned on the next ``build``.
 """
 
 from __future__ import annotations
@@ -43,8 +59,9 @@ from .graph import (
 )
 
 #: Bump when the cell payload layout changes; a mismatched store is
-#: rebuilt from scratch on the next ``build``.
-SCHEMA_VERSION = 1
+#: rebuilt from scratch on the next ``build``.  2: decision-pipeline
+#: verdicts with certificate ids and per-cell certificate payloads.
+SCHEMA_VERSION = 2
 
 
 def cell_to_payload(cell: UniverseCell) -> dict:
@@ -63,12 +80,14 @@ def cell_to_payload(cell: UniverseCell) -> dict:
                 "labels": list(node.labels),
                 "mask": hex(node.mask),
                 "hardest": node.hardest,
+                "certificate_id": node.certificate_id,
             }
             for node in cell.nodes
         ],
         "edges": [
             [list(edge.source[2:]), list(edge.target[2:])] for edge in cell.edges
         ],
+        "certificates": cell.certificates,
     }
 
 
@@ -91,6 +110,7 @@ def cell_from_payload(payload: dict) -> UniverseCell:
             labels=tuple(raw["labels"]),
             mask=int(raw["mask"], 16),
             hardest=raw["hardest"],
+            certificate_id=raw.get("certificate_id", ""),
         )
         for raw in payload["nodes"]
     )
@@ -98,7 +118,13 @@ def cell_from_payload(payload: dict) -> UniverseCell:
         UniverseEdge((n, m, *source), (n, m, *target), EDGE_CONTAINMENT)
         for source, target in payload["edges"]
     )
-    return UniverseCell(n=n, m=m, nodes=nodes, edges=edges)
+    return UniverseCell(
+        n=n,
+        m=m,
+        nodes=nodes,
+        edges=edges,
+        certificates=payload.get("certificates", {}),
+    )
 
 
 def _build_cell_shard(cells: list[tuple[int, int]]) -> list[dict]:
@@ -124,6 +150,7 @@ class UniverseStore:
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
+        self._decision_cache = None
 
     @property
     def cells_dir(self) -> Path:
@@ -132,6 +159,19 @@ class UniverseStore:
     @property
     def manifest_path(self) -> Path:
         return self.root / "manifest.json"
+
+    @property
+    def overrides_path(self) -> Path:
+        return self.root / "overrides.json"
+
+    @property
+    def decision_cache(self):
+        """The co-located verdict/certificate cache (lazy singleton)."""
+        if self._decision_cache is None:
+            from ..decision.cache import CertificateCache
+
+            self._decision_cache = CertificateCache(self.root / "decision")
+        return self._decision_cache
 
     def cell_path(self, n: int, m: int) -> Path:
         return self.cells_dir / f"n{n:03d}_m{m:03d}.json"
@@ -206,6 +246,11 @@ class UniverseStore:
         # wrote shards but was interrupted before the manifest write).
         # A shard that turns out unreadable is recomputed, not reused.
         noted = manifest.setdefault("cells", {})
+        # Prune stale manifest entries whose shard vanished: stats() must
+        # never report nodes that load() cannot produce.
+        on_disk = {f"{n},{m}" for n, m in self.built_cells()}
+        for stale_key in [key for key in noted if key not in on_disk]:
+            del noted[stale_key]
         for n, m in sorted(set(cells) - set(missing)):
             if f"{n},{m}" not in noted:
                 try:
@@ -264,11 +309,16 @@ class UniverseStore:
         max_n: int | None = None,
         max_m: int | None = None,
         cross_family: bool = True,
+        apply_overrides: bool = True,
     ) -> UniverseGraph:
         """Assemble the graph from every built cell (optionally clipped).
 
         Cross-family edges are derived from the loaded cell set; raises
-        ``FileNotFoundError`` when the store holds no cells.
+        ``FileNotFoundError`` when the store holds no cells.  Unreadable
+        shards (torn writes, garbage, stale schema) self-heal: the cell
+        is recomputed, rewritten and re-noted in the manifest.  Verdict
+        overrides from a previous close-open sweep are re-applied unless
+        ``apply_overrides`` is off.
         """
         cells = [
             (n, m)
@@ -280,15 +330,146 @@ class UniverseStore:
                 f"universe store at {self.root} has no built cells; run "
                 "`python -m repro universe build` first"
             )
-        return assemble(
-            (self.read_cell(n, m) for n, m in cells), cross_family=cross_family
+        graph = assemble(
+            (self._read_or_heal(n, m) for n, m in cells),
+            cross_family=cross_family,
         )
+        if apply_overrides:
+            self._apply_overrides(graph)
+        return graph
+
+    def _read_or_heal(self, n: int, m: int) -> UniverseCell:
+        """Read one shard, recomputing and rewriting it when unreadable."""
+        try:
+            return self.read_cell(n, m)
+        except (OSError, ValueError, KeyError, TypeError):
+            payload = cell_to_payload(build_cell(n, m))
+            self.write_cell_payload(payload)
+            manifest = self.manifest()
+            self._note_cell(manifest, payload)
+            self._write_manifest(manifest)
+            return cell_from_payload(payload)
+
+    # -- close-open overrides -------------------------------------------
+
+    def read_overrides(self) -> dict:
+        """The stored close-open overrides document (empty when absent).
+
+        A corrupt overrides file reads as empty: overrides are a memo of
+        the close-open sweep, never the source of truth, so the heal is
+        simply to re-run ``build --close-open``.
+        """
+        if not self.overrides_path.is_file():
+            return {}
+        try:
+            with open(self.overrides_path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != SCHEMA_VERSION
+            or not isinstance(data.get("overrides"), dict)
+        ):
+            return {}
+        return data
+
+    def _apply_overrides(self, graph: UniverseGraph) -> None:
+        for raw_key, entry in self.read_overrides().get("overrides", {}).items():
+            try:
+                key = tuple(int(part) for part in raw_key.split(","))
+                if key not in graph:
+                    continue
+                graph.override_node(
+                    key,
+                    solvability=entry["solvability"],
+                    reason=entry["reason"],
+                    certificate_id=entry.get("certificate_id", ""),
+                    certificate_payload=entry.get("certificate"),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue  # malformed row: skip it, the rest still applies
+
+    def close_open(self, budget=None, jobs: int = 0):
+        """Run the close-open sweep (decision tiers 3-4) and persist it.
+
+        Loads the graph *with* previous overrides applied — already
+        persisted closures stay closed and seed further propagation —
+        closes what the budgeted empirical tier and reduction closure
+        can, then merges the new verdicts into ``overrides.json`` and
+        mirrors them (and the OPEN evidence) into the decision cache so
+        ``decide`` calls are warm.  A re-run with a smaller budget can
+        therefore never lose a previously certified closure.  Returns
+        the :class:`repro.decision.procedures.CloseOpenReport`.
+        """
+        from ..decision.procedures import DecisionBudget, close_open as sweep
+
+        budget = budget or DecisionBudget()
+        graph = self.load()
+        report = sweep(graph, budget)
+        overrides: dict[str, dict] = dict(
+            self.read_overrides().get("overrides", {})
+        )
+        cache_entries: dict[tuple, dict] = {}
+        for key, result in sorted(report.closed.items()):
+            payload = (
+                result.certificate.payload()
+                if result.certificate is not None
+                else None
+            )
+            certificate_id = (
+                result.certificate.id if result.certificate is not None else ""
+            )
+            row = {
+                "solvability": result.solvability.value,
+                "reason": result.reason,
+                "tier": result.tier,
+                "procedure": result.procedure,
+                "certificate_id": certificate_id,
+                "certificate": payload,
+            }
+            overrides[",".join(str(part) for part in key)] = row
+            cache_entries[key] = {
+                **row,
+                "evidence": list(report.evidence.get(key, ())),
+                "budget": budget.signature(),
+            }
+        # OPEN survivors with fresh evidence also warm the decide cache.
+        for key, evidence in sorted(report.evidence.items()):
+            if key in report.closed:
+                continue
+            node = graph.node(key)
+            cache_entries[key] = {
+                "solvability": node.solvability,
+                "reason": node.reason,
+                "tier": 4,
+                "procedure": "decision-map",
+                "certificate_id": None,
+                "certificate": None,
+                "evidence": list(evidence),
+                "budget": budget.signature(),
+            }
+        document = {
+            "version": SCHEMA_VERSION,
+            "budget": budget.signature(),
+            "overrides": overrides,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        staging = self.overrides_path.with_suffix(".json.tmp")
+        with open(staging, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        staging.replace(self.overrides_path)
+        if cache_entries:
+            self.decision_cache.put_many(cache_entries)
+        return report
 
     def stats(self) -> dict:
         """Store-level summary from the manifest and directory listing."""
         manifest = self.manifest()
         cells = self.built_cells()
         noted = manifest.get("cells", {})
+        overrides = self.read_overrides()
         return {
             "root": str(self.root),
             "version": manifest.get("version"),
@@ -299,5 +480,6 @@ class UniverseStore:
             "containment_edges": sum(
                 entry.get("edges", 0) for entry in noted.values()
             ),
+            "overrides": len(overrides.get("overrides", {})),
             "last_build": manifest.get("last_build"),
         }

@@ -1,0 +1,99 @@
+"""The shared cache knob: registration, stats, bounds, reconfiguration."""
+
+import pytest
+
+from repro.core import cache_config
+from repro.core.cache_config import BoundedDictCache, managed_cache
+
+
+class TestManagedFunction:
+    def test_registered_caches_cover_the_hot_closed_forms(self):
+        names = set(cache_config.cache_stats())
+        assert {
+            "solvability.classify_parameters",
+            "solvability.binomial_gcd",
+            "kernel.count_bounded_partitions",
+            "kernel.kernel_sets",
+        } <= names
+
+    def test_stats_track_hits_and_misses(self):
+        from repro.core.solvability import binomial_gcd
+
+        binomial_gcd.cache_clear()
+        binomial_gcd(30)
+        binomial_gcd(30)
+        stats = cache_config.cache_stats()["solvability.binomial_gcd"]
+        assert stats["misses"] >= 1 and stats["hits"] >= 1
+        assert stats["maxsize"] == cache_config.current_maxsize()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            managed_cache("solvability.binomial_gcd")(lambda n: n)
+
+    def test_cache_info_compatible_with_lru_cache(self):
+        from repro.core.solvability import classification_cache_info
+
+        info = classification_cache_info()
+        assert hasattr(info, "hits") and hasattr(info, "misses")
+
+
+class TestBoundedDictCache:
+    def test_lru_eviction_at_the_bound(self):
+        cache = BoundedDictCache("test.bounded")
+        try:
+            cache.rebuild(maxsize=2)
+            cache.put("a", 1)
+            cache.put("b", 2)
+            assert cache.get("a") == 1  # refresh a
+            cache.put("c", 3)  # evicts b, the least recent
+            assert cache.get("b") is None
+            assert cache.get("a") == 1 and cache.get("c") == 3
+        finally:
+            cache_config._registry.pop("test.bounded", None)
+
+    def test_peek_does_not_count(self):
+        cache = BoundedDictCache("test.peek")
+        try:
+            cache.put("k", "v")
+            baseline = cache.stats()
+            assert cache.peek("k") == "v" and cache.peek("nope") is None
+            assert cache.stats() == baseline
+        finally:
+            cache_config._registry.pop("test.peek", None)
+
+
+class TestConfigure:
+    def test_configure_rebuilds_every_cache(self):
+        from repro.core.solvability import binomial_gcd
+
+        original = cache_config.current_maxsize()
+        try:
+            cache_config.configure(128)
+            assert cache_config.current_maxsize() == 128
+            binomial_gcd(12)
+            stats = cache_config.cache_stats()["solvability.binomial_gcd"]
+            assert stats["maxsize"] == 128
+        finally:
+            cache_config.configure(original)
+
+    def test_eviction_does_not_change_results(self):
+        from repro.core.kernel import kernel_vectors
+
+        original = cache_config.current_maxsize()
+        reference = kernel_vectors(9, 4, 1, 5)
+        try:
+            cache_config.configure(4)  # absurdly tight: constant eviction
+            for low in range(0, 4):
+                for high in range(low, 10):
+                    kernel_vectors(9, 4, low, high)
+            assert kernel_vectors(9, 4, 1, 5) == reference
+        finally:
+            cache_config.configure(original)
+
+    def test_clear_all_caches_resets_counters(self):
+        from repro.core.solvability import binomial_gcd
+
+        binomial_gcd(20)
+        cache_config.clear_all_caches()
+        stats = cache_config.cache_stats()["solvability.binomial_gcd"]
+        assert stats["hits"] == 0 and stats["misses"] == 0 and stats["size"] == 0

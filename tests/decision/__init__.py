@@ -1,0 +1,1 @@
+"""Tests for the decision-procedure stack."""

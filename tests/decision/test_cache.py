@@ -1,0 +1,86 @@
+"""CertificateCache: shard layout, self-healing, enumeration."""
+
+import json
+
+from repro.decision import CACHE_SCHEMA_VERSION, CertificateCache
+
+
+def entry(verdict="open", cert=None):
+    return {
+        "solvability": verdict,
+        "reason": "test",
+        "tier": 1,
+        "procedure": "closed-form",
+        "certificate_id": "cdeadbeef" if cert else None,
+        "certificate": cert,
+        "evidence": [],
+        "budget": {},
+    }
+
+
+class TestRoundtrip:
+    def test_put_get(self, tmp_path):
+        cache = CertificateCache(tmp_path / "c")
+        cache.put((6, 3, 1, 4), entry("trivial"))
+        assert cache.get((6, 3, 1, 4))["solvability"] == "trivial"
+        assert cache.get((6, 3, 0, 6)) is None
+
+    def test_survives_process_boundary(self, tmp_path):
+        CertificateCache(tmp_path / "c").put((6, 3, 1, 4), entry())
+        fresh = CertificateCache(tmp_path / "c")
+        assert fresh.get((6, 3, 1, 4)) is not None
+
+    def test_put_many_writes_each_family_once(self, tmp_path):
+        cache = CertificateCache(tmp_path / "c")
+        cache.put_many({
+            (6, 3, 1, 4): entry(),
+            (6, 3, 0, 6): entry(),
+            (7, 2, 1, 6): entry(),
+        })
+        assert sorted(cache.families_on_disk()) == [(6, 3), (7, 2)]
+        assert len(list(cache.iter_entries())) == 3
+
+    def test_stats_counts_hits_and_misses(self, tmp_path):
+        cache = CertificateCache(tmp_path / "c")
+        cache.put((6, 3, 1, 4), entry())
+        cache.get((6, 3, 1, 4))
+        cache.get((6, 3, 0, 6))
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+class TestSelfHealing:
+    def test_garbage_shard_reads_as_empty(self, tmp_path):
+        cache = CertificateCache(tmp_path / "c")
+        cache.put((6, 3, 1, 4), entry())
+        cache.shard_path(6, 3).write_text("\xff not json at all")
+        fresh = CertificateCache(tmp_path / "c")
+        assert fresh.get((6, 3, 1, 4)) is None
+        fresh.put((6, 3, 1, 4), entry("trivial"))  # rewrites cleanly
+        assert CertificateCache(tmp_path / "c").get((6, 3, 1, 4)) is not None
+
+    def test_stale_schema_reads_as_empty(self, tmp_path):
+        cache = CertificateCache(tmp_path / "c")
+        cache.put((6, 3, 1, 4), entry())
+        path = cache.shard_path(6, 3)
+        payload = json.loads(path.read_text())
+        payload["version"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert CertificateCache(tmp_path / "c").get((6, 3, 1, 4)) is None
+
+    def test_clear_removes_disk_and_counters(self, tmp_path):
+        cache = CertificateCache(tmp_path / "c")
+        cache.put((6, 3, 1, 4), entry())
+        cache.clear()
+        assert cache.families_on_disk() == []
+        assert cache.stats()["hits"] == 0
+
+
+class TestCertificateEnumeration:
+    def test_iter_certificates_dedupes_by_id(self, tmp_path):
+        cache = CertificateCache(tmp_path / "c")
+        payload = {"kind": "theorem", "rule": "x", "task": [1, 1, 0, 1]}
+        cache.put((6, 3, 1, 4), entry("trivial", cert=payload))
+        cache.put((6, 3, 0, 6), entry("trivial", cert=payload))
+        assert len(list(cache.iter_certificates())) == 1
+        assert len(list(cache.iter_entries())) == 2

@@ -1,0 +1,199 @@
+"""Certificate construction, serialization and adversarial replay."""
+
+import pytest
+
+from repro.core import Solvability, classify_parameters_certified
+from repro.decision import (
+    DecisionBudget,
+    DecisionMapCertificate,
+    PaddingCertificate,
+    ReductionPathCertificate,
+    TheoremCertificate,
+    certificate_from_payload,
+    certificate_id,
+    check_certificate_payload,
+    empirical,
+    value_padding,
+)
+from repro.decision.certificates import canonical_json
+
+
+def theorem_certificate(n, m, low, high):
+    verdict, _, payload = classify_parameters_certified(n, m, low, high)
+    assert payload is not None, f"<{n},{m},{low},{high}> is OPEN"
+    return TheoremCertificate.from_payload(payload)
+
+
+class TestIds:
+    def test_content_hash_is_stable(self):
+        cert = theorem_certificate(6, 3, 0, 6)
+        assert cert.id == certificate_id(cert.payload())
+        assert cert.id == TheoremCertificate.from_payload(cert.payload()).id
+
+    def test_different_tasks_different_ids(self):
+        assert theorem_certificate(6, 3, 0, 6).id != (
+            theorem_certificate(7, 3, 0, 7).id
+        )
+
+    def test_canonical_json_is_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+
+class TestTheoremRules:
+    @pytest.mark.parametrize(
+        "params",
+        [
+            (6, 3, 3, 3),  # infeasible (Lemma 1)
+            (1, 1, 0, 1),  # single process
+            (6, 3, 0, 6),  # Theorem 9
+            (5, 5, 1, 1),  # Corollary 5
+            (4, 2, 1, 3),  # WSB unsolvable (prime power)
+            (6, 2, 1, 5),  # WSB solvable
+            (4, 3, 1, 2),  # Theorem 10 with Lemma 5
+            (6, 10, 0, 1),  # (2n-2)-renaming solvable
+            (4, 6, 0, 1),  # (2n-2)-renaming unsolvable
+        ],
+    )
+    def test_every_rule_replays(self, params):
+        assert theorem_certificate(*params).check() == []
+
+    def test_wrong_verdict_is_caught(self):
+        payload = theorem_certificate(6, 3, 0, 6).payload()
+        payload["verdict"] = Solvability.UNSOLVABLE.value
+        assert check_certificate_payload(payload)
+
+    def test_wrong_task_is_caught(self):
+        # A Theorem 9 certificate transplanted onto a non-trivial task.
+        payload = theorem_certificate(6, 3, 0, 6).payload()
+        payload["task"] = [6, 3, 1, 4]
+        assert check_certificate_payload(payload)
+
+    def test_tampered_gcd_is_caught(self):
+        payload = theorem_certificate(4, 2, 1, 3).payload()
+        payload["params"]["gcd"] = 1
+        assert check_certificate_payload(payload)
+
+    def test_unknown_rule_is_caught(self):
+        payload = theorem_certificate(6, 3, 0, 6).payload()
+        payload["rule"] = "theorem99"
+        assert check_certificate_payload(payload)
+
+
+class TestPadding:
+    def test_renaming_ladder_certificates_replay(self):
+        for params in [(4, 5, 0, 1), (5, 6, 0, 1), (7, 9, 0, 1)]:
+            result = value_padding(*params)
+            assert result is not None
+            assert result.solvability is Solvability.UNSOLVABLE
+            assert result.certificate.check() == []
+
+    def test_padding_does_not_apply_to_lower_bounded_tasks(self):
+        assert value_padding(6, 2, 2, 4) is None  # canonical l = 2
+
+    def test_padding_does_not_fire_on_genuinely_open_tasks(self):
+        assert value_padding(4, 3, 0, 2) is None
+
+    def test_wrong_direction_is_caught(self):
+        payload = value_padding(4, 5, 0, 1).certificate.payload()
+        payload["direction"] = "solvable-from-harder"
+        assert check_certificate_payload(payload)
+
+    def test_witness_mismatch_is_caught(self):
+        payload = value_padding(4, 5, 0, 1).certificate.payload()
+        payload["witness"] = [4, 7, 0, 1]  # (2n-1)-renaming is trivial
+        assert check_certificate_payload(payload)
+
+    def test_roundtrip(self):
+        cert = value_padding(5, 6, 0, 1).certificate
+        rebuilt = certificate_from_payload(cert.payload())
+        assert isinstance(rebuilt, PaddingCertificate)
+        assert rebuilt == cert
+
+
+class TestReductionPath:
+    def make(self, direction="unsolvable-from-source"):
+        # <4,6,0,1> -> <4,5,0,1> is a genuine padding edge, and the
+        # source's (2n-2)-renaming certificate is a real closed form.
+        _, _, payload = classify_parameters_certified(4, 6, 0, 1)
+        return ReductionPathCertificate(
+            task=(4, 5, 0, 1),
+            verdict_value=Solvability.UNSOLVABLE.value,
+            direction=direction,
+            path=(((4, 6, 0, 1), (4, 5, 0, 1), "padding", "value padding"),),
+            terminal=(4, 6, 0, 1),
+            terminal_certificate=TheoremCertificate.from_payload(payload),
+        )
+
+    def test_valid_path_replays(self):
+        assert self.make().check() == []
+
+    def test_roundtrip(self):
+        cert = self.make()
+        assert certificate_from_payload(cert.payload()) == cert
+
+    def test_broken_chain_is_caught(self):
+        payload = self.make().payload()
+        payload["path"][0]["target"] = [4, 4, 1, 1]
+        assert check_certificate_payload(payload)
+
+    def test_wrong_edge_kind_is_caught(self):
+        payload = self.make().payload()
+        payload["path"][0]["edge_kind"] = "containment"  # cross-family!
+        assert check_certificate_payload(payload)
+
+    def test_solvable_direction_demands_solvable_terminal(self):
+        payload = self.make().payload()
+        payload["direction"] = "solvable-from-target"
+        assert check_certificate_payload(payload)
+
+    def test_fake_reduction_label_is_caught(self):
+        payload = self.make().payload()
+        payload["path"][0]["edge_kind"] = "reduction"
+        payload["path"][0]["label"] = "no-such-reduction"
+        assert check_certificate_payload(payload)
+
+
+class TestDecisionMap:
+    @pytest.fixture(scope="class")
+    def solvable_result(self):
+        # Positive control: <3,3,0,2> admits a one-round map.
+        return empirical(3, 3, 0, 2, budget=DecisionBudget())
+
+    def test_map_certificate_replays_with_engine(self, solvable_result):
+        assert solvable_result.solvability is Solvability.SOLVABLE
+        cert = solvable_result.certificate
+        assert isinstance(cert, DecisionMapCertificate)
+        assert cert.check() == []
+        assert "engine replay" in solvable_result.reason
+
+    def test_tampered_assignment_is_caught(self, solvable_result):
+        payload = solvable_result.certificate.payload()
+        payload["assignment"] = [1] * len(payload["assignment"])
+        assert check_certificate_payload(payload)
+
+    def test_truncated_assignment_is_caught(self, solvable_result):
+        payload = solvable_result.certificate.payload()
+        payload["assignment"] = payload["assignment"][:-1]
+        assert check_certificate_payload(payload)
+
+    def test_roundtrip(self, solvable_result):
+        cert = solvable_result.certificate
+        assert certificate_from_payload(cert.payload()) == cert
+
+
+class TestPayloadRegistry:
+    def test_unknown_kind_rejected(self):
+        assert check_certificate_payload({"kind": "alchemy"})
+
+    def test_malformed_payload_reported_not_raised(self):
+        assert check_certificate_payload({"kind": "theorem"})
+
+    def test_checker_exceptions_reported_not_raised(self):
+        # A tampered task (n = 0) trips task construction inside the
+        # checkers; the replay must report FAIL, never raise — CLI exit
+        # codes depend on it.
+        payload = theorem_certificate(6, 3, 0, 6).payload()
+        payload["task"] = [0, 3, 0, 6]
+        assert check_certificate_payload(payload)

@@ -1,0 +1,68 @@
+"""The acceptance replay pass: every stored certificate must check.
+
+This is the tier-1 embodiment of the CI criterion: build a universe
+store, run the close-open sweep, then replay every certificate — the
+ones baked into cell shards and the ones the sweep cached — with the
+standalone checkers.  Every non-OPEN node must carry a certificate id
+that resolves to a payload.
+"""
+
+import pytest
+
+from repro.core import Solvability
+from repro.decision import DecisionBudget, check_certificate_payload
+from repro.universe import UniverseStore
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    store = UniverseStore(tmp_path_factory.mktemp("universe") / "store")
+    store.build(8, 6, jobs=0)
+    store.close_open(DecisionBudget(max_rounds=1, max_assignments=50_000))
+    return store
+
+
+class TestStoredCertificates:
+    def test_every_non_open_node_is_certified(self, store):
+        graph = store.load()
+        for node in graph.nodes():
+            if node.solvability != Solvability.OPEN.value:
+                assert node.certificate_id, node.key
+                assert (
+                    graph.certificate_payload(node.certificate_id) is not None
+                ), node.key
+
+    def test_every_graph_certificate_replays(self, store):
+        graph = store.load()
+        assert graph.certificate_payloads
+        failures = {
+            certificate_id: problems
+            for certificate_id, payload in graph.certificate_payloads.items()
+            if (problems := check_certificate_payload(payload))
+        }
+        assert failures == {}
+
+    def test_every_cached_certificate_replays(self, store):
+        failures = {
+            key: problems
+            for key, payload in store.decision_cache.iter_certificates()
+            if (problems := check_certificate_payload(payload))
+        }
+        assert failures == {}
+
+    def test_certificate_ids_match_content(self, store):
+        from repro.decision import certificate_id
+
+        graph = store.load()
+        for stored_id, payload in graph.certificate_payloads.items():
+            assert certificate_id(payload) == stored_id
+
+    def test_open_count_not_worse_than_classifier(self, store):
+        # The pipeline may only close OPEN verdicts, never invent them.
+        from repro.core import classify_parameters
+
+        graph = store.load()
+        for node in graph.nodes():
+            legacy = classify_parameters(*node.key)[0]
+            if legacy is not Solvability.OPEN:
+                assert node.solvability == legacy.value

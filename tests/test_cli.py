@@ -227,3 +227,84 @@ class TestUniverseCommands:
                      "--format", "graphml", "--out", str(out_path)]) == 0
         assert f"wrote {out_path}" in capsys.readouterr().out
         assert out_path.read_text().lstrip().startswith("<?xml")
+
+
+class TestDecideCommand:
+    def test_decide_closed_form(self, capsys, tmp_path):
+        assert main(["decide", "6", "3", "0", "6",
+                     "--dir", str(tmp_path / "u")]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: trivial" in out
+        assert "tier 1" in out
+        assert "certificate: c" in out
+
+    def test_decide_padding_with_check(self, capsys, tmp_path):
+        assert main(["decide", "4", "5", "0", "1", "--check",
+                     "--dir", str(tmp_path / "u")]) == 0
+        out = capsys.readouterr().out
+        assert "not wait-free solvable" in out
+        assert "value-padding" in out
+        assert "certificate replays cleanly" in out
+
+    def test_decide_warm_cache(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "u")
+        assert main(["decide", "4", "5", "0", "1", "--dir", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["decide", "4", "5", "0", "1", "--dir", store_dir]) == 0
+        assert "[cache]" in capsys.readouterr().out
+
+    def test_decide_open_reports_evidence(self, capsys, tmp_path):
+        assert main(["decide", "4", "3", "0", "2", "--budget", "3000",
+                     "--dir", str(tmp_path / "u")]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: open" in out
+        assert "evidence:" in out
+
+    def test_decide_json(self, capsys, tmp_path):
+        assert main(["decide", "4", "5", "0", "1", "--json", "--no-cache",
+                     "--dir", str(tmp_path / "u")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["solvability"] == "not wait-free solvable"
+        assert payload["certificate"]["kind"] == "value-padding"
+
+    def test_decide_malformed_parameters(self, capsys, tmp_path):
+        assert main(["decide", "0", "3", "0", "2",
+                     "--dir", str(tmp_path / "u")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestUniverseCheckCommand:
+    def test_check_replays_store_certificates(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "universe")
+        assert main(["universe", "build", "--max-n", "5", "--max-m", "4",
+                     "--dir", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["universe", "check", "--dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "all OK" in out
+
+    def test_check_replays_cached_certificates_too(self, capsys, tmp_path):
+        # A decide outside the built rectangle leaves a certificate only
+        # in the decision cache; check must replay (not skip) it.
+        store_dir = str(tmp_path / "universe")
+        assert main(["universe", "build", "--max-n", "4", "--max-m", "3",
+                     "--dir", store_dir]) == 0
+        assert main(["decide", "9", "3", "0", "9", "--dir", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["universe", "check", "--dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "1 cached certificates" in out
+        assert "all OK" in out
+
+    def test_check_missing_store(self, capsys, tmp_path):
+        assert main(["universe", "check",
+                     "--dir", str(tmp_path / "nope")]) == 2
+
+    def test_build_close_open(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "universe")
+        assert main(["universe", "build", "--max-n", "6", "--max-m", "4",
+                     "--dir", store_dir, "--close-open",
+                     "--budget", "3000", "--max-rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "close-open sweep:" in out
+        assert "OPEN before" in out

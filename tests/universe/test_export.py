@@ -50,8 +50,15 @@ class TestJson:
         node = universe_to_json(rect)["nodes"][0]
         assert set(node) == {
             "key", "solvability", "reason", "kernel_count", "synonyms",
-            "labels", "hardest",
+            "labels", "hardest", "certificate_id",
         }
+
+    def test_certificate_payloads_serialized(self, rect):
+        payload = universe_to_json(rect)
+        assert payload["certificate_payloads"]
+        for node in payload["nodes"]:
+            if node["solvability"] != "open":
+                assert node["certificate_id"] in payload["certificate_payloads"]
 
     def test_certificates_serialized(self, rect):
         payload = universe_to_json(rect)
@@ -79,7 +86,7 @@ class TestGraphml:
                 "./g:graph/g:edge/g:data[@key='edge_kind']", ns
             )
         }
-        assert kinds == {"containment", "theorem8", "reduction"}
+        assert kinds == {"containment", "theorem8", "reduction", "padding"}
 
 
 class TestDispatch:

@@ -172,6 +172,10 @@ class TestSingleCell:
         assert (
             stats["edges"]
             == stats["edges[containment]"]
+            + stats["edges[padding]"]
             + stats["edges[reduction]"]
             + stats["edges[theorem8]"]
+        )
+        assert stats["certified_nodes"] == stats["nodes"] - stats.get(
+            "solvability[open]", 0
         )
