@@ -138,3 +138,38 @@ def bench_ablation_oracle_strategies(benchmark):
 
     failures = benchmark(sweep)
     assert failures == 0
+
+
+def bench_ablation_runtime_core(benchmark):
+    """Compiled step-table core vs the generator reference runtime.
+
+    Same exhaustive exploration (wsb-grh n=3, 39330 logical runs), same
+    decided-vector multiset, different execution core: the compiled
+    machine's fork is an array copy and its state key a packed tuple,
+    where the generator runtime replays result logs and freezes them
+    recursively.  Shape expectation: the compiled core wins by >= 2x here
+    and the gap widens with depth (9.4x at wsb-grh n=4; see
+    docs/architecture.md).
+    """
+    import time
+
+    from repro.shm import PrefixSharingEngine, get_spec
+    from repro.shm.engine import make_spec_machine, make_spec_runtime
+
+    spec = get_spec("wsb-grh")
+
+    def sweep():
+        timings = {}
+        outcomes = {}
+        for core, factory in (
+            ("compiled", make_spec_machine(spec, 3)),
+            ("generator", make_spec_runtime(spec, 3)),
+        ):
+            started = time.perf_counter()
+            outcomes[core] = PrefixSharingEngine(factory).decided_vectors()
+            timings[core] = time.perf_counter() - started
+        assert outcomes["compiled"] == outcomes["generator"]
+        return timings
+
+    timings = benchmark(sweep)
+    assert timings["generator"] / timings["compiled"] >= 2

@@ -1,0 +1,92 @@
+"""Experiment E-EXPLORE: the compiled protocol core's exploration path.
+
+These are the timed smoke benchmarks CI compares against the committed
+``BENCH_explore.json`` baseline (``benchmarks/compare_baselines.py``) —
+the perf trajectory of the repository's hottest path.  Every bench asserts
+the expected multiset shape before timing, so the suite doubles as an
+acceptance run:
+
+* the full registry battery at n <= 3 on the compiled core;
+* the wsb-grh n=3 exploration (register-contention-heavy, the deepest
+  n=3 workload);
+* subtree-parallel sharding equivalence (serial shards: pool spin-up is
+  not what this suite times);
+* the tier-4 decision-map replay protocol at n=3 on the compiled core.
+"""
+
+from collections import Counter
+
+from repro.shm import (
+    PrefixSharingEngine,
+    explore_decided_parallel,
+    explore_many,
+    explore_one,
+    get_spec,
+    make_spec_machine,
+)
+
+#: (runs, distinct) the registry battery must reproduce at each size.
+EXPECTED = {
+    ("wsb", 2): (2, 2),
+    ("wsb", 3): (6, 3),
+    ("election", 2): (6, 2),
+    ("election", 3): (90, 4),
+    ("renaming", 2): (20, 3),
+    ("renaming", 3): (1680, 9),
+    ("wsb-grh", 2): (20, 2),
+    ("wsb-grh", 3): (39330, 9),
+}
+
+
+def bench_explore_battery_compiled(benchmark):
+    """The whole registry at n <= 3 on the compiled core."""
+
+    def battery():
+        return explore_many(
+            ["wsb", "election", "renaming", "wsb-grh"], [2, 3]
+        )
+
+    results = benchmark(battery)
+    for result in results:
+        assert result.core == "compiled"
+        assert (result.runs, result.distinct) == EXPECTED[(result.name, result.n)]
+        if result.name != "election":
+            assert result.violations == 0
+
+
+def bench_explore_wsb_grh_n3_compiled(benchmark):
+    """The deepest n=3 workload, alone (the baseline's anchor number)."""
+    result = benchmark(explore_one, "wsb-grh", 3)
+    assert (result.runs, result.distinct) == (39330, 9)
+    assert result.violations == 0
+
+
+def bench_explore_subtree_shards(benchmark):
+    """Sharded exploration, serial shards (pure sharding overhead)."""
+    serial = PrefixSharingEngine(
+        make_spec_machine(get_spec("renaming"), 3)
+    ).decided_vectors()
+
+    def sharded() -> Counter:
+        return explore_decided_parallel(
+            "renaming", 3, jobs=0, shard_depth=2
+        ).decisions
+
+    assert benchmark(sharded) == serial
+
+
+def bench_explore_decision_map_replay(benchmark):
+    """Tier 4's certificate replay protocol on the compiled core (n=3)."""
+    from repro.core.gsb import SymmetricGSBTask
+    from repro.decision.certificates import replay_decision_map
+    from repro.topology.decision import search_decision_map
+    from repro.topology.is_complex import ISProtocolComplex
+
+    task = SymmetricGSBTask(3, 3, 0, 3)
+    search = search_decision_map(
+        task, ISProtocolComplex(3, 1), max_assignments=500_000
+    )
+    assert search.solvable
+
+    problems = benchmark(replay_decision_map, task, 1, search.decision_map)
+    assert problems == []

@@ -100,7 +100,9 @@ def bench_engine_exploration_battery(benchmark):
     """Batched exhaustive exploration of the built-in specs at n <= 3.
 
     The wsb-grh cell alone enumerates 39,330 interleavings — ~11 s on the
-    legacy re-execution explorer, ~0.1 s here (see docs/architecture.md).
+    legacy re-execution explorer, ~0.1 s on the generator-core engine,
+    ~0.02 s on the compiled protocol core this battery now rides by
+    default (see docs/architecture.md).
     """
 
     def battery():
@@ -108,6 +110,7 @@ def bench_engine_exploration_battery(benchmark):
 
     results = benchmark(battery)
     assert all(result.violations == 0 for result in results)
+    assert all(result.core == "compiled" for result in results)
     assert sum(result.runs for result in results) > 40_000
 
 
@@ -115,9 +118,9 @@ def bench_engine_exploration_n4_frontier(benchmark):
     """The n = 4 frontier the legacy explorer cannot reach in benchmark time.
 
     Figure 2's renaming protocol at n = 4 has 369,600 interleavings; the
-    legacy path needs ~130 s, the engine's memoized mode materializes only
-    240 leaves (~0.5 s).  One round keeps the suite fast while pinning the
-    claim.
+    legacy path needs ~130 s, the memoized engine materializes only 240
+    leaves (~0.5 s on the generator core, ~0.1 s on the compiled core).
+    One round keeps the suite fast while pinning the claim.
     """
     result = benchmark.pedantic(
         explore_one, args=("renaming", 4), rounds=1, iterations=1

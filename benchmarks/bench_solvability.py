@@ -110,9 +110,10 @@ def bench_census_pipeline_grid(benchmark):
 def bench_engine_solvability_cross_check(benchmark):
     """Model-check the solvable specs' decided vectors against their tasks.
 
-    Exhaustive exploration on the prefix-sharing engine, with every decided
-    output vector validated by the task specification — the experimental
-    counterpart of Theorems 9-10's positive directions at small n.
+    Exhaustive exploration on the prefix-sharing engine (compiled protocol
+    core), with every decided output vector validated by the task
+    specification — the experimental counterpart of Theorems 9-10's
+    positive directions at small n.
     """
 
     def check():

@@ -1,0 +1,160 @@
+"""Compare fresh smoke-benchmark timings against a committed baseline.
+
+The perf trajectory of the hot paths is recorded in checked-in baseline
+files (``BENCH_explore.json``, ``BENCH_decision.json``): one mean wall
+time per benchmark, captured with ``--update`` on some reference machine.
+CI re-times the same benches (pytest-benchmark ``--benchmark-json``) and
+fails only on *large* regressions — the default tolerance is a generous
+10x, because CI runners are slower and noisier than the reference box;
+the point is to catch an accidental return to generator-replay-era costs
+(or an exploding state space), not 20% jitter.
+
+Usage::
+
+    python benchmarks/compare_baselines.py BASELINE FRESH [--tolerance X]
+    python benchmarks/compare_baselines.py BASELINE FRESH --update
+
+``FRESH`` is a pytest-benchmark JSON report.  Exit codes: 0 ok, 1 a
+benchmark regressed past tolerance or disappeared from the fresh run, 2
+usage/file errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 10.0
+
+#: A fresh mean below this never fails, whatever the ratio: microsecond
+#: benches (e.g. a cache-warm decide) can blow a 10x ratio on scheduler
+#: jitter alone without signalling any real regression.
+DEFAULT_FLOOR_SECONDS = 0.05
+
+
+def load_fresh_means(path: Path) -> dict[str, float]:
+    """``benchmark name -> mean seconds`` from a pytest-benchmark report."""
+    report = json.loads(path.read_text())
+    return {
+        bench["name"]: bench["stats"]["mean"]
+        for bench in report.get("benchmarks", [])
+    }
+
+
+def write_baseline(path: Path, means: dict[str, float], source: Path) -> None:
+    payload = {
+        "meta": {
+            "source": str(source),
+            "tolerance_note": (
+                "means in seconds from a reference machine; CI compares "
+                "with a generous multiplier (see compare_baselines.py)"
+            ),
+        },
+        "benchmarks": {name: means[name] for name in sorted(means)},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def compare(
+    baseline: dict[str, float],
+    fresh: dict[str, float],
+    tolerance: float,
+    floor: float = DEFAULT_FLOOR_SECONDS,
+) -> list[str]:
+    """Human-readable problems (empty when every bench is within bounds)."""
+    problems: list[str] = []
+    for name, reference in sorted(baseline.items()):
+        if name not in fresh:
+            problems.append(
+                f"{name}: present in the baseline but missing from the "
+                "fresh run (renamed or deleted without --update?)"
+            )
+            continue
+        if fresh[name] <= floor:
+            continue
+        ratio = fresh[name] / reference if reference > 0 else float("inf")
+        if ratio > tolerance:
+            problems.append(
+                f"{name}: {fresh[name] * 1000:.1f} ms vs baseline "
+                f"{reference * 1000:.1f} ms ({ratio:.1f}x > {tolerance:.0f}x "
+                "tolerance)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_*.json")
+    parser.add_argument(
+        "fresh", type=Path, help="pytest-benchmark --benchmark-json output"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"allowed slowdown factor (default {DEFAULT_TOLERANCE:.0f}x)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=DEFAULT_FLOOR_SECONDS,
+        metavar="SECONDS",
+        help="fresh means at or below this never fail "
+        f"(default {DEFAULT_FLOOR_SECONDS}s)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the fresh run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        fresh = load_fresh_means(args.fresh)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error reading fresh report {args.fresh}: {error}", file=sys.stderr)
+        return 2
+    if not fresh:
+        print(f"error: no benchmarks in {args.fresh}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        write_baseline(args.baseline, fresh, args.fresh)
+        print(f"wrote {args.baseline} ({len(fresh)} benchmarks)")
+        return 0
+
+    try:
+        baseline = json.loads(args.baseline.read_text())["benchmarks"]
+    except (OSError, ValueError, KeyError) as error:
+        print(
+            f"error reading baseline {args.baseline}: {error}", file=sys.stderr
+        )
+        return 2
+
+    for name in sorted(fresh):
+        if name not in baseline:
+            print(
+                f"note: {name} has no baseline yet (run with --update to "
+                "record it)"
+            )
+    problems = compare(baseline, fresh, args.tolerance, args.floor)
+    for name in sorted(baseline):
+        if name in fresh:
+            ratio = fresh[name] / baseline[name] if baseline[name] else 0.0
+            print(
+                f"{name:<45} {fresh[name] * 1000:10.2f} ms  "
+                f"(baseline {baseline[name] * 1000:.2f} ms, {ratio:.2f}x)"
+            )
+    if problems:
+        print(f"\n{len(problems)} perf regression(s) past tolerance:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"\nall {len(baseline)} baselines within {args.tolerance:.0f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -515,6 +515,9 @@ def _cmd_universe_check(args) -> int:
 
 
 def _cmd_explore(args) -> int:
+    import time as _time
+
+    from .analysis import emit_json
     from .shm.engine import (
         ExplorationBudgetExceeded,
         available_specs,
@@ -532,23 +535,49 @@ def _cmd_explore(args) -> int:
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
+    subtree = args.shard_depth is not None
+    started = _time.perf_counter()
     try:
         results = explore_many(
             names,
             args.n,
-            executor="process" if args.jobs else None,
+            executor="process" if args.jobs and not subtree else None,
             max_workers=args.jobs or None,
             memoize=not args.no_memo,
             max_runs=args.max_runs,
+            core=args.core,
+            subtree_jobs=args.jobs if subtree else 0,
+            shard_depth=args.shard_depth,
         )
     except ExplorationBudgetExceeded as error:
         print(f"error: {error}; raise --max-runs", file=sys.stderr)
         return 2
+    total_seconds = _time.perf_counter() - started
+    failures = sum(
+        # The election spec is *supposed* to be refuted by model checking.
+        1
+        for result in results
+        if result.violations and result.name != "election"
+    )
+    if args.json:
+        payload = {
+            "tasks": names,
+            "n": list(args.n),
+            "core": args.core,
+            "jobs": args.jobs,
+            "shard_depth": args.shard_depth,
+            "memoize": not args.no_memo,
+            "total_seconds": total_seconds,
+            "failures": failures,
+            "results": [result.to_json() for result in results],
+        }
+        emit_json(payload, args.json)
+        if _json_only(args):
+            return 1 if failures else 0
     print(
         f"{'task':<10} {'n':>3} {'runs':>14} {'distinct':>9} "
         f"{'memo_hits':>10} {'forks':>9} {'time':>11}  status"
     )
-    failures = 0
     for result in results:
         status = (
             "OK" if result.violations == 0 else f"{result.violations} ILLEGAL"
@@ -558,12 +587,7 @@ def _cmd_explore(args) -> int:
             f"{result.distinct:>9} {result.stats.memo_hits:>10} "
             f"{result.stats.forks:>9} {result.seconds*1000:>8.1f} ms  {status}"
         )
-        # The election spec is *supposed* to be refuted by model checking.
-        if result.violations and result.name != "election":
-            failures += 1
     if args.compare_legacy:
-        import time as _time
-
         from .shm.explore import _legacy_explore_interleavings
 
         print("\nlegacy re-execution explorer on the same workloads:")
@@ -919,6 +943,7 @@ COMMANDS: tuple[Command, ...] = (
         name="explore",
         help="batched exhaustive exploration on the prefix-sharing engine",
         handler=_cmd_explore,
+        groups=("json",),
         args=(
             arg(
                 "--tasks",
@@ -931,7 +956,23 @@ COMMANDS: tuple[Command, ...] = (
                 type=int,
                 default=0,
                 help="fan out on a process pool with this many workers "
-                "(0 = serial)",
+                "(0 = serial); with --shard-depth the workers split one "
+                "exploration's subtrees instead of whole (task, n) cells",
+            ),
+            arg(
+                "--core",
+                choices=["compiled", "generator"],
+                default="compiled",
+                help="runtime core: compiled step-table machines (default) "
+                "or the reference generator runtime",
+            ),
+            arg(
+                "--shard-depth",
+                type=int,
+                default=None,
+                metavar="D",
+                help="shard each exploration's DFS frontier at depth D "
+                "across the --jobs workers (subtree-level parallelism)",
             ),
             arg(
                 "--max-runs",

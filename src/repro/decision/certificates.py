@@ -616,24 +616,25 @@ def replay_decision_map(
     prefix-sharing engine and validates each decided vector against the
     task — the "winning execution trace" half of a decision-map
     certificate.  Returns problems (empty when every run is legal).
+
+    Runs execute on the compiled protocol core
+    (:mod:`repro.shm.compiled`): the decision-map protocol is traced into
+    a step table once, so replaying every interleaving at n = 4 — the
+    default ``engine_replay_n`` — costs array copies, not generator
+    replays.
     """
+    from ..shm.compiled import CompiledProtocol
     from ..shm.engine import PrefixSharingEngine
-    from ..shm.runtime import Runtime
-    from ..shm.schedulers import RoundRobinScheduler
 
     n = task.n
     algorithm = decision_map_algorithm(rounds, decision_map)
+    program = CompiledProtocol(
+        algorithm,
+        list(range(1, n + 1)),
+        arrays={f"IS{index}": None for index in range(rounds)},
+    )
 
-    def make_runtime() -> Runtime:
-        return Runtime(
-            algorithm,
-            list(range(1, n + 1)),
-            RoundRobinScheduler(),  # unused by the engine
-            arrays={f"IS{index}": None for index in range(rounds)},
-            objects={},
-        )
-
-    engine = PrefixSharingEngine(make_runtime)
+    engine = PrefixSharingEngine(program.machine)
     decisions = engine.decided_vectors(memoize=True)
     problems = []
     for outputs, count in sorted(decisions.items(), key=repr):

@@ -74,13 +74,18 @@ class DecisionBudget:
     CSP assignments per search — enough to find every small-round map
     that exists and to exhaust (hence soundly refute) the one-round
     spaces, while keeping a cold ``decide`` interactive.
+
+    ``engine_replay_n`` covers the whole empirical range (``n <= 4``):
+    found maps are model-checked on the compiled protocol core before
+    being certified, and n = 4 replay is cheap there (forks are array
+    copies, not generator replays).
     """
 
     max_empirical_n: int = 4
     max_rounds: int = 2
     max_assignments: int = 500_000
     max_facets: int = 200_000
-    engine_replay_n: int = 3
+    engine_replay_n: int = 4
     use_graph: bool = True
     graph_max_n: int = 20  # largest n a single decide builds a family row for
     graph_max_m: int = 6

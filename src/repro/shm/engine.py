@@ -33,20 +33,44 @@ n <= 3.  This engine turns exploration into a real search procedure:
   executor (jobs are dispatched by registry name, so nothing unpicklable
   crosses the process boundary).
 
-The legacy generators remain available as thin wrappers in
-:mod:`repro.shm.explore` (``engine=False`` selects the old re-execution
-path, kept for equivalence testing and benchmarking).
+The engine is runtime-polymorphic: it drives anything exposing the small
+``fork``/``step``/``state_key``/``enabled_pids``/``outputs``/``result``
+surface.  Two cores implement it:
+
+* the **compiled core** (:mod:`repro.shm.compiled`, the default) — step
+  tables plus array-backed :class:`~repro.shm.compiled.MachineState`,
+  whose forks are plain array copies and whose state keys are packed
+  tuples (:func:`make_spec_machine`);
+* the **generator core** (:class:`repro.shm.runtime.Runtime`, the
+  reference semantics) — forks replay per-process result logs
+  (:func:`make_spec_runtime`), kept as the oracle the compiled core is
+  differentially tested against (``core="generator"``).
+
+Single explorations can additionally shard their DFS frontier across a
+process pool (:mod:`repro.shm.parallel`; ``jobs``/``shard_depth`` on
+:func:`explore_one`).  The legacy prefix re-execution explorer remains in
+:mod:`repro.shm.explore` (``engine=False``).
 """
 
 from __future__ import annotations
 
 import math
 import time
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
 from .runtime import Algorithm, Runtime, RunResult, freeze_value
+
+#: Runtime cores an exploration can run on.
+CORES = ("compiled", "generator")
+
+
+def _check_core(core: str) -> str:
+    if core not in CORES:
+        raise ValueError(f"unknown runtime core {core!r}; expected one of {CORES}")
+    return core
 
 
 class ExplorationBudgetExceeded(RuntimeError):
@@ -73,6 +97,18 @@ class EngineStats:
         self.memo_entries += other.memo_entries
         self.subsets_pruned += other.subsets_pruned
         self.peak_stack = max(self.peak_stack, other.peak_stack)
+
+    def to_json(self) -> dict:
+        """Counter dict for the CLI's ``--json`` payloads."""
+        return {
+            "nodes": self.nodes,
+            "runs": self.runs,
+            "forks": self.forks,
+            "memo_hits": self.memo_hits,
+            "memo_entries": self.memo_entries,
+            "subsets_pruned": self.subsets_pruned,
+            "peak_stack": self.peak_stack,
+        }
 
 
 class PrefixSharingEngine:
@@ -619,6 +655,8 @@ class BatchResult:
     violations: int  #: runs whose decided vector is illegal for the task
     seconds: float
     stats: EngineStats
+    core: str = "compiled"  #: runtime core the exploration ran on
+    shards: int = 0  #: subtree shards (0 = one serial exploration)
 
     def __str__(self) -> str:
         status = "OK" if self.violations == 0 else f"{self.violations} ILLEGAL"
@@ -628,9 +666,23 @@ class BatchResult:
             f"forks={self.stats.forks:<7} {self.seconds*1000:8.1f} ms  {status}"
         )
 
+    def to_json(self) -> dict:
+        """JSON payload row for the CLI's uniform ``--json`` contract."""
+        return {
+            "name": self.name,
+            "n": self.n,
+            "core": self.core,
+            "runs": self.runs,
+            "distinct": self.distinct,
+            "violations": self.violations,
+            "seconds": self.seconds,
+            "shards": self.shards,
+            "stats": self.stats.to_json(),
+        }
+
 
 def make_spec_runtime(spec: ExplorationSpec, n: int) -> Callable[[], Runtime]:
-    """Runtime factory for one spec at one size (identities ``1..n``)."""
+    """Generator-core runtime factory for one spec (identities ``1..n``)."""
     from .schedulers import RoundRobinScheduler
 
     algorithm = spec.algorithm_factory(n)
@@ -649,25 +701,114 @@ def make_spec_runtime(spec: ExplorationSpec, n: int) -> Callable[[], Runtime]:
     return make_runtime
 
 
+def make_spec_machine(
+    spec: ExplorationSpec, n: int, record_trace: bool = False
+) -> Callable[[], Any]:
+    """Compiled-core machine factory for one spec (identities ``1..n``).
+
+    The step table (:class:`repro.shm.compiled.CompiledProtocol`) is
+    compiled once per factory and shared by every machine (and fork) it
+    produces — the point of the compiled core: the per-exploration cost of
+    understanding the algorithm is paid once, after which forks are array
+    copies and state keys are packed tuples.
+    """
+    from .compiled import CompiledProtocol
+
+    algorithm = spec.algorithm_factory(n)
+    system_factory = spec.system_factory(n)
+    probe_arrays, probe_objects = system_factory()
+    program = CompiledProtocol(
+        algorithm, range(1, n + 1), arrays=probe_arrays, objects=probe_objects
+    )
+
+    def make_machine():
+        arrays, objects = system_factory()
+        return program.machine(
+            arrays=arrays, objects=objects, record_trace=record_trace
+        )
+
+    return make_machine
+
+
+def spec_factory(
+    spec: ExplorationSpec, n: int, core: str = "compiled"
+) -> Callable[[], Any]:
+    """The runtime factory for one spec on the chosen core."""
+    _check_core(core)
+    if core == "compiled":
+        return make_spec_machine(spec, n)
+    return make_spec_runtime(spec, n)
+
+
 def explore_one(
     spec: ExplorationSpec | str,
     n: int,
     memoize: bool = True,
     max_runs: int | None = None,
     max_depth: int = 10_000,
+    core: str = "compiled",
+    jobs: int = 0,
+    shard_depth: int | None = None,
 ) -> BatchResult:
-    """Explore one spec at one size and validate its decided vectors."""
+    """Explore one spec at one size and validate its decided vectors.
+
+    Args:
+        core: ``"compiled"`` (array-backed step-table machines, the
+            default) or ``"generator"`` (the reference runtime).
+        jobs: with ``jobs >= 2`` the DFS frontier is sharded at
+            ``shard_depth`` across a process pool
+            (:func:`repro.shm.parallel.explore_decided_parallel`) —
+            requires a registry-resolvable spec name.
+        shard_depth: frontier depth for the parallel path (default:
+            :func:`repro.shm.parallel.default_shard_depth`).
+    """
+    _check_core(core)
     if isinstance(spec, str):
         spec = get_spec(spec)
     if n < spec.min_n:
         raise ValueError(f"{spec.name} needs n >= {spec.min_n}, got {n}")
     task = spec.task_factory(n)
-    make_runtime = make_spec_runtime(spec, n)
-    engine = PrefixSharingEngine(
-        make_runtime, max_runs=max_runs, max_depth=max_depth
-    )
+
+    parallel = jobs >= 2 or shard_depth is not None
+    if parallel and (
+        spec.name not in _SPEC_REGISTRY or _SPEC_REGISTRY[spec.name] is not spec
+    ):
+        warnings.warn(
+            f"subtree-parallel exploration needs a registry-resolvable "
+            f"spec; {spec.name!r} is not (or not identically) registered — "
+            "falling back to one serial exploration",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        parallel = False
+
+    stats = EngineStats()
+    shards = 0
     started = time.perf_counter()
-    decisions = engine.decided_vectors(memoize=memoize)
+    if parallel:
+        from .parallel import explore_decided_parallel
+
+        outcome = explore_decided_parallel(
+            spec.name,
+            n,
+            jobs=jobs,
+            shard_depth=shard_depth,
+            memoize=memoize,
+            max_runs=max_runs,
+            max_depth=max_depth,
+            core=core,
+            stats=stats,
+        )
+        decisions = outcome.decisions
+        shards = outcome.shards
+    else:
+        engine = PrefixSharingEngine(
+            spec_factory(spec, n, core),
+            max_runs=max_runs,
+            max_depth=max_depth,
+            stats=stats,
+        )
+        decisions = engine.decided_vectors(memoize=memoize)
     seconds = time.perf_counter() - started
     identities = list(range(1, n + 1))
     violations = sum(
@@ -682,7 +823,9 @@ def explore_one(
         distinct=len(decisions),
         violations=violations,
         seconds=seconds,
-        stats=engine.stats,
+        stats=stats,
+        core=core,
+        shards=shards,
     )
 
 
@@ -699,6 +842,9 @@ def explore_many(
     memoize: bool = True,
     max_runs: int | None = None,
     max_depth: int = 10_000,
+    core: str = "compiled",
+    subtree_jobs: int = 0,
+    shard_depth: int | None = None,
 ) -> list[BatchResult]:
     """Explore a battery of tasks across system sizes.
 
@@ -706,19 +852,42 @@ def explore_many(
         tasks: registry names or :class:`ExplorationSpec` objects.
         n_range: system sizes; each (task, n) pair is one job.  Sizes below
             a spec's ``min_n`` are skipped.
-        executor: ``"process"`` fans jobs out on a
+        executor: ``"process"`` fans whole (task, n) jobs out on a
             :class:`concurrent.futures.ProcessPoolExecutor` — only jobs
             named via the registry can cross the process boundary, any
             others (and any executor failure) fall back to serial.
+        core: runtime core every exploration runs on (``"compiled"`` /
+            ``"generator"``).
+        subtree_jobs / shard_depth: with ``subtree_jobs >= 2`` each
+            exploration shards its own DFS frontier at ``shard_depth``
+            instead (:mod:`repro.shm.parallel`); mutually exclusive with
+            ``executor="process"`` (pools do not nest — the per-cell
+            executor is ignored in that case).
         max_workers / memoize / max_runs / max_depth: passed through.
     """
-    options = {"memoize": memoize, "max_runs": max_runs, "max_depth": max_depth}
+    _check_core(core)
+    options = {
+        "memoize": memoize,
+        "max_runs": max_runs,
+        "max_depth": max_depth,
+        "core": core,
+    }
     jobs: list[tuple[ExplorationSpec | str, int]] = []
     for spec in tasks:
         resolved = get_spec(spec) if isinstance(spec, str) else spec
         for n in n_range:
             if n >= resolved.min_n:
                 jobs.append((spec, n))
+
+    if subtree_jobs >= 2 or shard_depth is not None:
+        # shard_depth alone still shards (serial shards when the worker
+        # count is < 2), so the reported shard coverage is always real.
+        return [
+            explore_one(
+                spec, n, jobs=subtree_jobs, shard_depth=shard_depth, **options
+            )
+            for spec, n in jobs
+        ]
 
     if executor == "process":
         named = [(spec, n) for spec, n in jobs if isinstance(spec, str)]
@@ -733,12 +902,25 @@ def explore_many(
                         for spec, n in named
                     ]
                     return [future.result() for future in futures]
-            except (OSError, BrokenProcessPool, KeyError):
-                # Degrade to serial only for *infrastructure* failures:
-                # sandboxes that forbid subprocesses (OSError /
-                # BrokenProcessPool) and spawn-start children missing a
-                # parent-side register_spec (KeyError).  Real exploration
-                # errors (budget, protocol, oracle misuse) propagate.
+            except (OSError, BrokenProcessPool):
+                # Degrade to serial silently only for *infrastructure*
+                # failures: sandboxes that forbid subprocesses.  Real
+                # exploration errors (budget, protocol, oracle misuse)
+                # propagate.
                 pass
+            except KeyError as error:
+                # A pool worker could not resolve a spec from its own
+                # registry (spawn-start children only see register_spec
+                # calls made at import time of modules they import too).
+                # The serial fallback below will still work — the parent
+                # *can* resolve the name — but degrade loudly: silent
+                # serialization looked exactly like a healthy pool.
+                warnings.warn(
+                    f"process-pool exploration fell back to serial: a "
+                    f"worker could not resolve a spec from the registry "
+                    f"({error.args[0] if error.args else error!r})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     return [explore_one(spec, n, **options) for spec, n in jobs]

@@ -14,6 +14,13 @@ point instead of re-executing every prefix from scratch.  Pass
 ``engine=False`` to run the original re-execution explorer — kept for
 equivalence tests and before/after benchmarks.
 
+The factories these wrappers receive decide which runtime core executes
+the runs: a factory returning :class:`repro.shm.runtime.Runtime` explores
+on the generator reference semantics, one returning
+:class:`repro.shm.compiled.MachineState` (e.g.
+:func:`repro.shm.engine.make_spec_machine`) explores on the compiled
+step-table core — the engine drives both through the same surface.
+
 Cost without the engine's pruning: the number of interleavings of processes
 taking ``k1, ..., kp`` steps is the multinomial coefficient; the engine's
 memoized mode (:meth:`PrefixSharingEngine.decided_vectors`) collapses

@@ -211,14 +211,18 @@ def check_algorithm_exhaustive(
     min_participants: int = 1,
     max_runs: int | None = 200_000,
     canonical_subsets: bool = False,
+    core: str = "compiled",
 ) -> CheckReport:
     """Model-check a protocol over *all* interleavings and participant sets.
 
     Exploration runs on the prefix-sharing engine
     (:mod:`repro.shm.engine`): branch points fork the live runtime instead
-    of re-executing every prefix.  Crash coverage comes from participant
-    subsets plus the per-decision extendability check in
-    :func:`validate_run`.
+    of re-executing every prefix.  By default the runs execute on the
+    compiled protocol core (:mod:`repro.shm.compiled`) — the algorithm is
+    traced into a step table once and every fork is an array copy;
+    ``core="generator"`` selects the reference generator runtime.  Crash
+    coverage comes from participant subsets plus the per-decision
+    extendability check in :func:`validate_run`.
 
     ``canonical_subsets=True`` explores one representative subset per size
     instead of all ``2^n - 1`` — sound for the model's comparison-based,
@@ -226,18 +230,39 @@ def check_algorithm_exhaustive(
     subset of the symmetry class (see
     :func:`repro.shm.engine.canonical_participant_classes`).
     """
+    from .engine import _check_core
+
+    _check_core(core)
     ids = tuple(identities) if identities is not None else default_identities(n)
     factory = system_factory if system_factory is not None else _default_system
 
-    def make_runtime() -> Runtime:
-        arrays, objects = factory()
-        return Runtime(
-            algorithm,
-            ids,
-            scheduler=RoundRobinScheduler(),  # unused by the explorer
-            arrays=arrays,
-            objects=objects,
+    if core == "compiled":
+        from .compiled import CompiledProtocol
+
+        probe_arrays, probe_objects = factory()
+        program = CompiledProtocol(
+            algorithm, ids, arrays=probe_arrays, objects=probe_objects
         )
+
+        def make_runtime():
+            arrays, objects = factory()
+            # The harness validates traces (decision order, participants),
+            # so machines record them, unlike the counting hot path.
+            return program.machine(
+                arrays=arrays, objects=objects, record_trace=True
+            )
+
+    else:  # "generator" (the only other value _check_core admits)
+
+        def make_runtime() -> Runtime:
+            arrays, objects = factory()
+            return Runtime(
+                algorithm,
+                ids,
+                scheduler=RoundRobinScheduler(),  # unused by the explorer
+                arrays=arrays,
+                objects=objects,
+            )
 
     report = CheckReport()
     if canonical_subsets:

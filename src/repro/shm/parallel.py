@@ -1,0 +1,251 @@
+"""Subtree-parallel exploration: shard the DFS frontier across processes.
+
+Exhaustive exploration is a tree search, and the compiled core
+(:mod:`repro.shm.compiled`) made rebuilding any interior configuration
+cheap: a worker re-creates the machine from the registry spec and steps a
+short schedule prefix.  That turns the schedule tree into embarrassingly
+parallel work:
+
+1. the parent walks the tree to ``shard_depth`` (forking, exactly like the
+   serial engine), collecting the frontier's schedule *prefixes* — leaves
+   shallower than the shard depth are counted immediately;
+2. each prefix becomes one job ``(spec name, n, prefix)`` on a
+   :class:`concurrent.futures.ProcessPoolExecutor` — only registry names
+   cross the process boundary, so nothing unpicklable ships;
+3. workers run the ordinary :class:`~repro.shm.engine.PrefixSharingEngine`
+   from the prefix-stepped machine and return their decided-vector
+   counter plus :class:`~repro.shm.engine.EngineStats`;
+4. the parent merges counters (exact: subtrees partition the run set) and
+   stats.
+
+Memoization is per worker — subtrees sharded apart cannot share a memo, so
+the merged ``stats.runs``/``memo_entries`` may exceed a serial memoized
+exploration's.  The returned multiset is identical either way, which the
+tests pin against the serial engine.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .engine import (
+    EngineStats,
+    ExplorationBudgetExceeded,
+    PrefixSharingEngine,
+    get_spec,
+    spec_factory,
+)
+from .runtime import freeze_value
+
+__all__ = [
+    "ParallelOutcome",
+    "default_shard_depth",
+    "explore_decided_parallel",
+    "shard_frontier",
+]
+
+
+@dataclass
+class ParallelOutcome:
+    """Merged result of one subtree-sharded exploration."""
+
+    decisions: Counter  #: decided-vector multiset (identical to serial)
+    stats: EngineStats = field(default_factory=EngineStats)
+    shards: int = 0  #: frontier prefixes dispatched
+    pooled: bool = False  #: True when a process pool actually ran them
+
+
+def default_shard_depth(n: int) -> int:
+    """Shard depth giving roughly ``n**depth`` jobs: enough shards to load
+    a small pool without drowning it in per-job machine rebuilds."""
+    return 2 if n <= 3 else 3
+
+
+#: Frontier-width ceiling: the walk stops deepening once it holds this
+#: many prefixes, whatever ``shard_depth`` asked for.  The frontier keeps
+#: one live machine per prefix, so an uncapped deep walk (``n**depth``
+#: growth) would exhaust memory before a single job dispatched; capping
+#: early just makes the shards bigger, which is always correct.
+MAX_SHARDS = 4096
+
+
+def shard_frontier(
+    make_runtime,
+    shard_depth: int,
+    max_runs: int | None = None,
+    max_shards: int = MAX_SHARDS,
+) -> tuple[list[tuple[int, ...]], Counter, int]:
+    """Walk the schedule tree to ``shard_depth`` (or the shard ceiling).
+
+    Returns ``(prefixes, shallow_leaves, forks)``: the frontier's schedule
+    prefixes, the decided-vector counts of runs that completed above the
+    shard depth, and the number of forks the walk took.  Runs completing
+    above the frontier count against ``max_runs`` as the walk finds them
+    (matching the serial engine's early budget failure).
+    """
+    leaves: Counter = Counter()
+    leaf_runs = 0
+    forks = 0
+    frontier: list[tuple[tuple[int, ...], object]] = [((), make_runtime())]
+    for _ in range(shard_depth):
+        if len(frontier) >= max_shards:
+            break
+        deeper: list[tuple[tuple[int, ...], object]] = []
+        for prefix, machine in frontier:
+            enabled = machine.enabled_pids()
+            if not enabled:
+                key = tuple(freeze_value(v) for v in machine.outputs)
+                leaves[key] += 1
+                leaf_runs += 1
+                if max_runs is not None and leaf_runs > max_runs:
+                    raise ExplorationBudgetExceeded(
+                        f"exploration produced more than {max_runs} runs"
+                    )
+                continue
+            last = len(enabled) - 1
+            for index, pid in enumerate(enabled):
+                if index == last:
+                    child = machine
+                else:
+                    child = machine.fork()
+                    forks += 1
+                child.step(pid)
+                deeper.append((prefix + (pid,), child))
+        frontier = deeper
+    return [prefix for prefix, _ in frontier], leaves, forks
+
+
+#: Worker-side factory cache: one compiled step table per (spec, n, core)
+#: per process, shared by every shard the pool lands on that worker —
+#: without it each of the (often dozens of) shard jobs would re-trace the
+#: whole table from generator replays.
+_FACTORY_CACHE: dict[tuple[str, int, str], object] = {}
+
+
+def _cached_spec_factory(name: str, n: int, core: str):
+    key = (name, n, core)
+    factory = _FACTORY_CACHE.get(key)
+    if factory is None:
+        factory = spec_factory(get_spec(name), n, core)
+        _FACTORY_CACHE[key] = factory
+    return factory
+
+
+def _subtree_job(
+    name: str, n: int, prefix: tuple[int, ...], options: dict
+) -> tuple[Counter, EngineStats]:
+    """Module-level worker: rebuild the machine, step the prefix, explore.
+
+    Jobs are dispatched by registry name so the executor can spawn-start
+    workers; an unregistered name raises :class:`KeyError` here, which the
+    parent reports loudly before degrading to serial execution.
+    """
+    factory = _cached_spec_factory(name, n, options.get("core", "compiled"))
+
+    def make_subtree():
+        machine = factory()
+        for pid in prefix:
+            machine.step(pid)
+        return machine
+
+    engine = PrefixSharingEngine(
+        make_subtree,
+        max_runs=options.get("max_runs"),
+        max_depth=options.get("max_depth", 10_000),
+    )
+    counter = engine.decided_vectors(memoize=options.get("memoize", True))
+    return counter, engine.stats
+
+
+def explore_decided_parallel(
+    spec_name: str,
+    n: int,
+    jobs: int,
+    shard_depth: int | None = None,
+    memoize: bool = True,
+    max_runs: int | None = None,
+    max_depth: int = 10_000,
+    core: str = "compiled",
+    stats: EngineStats | None = None,
+) -> ParallelOutcome:
+    """Decided-vector multiset of one spec at one size, sharded subtree-wise.
+
+    Equivalent to ``PrefixSharingEngine(...).decided_vectors(memoize)`` —
+    the subtrees under the depth-``shard_depth`` frontier partition the
+    run set — but each subtree explores on its own process.  ``jobs < 2``
+    (or an executor-hostile sandbox) runs the same shards serially
+    in-process, so results never depend on pool availability.
+
+    The ``max_runs`` budget applies per shard *and* to the merged total of
+    materialized runs, mirroring the serial semantics as closely as a
+    partitioned search can.
+    """
+    stats = stats if stats is not None else EngineStats()
+    spec = get_spec(spec_name)
+    depth = default_shard_depth(n) if shard_depth is None else shard_depth
+    if depth < 0:
+        raise ValueError(f"shard depth must be >= 0, got {depth}")
+    factory = spec_factory(spec, n, core)
+    prefixes, shallow_leaves, forks = shard_frontier(
+        factory, depth, max_runs=max_runs
+    )
+    local_runs = sum(shallow_leaves.values())
+    stats.forks += forks
+    stats.runs += local_runs
+    total: Counter = Counter(shallow_leaves)
+    options = {
+        "core": core,
+        "memoize": memoize,
+        "max_runs": max_runs,
+        "max_depth": max_depth,
+    }
+
+    pooled = False
+    outcomes: list[tuple[Counter, EngineStats]] | None = None
+    if jobs and jobs > 1 and prefixes:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    pool.submit(_subtree_job, spec_name, n, prefix, options)
+                    for prefix in prefixes
+                ]
+                outcomes = [future.result() for future in futures]
+                pooled = True
+        except (OSError, BrokenProcessPool):
+            # Sandboxes that forbid subprocesses: same shards, in-process.
+            outcomes = None
+        except KeyError as error:
+            warnings.warn(
+                f"subtree-parallel exploration of {spec_name!r} fell back "
+                f"to serial: a pool worker could not resolve the spec from "
+                f"the registry ({error.args[0] if error.args else error}); "
+                "register_spec must run at import time of a module the "
+                "workers also import",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            outcomes = None
+    if outcomes is None:
+        pooled = False
+        outcomes = [
+            _subtree_job(spec_name, n, prefix, options) for prefix in prefixes
+        ]
+    for counter, shard_stats in outcomes:
+        total += counter
+        local_runs += shard_stats.runs
+        stats.merge(shard_stats)
+    # Budget on *this* exploration's materialized runs — `stats` may be a
+    # shared accumulator spanning several explorations.
+    if max_runs is not None and local_runs > max_runs:
+        raise ExplorationBudgetExceeded(
+            f"exploration materialized more than {max_runs} runs across "
+            f"{len(prefixes)} subtree shards"
+        )
+    return ParallelOutcome(
+        decisions=total, stats=stats, shards=len(prefixes), pooled=pooled
+    )

@@ -331,7 +331,13 @@ class Runtime:
         dup.n = self.n
         dup.algorithm = self.algorithm
         dup.identities = self.identities
-        dup.scheduler = self.scheduler
+        # Schedulers are stateful adversaries (rng streams, list cursors,
+        # pending crash maps): sharing one by reference would leak every
+        # action the original takes into the clone's future schedule.
+        # Clone them like oracles: a clone() hook when offered, deepcopy
+        # otherwise.
+        clone = getattr(self.scheduler, "clone", None)
+        dup.scheduler = clone() if callable(clone) else _deepcopy(self.scheduler)
         dup.memory = self.memory.clone()
         dup.objects = {
             name: obj.clone() if hasattr(obj, "clone") else _deepcopy(obj)

@@ -166,3 +166,32 @@ class TestCloseOpen:
         before = {node.key: node.solvability for node in graph.nodes()}
         close_open(graph, DecisionBudget(max_empirical_n=0))
         assert {node.key: node.solvability for node in graph.nodes()} == before
+
+
+class TestBudgetDefaults:
+    def test_engine_replay_covers_the_whole_empirical_range(self):
+        # The compiled protocol core made n = 4 replay affordable: found
+        # maps are model-checked at every n the empirical tier searches.
+        budget = DecisionBudget()
+        assert budget.engine_replay_n == 4
+        assert budget.engine_replay_n == budget.max_empirical_n
+
+    def test_replay_runs_on_the_compiled_core(self, monkeypatch):
+        # Behavioral check: the replay path must not construct generator
+        # runtimes anymore — a Runtime instantiation during replay fails.
+        import repro.shm.runtime as runtime_module
+        from repro.core.gsb import SymmetricGSBTask
+        from repro.decision.certificates import replay_decision_map
+        from repro.topology.decision import search_decision_map
+        from repro.topology.is_complex import ISProtocolComplex
+
+        def forbidden_init(self, *args, **kwargs):
+            raise AssertionError("replay built a generator Runtime")
+
+        monkeypatch.setattr(runtime_module.Runtime, "__init__", forbidden_init)
+        task = SymmetricGSBTask(2, 2, 0, 2)
+        search = search_decision_map(
+            task, ISProtocolComplex(2, 1), max_assignments=100_000
+        )
+        assert search.solvable
+        assert replay_decision_map(task, 1, search.decision_map) == []

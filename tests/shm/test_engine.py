@@ -312,3 +312,107 @@ class TestBatchAPI:
         assert [(r.name, r.n, r.runs, r.distinct) for r in serial] == [
             (r.name, r.n, r.runs, r.distinct) for r in parallel
         ]
+
+
+class TestRuntimeCores:
+    """The engine is core-polymorphic; explore_one routes by name."""
+
+    @pytest.mark.parametrize("name,n", [(s, n) for s in NAMED_SPECS for n in (2, 3)])
+    def test_cores_agree(self, name, n):
+        compiled = explore_one(name, n, core="compiled")
+        generator = explore_one(name, n, core="generator")
+        assert (compiled.runs, compiled.distinct, compiled.violations) == (
+            generator.runs, generator.distinct, generator.violations
+        )
+        assert compiled.core == "compiled"
+        assert generator.core == "generator"
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ValueError, match="unknown runtime core"):
+            explore_one("wsb", 2, core="quantum")
+        with pytest.raises(ValueError, match="unknown runtime core"):
+            explore_many(["wsb"], [2], core="quantum")
+
+    def test_exhaustive_check_cores_agree(self):
+        from repro.algorithms import (
+            figure2_renaming,
+            figure2_system_factory,
+            figure2_task,
+        )
+        from repro.shm import check_algorithm_exhaustive
+
+        compiled = check_algorithm_exhaustive(
+            figure2_task(3),
+            figure2_renaming(),
+            3,
+            system_factory=figure2_system_factory(3, seed=0),
+            core="compiled",
+        )
+        generator = check_algorithm_exhaustive(
+            figure2_task(3),
+            figure2_renaming(),
+            3,
+            system_factory=figure2_system_factory(3, seed=0),
+            core="generator",
+        )
+        assert compiled.ok and generator.ok
+        assert compiled.runs == generator.runs
+
+    def test_exhaustive_check_unknown_core(self):
+        from repro.core.named import weak_symmetry_breaking
+        from repro.shm import check_algorithm_exhaustive
+
+        spec = get_spec("wsb")
+        with pytest.raises(ValueError, match="unknown runtime core"):
+            check_algorithm_exhaustive(
+                weak_symmetry_breaking(2),
+                spec.algorithm_factory(2),
+                2,
+                system_factory=spec.system_factory(2),
+                core="quantum",
+            )
+
+
+class TestLoudPoolFallback:
+    """explore_many's process-pool path must not swallow KeyError silently."""
+
+    def test_genuinely_unregistered_name_raises(self):
+        with pytest.raises(KeyError, match="unknown exploration task"):
+            explore_many(["definitely-not-registered"], [2], executor="process")
+
+    def test_worker_keyerror_warns_then_degrades(self, monkeypatch):
+        import warnings as _warnings
+
+        import repro.shm.engine as engine_module
+
+        def exploding_job(name, n, options):
+            raise KeyError(f"unknown exploration task {name!r} (worker side)")
+
+        monkeypatch.setattr(engine_module, "_explore_job", exploding_job)
+
+        class FakePool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, *args):
+                from concurrent.futures import Future
+
+                future = Future()
+                try:
+                    future.set_result(fn(*args))
+                except BaseException as error:  # noqa: BLE001
+                    future.set_exception(error)
+                return future
+
+        monkeypatch.setattr(
+            "concurrent.futures.ProcessPoolExecutor", FakePool
+        )
+        with pytest.warns(RuntimeWarning, match="could not resolve a spec"):
+            results = explore_many(["wsb"], [2], executor="process")
+        assert [(r.name, r.n, r.runs) for r in results] == [("wsb", 2, 2)]

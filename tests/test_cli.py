@@ -308,3 +308,72 @@ class TestUniverseCheckCommand:
         out = capsys.readouterr().out
         assert "close-open sweep:" in out
         assert "OPEN before" in out
+
+
+class TestExploreCommand:
+    def test_explore_table(self, capsys):
+        assert main(["explore", "--tasks", "wsb,renaming", "--n", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "wsb" in out and "renaming" in out
+        assert "OK" in out
+
+    def test_explore_unknown_task(self, capsys):
+        assert main(["explore", "--tasks", "nope"]) == 2
+        assert "unknown exploration task" in capsys.readouterr().err
+
+    def test_explore_json_stdout(self, capsys):
+        assert main(["explore", "--tasks", "wsb", "--n", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tasks"] == ["wsb"]
+        assert payload["core"] == "compiled"
+        assert payload["failures"] == 0
+        (row,) = payload["results"]
+        assert row["name"] == "wsb" and row["n"] == 2
+        assert row["runs"] == 2 and row["violations"] == 0
+        assert row["seconds"] > 0  # per-job timing
+        assert row["stats"]["forks"] >= 1  # engine stats in the payload
+
+    def test_explore_json_file(self, capsys, tmp_path):
+        path = tmp_path / "explore.json"
+        assert (
+            main(["explore", "--tasks", "wsb", "--n", "2", "--json", str(path)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"wrote {path}" in out
+        assert "task" in out  # ASCII table still printed with a path
+        payload = json.loads(path.read_text())
+        assert payload["results"][0]["name"] == "wsb"
+
+    def test_explore_generator_core(self, capsys):
+        assert (
+            main(
+                ["explore", "--tasks", "wsb", "--n", "2",
+                 "--core", "generator", "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["core"] == "generator"
+        assert payload["results"][0]["core"] == "generator"
+
+    def test_explore_subtree_sharding(self, capsys):
+        assert (
+            main(
+                ["explore", "--tasks", "renaming", "--n", "3",
+                 "--jobs", "2", "--shard-depth", "2", "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        (row,) = payload["results"]
+        assert row["runs"] == 1680
+        assert row["shards"] == 9
+
+    def test_explore_json_reports_election_refutation(self, capsys):
+        # Election violations are the expected model-checking outcome,
+        # not a failure.
+        assert main(["explore", "--tasks", "election", "--n", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results"][0]["violations"] > 0
+        assert payload["failures"] == 0

@@ -1,0 +1,97 @@
+"""Tests for the benchmark-baseline comparison tool (CI's perf gate)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "compare_baselines", REPO_ROOT / "benchmarks" / "compare_baselines.py"
+)
+compare_baselines = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_baselines)
+
+
+def fresh_report(path, means):
+    payload = {
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        problems = compare_baselines.compare(
+            {"bench_a": 0.1}, {"bench_a": 0.5}, tolerance=10.0, floor=0.0
+        )
+        assert problems == []
+
+    def test_large_regression_fails(self):
+        problems = compare_baselines.compare(
+            {"bench_a": 0.1}, {"bench_a": 1.5}, tolerance=10.0, floor=0.0
+        )
+        assert len(problems) == 1
+        assert "15.0x" in problems[0]
+
+    def test_missing_bench_fails(self):
+        problems = compare_baselines.compare(
+            {"bench_gone": 0.1}, {"bench_other": 0.1}, tolerance=10.0
+        )
+        assert "missing from the fresh run" in problems[0]
+
+    def test_floor_shields_microbenchmarks(self):
+        # 20us -> 400us is 20x but far below the floor: scheduler jitter,
+        # not a regression.
+        problems = compare_baselines.compare(
+            {"bench_tiny": 0.00002},
+            {"bench_tiny": 0.0004},
+            tolerance=10.0,
+            floor=0.05,
+        )
+        assert problems == []
+
+
+class TestMainFlow:
+    def test_update_then_compare_roundtrip(self, tmp_path, capsys):
+        fresh = fresh_report(tmp_path / "fresh.json", {"bench_a": 0.2})
+        baseline = tmp_path / "BENCH_test.json"
+        assert compare_baselines.main(
+            [str(baseline), str(fresh), "--update"]
+        ) == 0
+        assert compare_baselines.main([str(baseline), str(fresh)]) == 0
+        out = capsys.readouterr().out
+        assert "all 1 baselines within" in out
+
+    def test_regression_exit_code(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_test.json"
+        fresh_report(tmp_path / "old.json", {"bench_a": 0.1})
+        assert compare_baselines.main(
+            [str(baseline), str(tmp_path / "old.json"), "--update"]
+        ) == 0
+        fresh_report(tmp_path / "new.json", {"bench_a": 5.0})
+        assert compare_baselines.main(
+            [str(baseline), str(tmp_path / "new.json")]
+        ) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_unreadable_inputs(self, tmp_path, capsys):
+        fresh = fresh_report(tmp_path / "fresh.json", {"bench_a": 0.2})
+        assert compare_baselines.main(
+            [str(tmp_path / "missing.json"), str(fresh)]
+        ) == 2
+        assert compare_baselines.main(
+            [str(tmp_path / "missing.json"), str(tmp_path / "nope.json")]
+        ) == 2
+
+    def test_committed_baselines_are_wellformed(self):
+        for name in ("BENCH_explore.json", "BENCH_decision.json"):
+            payload = json.loads((REPO_ROOT / name).read_text())
+            assert payload["benchmarks"], name
+            assert all(
+                isinstance(mean, float) and mean > 0
+                for mean in payload["benchmarks"].values()
+            ), name
