@@ -1,0 +1,194 @@
+"""Experiment E-SERVE: the serving layer at query scale.
+
+Workload: the read-optimized store backend and the HTTP query API as a
+client sees them — cold point lookups against JSON shards vs the SQLite
+pack, warm lookups out of the hot-node LRU, in-process service routing,
+and real-socket QPS with keep-alive and ETag revalidation.  The store is
+the full ``--max-n 20 --max-m 6`` rectangle from the paper's decision
+pipeline, packed once per module.
+
+The acceptance bar for the binary backend — a cold point lookup at least
+10x faster than the JSON-shard cold load it replaces — is asserted here
+directly (not just recorded), so a backend regression fails the bench
+run rather than drifting past the baseline tolerance.
+"""
+
+import time
+
+import pytest
+
+from repro.serve import BackgroundServer, UniverseService
+from repro.universe import UniverseStore, canonical_task_key
+from repro.universe.persist import HOT_CELLS
+
+#: The acceptance-criterion rectangle: ``--max-n 20 --max-m 6``.
+MAX_N, MAX_M = 20, 6
+
+#: Point-lookup target, canonicalized into the hardest built cell.
+TASK = (MAX_N, MAX_M, 1, MAX_N)
+
+#: Requests per timed burst in the HTTP QPS benches.
+BURST = 50
+
+
+@pytest.fixture(scope="module")
+def root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("bench-serve") / "store"
+    store = UniverseStore(root)
+    store.build(MAX_N, MAX_M)
+    store.pack()
+    return root
+
+
+def primed_keys(store, key):
+    """Every hot-node LRU key a cold lookup of ``key`` primes.
+
+    Computed once, outside any timed region: the JSON path primes the
+    whole containing cell, the binary path just the requested node.
+    """
+    prefix = (str(store.root), store.fingerprint())
+    if store.active_backend == "binary":
+        return [prefix + key]
+    return [
+        prefix + (key[0], key[1], low, high)
+        for low, high in store._cell_nodes(key[0], key[1])
+    ]
+
+
+def bench_serve_cold_json_point_lookup(benchmark, root):
+    """Cold JSON-shard load: one lookup pays a whole-shard parse."""
+    store = UniverseStore.open_readonly(root, backend="json")
+    key = canonical_task_key(*TASK)
+    keys = primed_keys(store, key)
+
+    def cold():
+        for entry in keys:
+            HOT_CELLS.pop(entry)
+        return store.node_at(*TASK)
+
+    node = benchmark(cold)
+    assert node is not None and node.key == key
+
+
+def bench_serve_cold_binary_point_lookup(benchmark, root):
+    """Cold pack lookup: one indexed SQLite row, no shard parse.
+
+    Asserts the tentpole acceptance criterion in-line: the binary
+    backend's cold point lookup is >= 10x faster than the JSON-shard
+    cold load at the full 20x6 rectangle.
+    """
+    jstore = UniverseStore.open_readonly(root, backend="json")
+    bstore = UniverseStore.open_readonly(root, backend="binary")
+    key = canonical_task_key(*TASK)
+    bstore.node_at(*TASK)  # open the pack before asking for keys
+    assert bstore.active_backend == "binary"
+    binary_keys = primed_keys(bstore, key)
+    json_keys = primed_keys(jstore, key)
+
+    def cold():
+        for entry in binary_keys:
+            HOT_CELLS.pop(entry)
+        return bstore.node_at(*TASK)
+
+    node = benchmark(cold)
+    assert node is not None and node.key == key
+
+    def best_of(fn, rounds=3, iterations=200):
+        fn()  # warm the store-level memos outside the timing
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for _ in range(iterations):
+                fn()
+            best = min(best, (time.perf_counter() - start) / iterations)
+        return best
+
+    def cold_json():
+        for entry in json_keys:
+            HOT_CELLS.pop(entry)
+        return jstore.node_at(*TASK)
+
+    json_seconds = best_of(cold_json)
+    binary_seconds = best_of(cold)
+    assert json_seconds >= 10 * binary_seconds, (
+        f"binary cold point lookup must be >=10x faster than the JSON "
+        f"shard cold load: json {json_seconds * 1e6:.1f}us vs binary "
+        f"{binary_seconds * 1e6:.1f}us "
+        f"({json_seconds / binary_seconds:.1f}x)"
+    )
+
+
+def bench_serve_warm_point_lookup(benchmark, root):
+    """Warm lookup: served from the hot-node LRU, no file I/O at all."""
+    store = UniverseStore.open_readonly(root, backend="binary")
+    store.node_at(*TASK)  # prime
+
+    node = benchmark(store.node_at, *TASK)
+    assert node is not None
+
+
+def bench_serve_service_decide(benchmark, root):
+    """In-process service routing: decide without HTTP framing."""
+    service = UniverseService.open(root, backend="binary")
+    n, m, low, high = TASK
+    query = {"n": str(n), "m": str(m), "low": str(low), "high": str(high)}
+
+    response = benchmark(service.handle, "GET", "/decide", query, None, None)
+    assert response.status == 200
+    assert response.payload["source"] == "universe"
+
+
+def bench_serve_http_qps(benchmark, root):
+    """Real-socket QPS: a keep-alive burst of decide requests."""
+    import http.client
+
+    with BackgroundServer(root, backend="binary") as server:
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=30
+        )
+        n, m, low, high = TASK
+        path = f"/decide?n={n}&m={m}&low={low}&high={high}"
+
+        def burst():
+            statuses = []
+            for _ in range(BURST):
+                connection.request("GET", path)
+                response = connection.getresponse()
+                response.read()
+                statuses.append(response.status)
+            return statuses
+
+        statuses = benchmark(burst)
+        connection.close()
+    assert statuses == [200] * BURST
+
+
+def bench_serve_http_etag_revalidation(benchmark, root):
+    """A 304 burst: revalidation skips the body entirely."""
+    import http.client
+
+    with BackgroundServer(root, backend="binary") as server:
+        n, m, low, high = TASK
+        path = f"/decide?n={n}&m={m}&low={low}&high={high}"
+        status, headers, _ = server.get(path)
+        assert status == 200
+        etag = headers["ETag"]
+
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=30
+        )
+
+        def burst():
+            statuses = []
+            for _ in range(BURST):
+                connection.request(
+                    "GET", path, headers={"If-None-Match": etag}
+                )
+                response = connection.getresponse()
+                body = response.read()
+                statuses.append((response.status, body))
+            return statuses
+
+        statuses = benchmark(burst)
+        connection.close()
+    assert statuses == [(304, b"")] * BURST

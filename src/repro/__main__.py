@@ -17,6 +17,7 @@ Usage::
                                    [--dir universe_store] [--force]
                                    [--close-open] [--max-empirical-n 4]
                                    [--max-rounds 2] [--budget N]
+    python -m repro universe pack [--dir ...] [--force]
     python -m repro universe stats [--dir ...] [--json [PATH]]
     python -m repro universe query [--dir ...] (--harder-than N M L U |
                                    --weaker-than N M L U | --path 8xINT |
@@ -24,6 +25,8 @@ Usage::
     python -m repro universe export [--dir ...] --format dot|json|graphml
                                     [--out PATH]
     python -m repro universe check [--dir ...]
+    python -m repro serve [--host 127.0.0.1 --port 8707] [--dir ...]
+                          [--backend auto|json|binary]
     python -m repro explore [--tasks wsb,election,renaming] [--n 2 3 4]
     python -m repro verify
 
@@ -35,6 +38,11 @@ writes the payload there and announces ``wrote PATH``.
 padding, reduction closure, bounded empirical search) and prints the
 verdict with its machine-checkable certificate; ``universe check``
 replays every certificate stored alongside a universe store.
+
+``universe pack`` compiles the JSON shards into the read-optimized
+binary backend (``pack.sqlite``) and ``serve`` exposes the store over
+the async HTTP query API (:mod:`repro.serve`); the ``--backend`` flag
+on every store-reading command selects which representation reads use.
 
 ``verify`` is the one-shot acceptance check: Table 1 and Figure 1 must
 match the published content, and Figure 2 must pass exhaustive model
@@ -266,13 +274,24 @@ def _cmd_census(args) -> int:
 def _universe_store(args):
     from .universe import UniverseStore
 
-    return UniverseStore(args.dir)
+    return UniverseStore(args.dir, backend=getattr(args, "backend", "json"))
 
 
 def _load_universe(args):
-    """Load the built graph, or print a friendly error and return None."""
+    """Load the built graph, or print a friendly error and return None.
+
+    Goes through :meth:`UniverseStore.open_readonly` +
+    :meth:`UniverseStore.load_cached`, so repeated query-path calls in
+    one process share the store instance and its assembled graph
+    instead of re-reading the manifest and shards per call.
+    """
+    from .universe import UniverseStore
+
     try:
-        return _universe_store(args).load()
+        store = UniverseStore.open_readonly(
+            args.dir, backend=getattr(args, "backend", "auto")
+        )
+        return store.load_cached()
     except (FileNotFoundError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return None
@@ -322,6 +341,49 @@ def _cmd_universe_build(args) -> int:
         f"store now holds {stats['cells']} cells, {stats['nodes']} synonym "
         f"classes, {stats['containment_edges']} containment edges, "
         f"{stats['overrides']} close-open overrides"
+    )
+    return 0
+
+
+def _cmd_universe_pack(args) -> int:
+    """Compile the JSON shards into the read-optimized binary backend."""
+    store = _universe_store(args)
+    try:
+        report = store.pack(force=args.force)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if report.skipped:
+        print(
+            f"universe pack: {report.path} already current "
+            f"({report.cells} cells, {report.nodes} nodes, "
+            f"{report.certificates} certificates, {report.overrides} "
+            f"overrides) — nothing to do"
+        )
+    else:
+        print(
+            "universe pack: compiled {} cells ({} nodes, {} edges, {} "
+            "certificates, {} overrides) -> {} in {:.2f}s".format(
+                report.cells, report.nodes, report.edges,
+                report.certificates, report.overrides, report.path,
+                report.seconds,
+            )
+        )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import serve_forever
+
+    if not _universe_store(args).built_cells():
+        print(
+            f"error: universe store at {args.dir} has no built cells; run "
+            "`python -m repro universe build` first",
+            file=sys.stderr,
+        )
+        return 2
+    serve_forever(
+        args.dir, backend=args.backend, host=args.host, port=args.port
     )
     return 0
 
@@ -704,6 +766,14 @@ SHARED_GROUPS: dict[str, tuple[Arg, ...]] = {
             default="universe_store",
             help="store directory (default: ./universe_store)",
         ),
+        arg(
+            "--backend",
+            choices=["auto", "json", "binary"],
+            default="auto",
+            help="read representation: the compiled pack.sqlite (binary), "
+            "the JSON shards (json), or the pack when a current one "
+            "exists (auto, the default)",
+        ),
     ),
     "decision-budget": (
         arg(
@@ -852,6 +922,19 @@ COMMANDS: tuple[Command, ...] = (
                 ),
             ),
             Command(
+                name="pack",
+                help="compile the shards into the binary read backend",
+                handler=_cmd_universe_pack,
+                groups=("store-dir",),
+                args=(
+                    arg(
+                        "--force",
+                        action="store_true",
+                        help="recompile even when the pack is current",
+                    ),
+                ),
+            ),
+            Command(
                 name="stats",
                 help="store and graph summary counts",
                 handler=_cmd_universe_stats,
@@ -937,6 +1020,16 @@ COMMANDS: tuple[Command, ...] = (
                 handler=_cmd_universe_check,
                 groups=("store-dir",),
             ),
+        ),
+    ),
+    Command(
+        name="serve",
+        help="serve the universe store over the async HTTP query API",
+        handler=_cmd_serve,
+        groups=("store-dir",),
+        args=(
+            arg("--host", default="127.0.0.1", help="bind address"),
+            arg("--port", type=int, default=8707, help="TCP port"),
         ),
     ),
     Command(

@@ -1,0 +1,36 @@
+"""Universe-as-a-service: the HTTP read path over a packed store.
+
+The ROADMAP north star is serving ``decide``/``query`` traffic, not
+re-running the CLI per question.  This subpackage is that read path:
+
+* :mod:`repro.serve.service` — :class:`UniverseService`, a transport-free
+  request router over a read-only :class:`repro.universe.UniverseStore`
+  (point lookups ride the binary pack + hot-node LRU; cone/frontier
+  queries ride the fingerprint-memoized assembled graph).  Responses
+  carry ETags keyed on certificate content hashes, so unchanged answers
+  revalidate with a ``304`` and no body.
+* :mod:`repro.serve.metrics` — :class:`ServiceMetrics`, per-endpoint
+  request/error/304/latency counters exposed at ``/stats`` next to the
+  process-wide cache counters of :mod:`repro.core.cache_config`.
+* :mod:`repro.serve.http` — the stdlib :mod:`asyncio` HTTP/1.1 front end
+  (keep-alive, no third-party deps): :func:`serve_forever` behind
+  ``python -m repro serve`` and :class:`BackgroundServer`, the threaded
+  harness the tests/benchmarks/CI smoke drive real sockets with.
+
+The service is deliberately a pure function of ``(method, path, query,
+body, if_none_match)`` so the whole contract surface is testable without
+opening a socket; the HTTP layer only parses bytes and serializes
+:class:`Response`.
+"""
+
+from .http import BackgroundServer, serve_forever
+from .metrics import ServiceMetrics
+from .service import Response, UniverseService
+
+__all__ = [
+    "BackgroundServer",
+    "Response",
+    "ServiceMetrics",
+    "UniverseService",
+    "serve_forever",
+]

@@ -1,0 +1,282 @@
+"""Stdlib asyncio HTTP/1.1 front end for :class:`UniverseService`.
+
+No third-party web framework: the serving contract is small (GET/POST,
+JSON bodies, ETag revalidation, keep-alive) and the repo's no-new-deps
+rule is hard, so this module speaks just enough HTTP/1.1 itself.  The
+parser is deliberately strict — malformed request lines get a ``400``
+and the connection is closed; request bodies are capped so a client
+cannot balloon memory.
+
+Two entry points:
+
+* :func:`serve_forever` — the blocking CLI path
+  (``python -m repro serve``): one event loop, one service, runs until
+  interrupted.
+* :class:`BackgroundServer` — a context manager running the same server
+  on a daemon thread with an ephemeral port, used by the serve tests,
+  ``bench_serve.py`` and the CI smoke to drive real sockets without
+  managing a subprocess.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from urllib.parse import parse_qsl, urlsplit
+
+from .metrics import ServiceMetrics
+from .service import Response, UniverseService
+
+#: Largest accepted request body (the batch endpoint is the only reader).
+MAX_BODY_BYTES = 4 << 20
+
+#: Reason phrases for the statuses the service actually emits.
+_REASONS = {
+    200: "OK",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _serialize(response: Response, keep_alive: bool) -> bytes:
+    body = response.body_bytes()
+    reason = _REASONS.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {reason}"]
+    if response.status != 304:
+        head.append("Content-Type: application/json; charset=utf-8")
+    head.append(f"Content-Length: {len(body)}")
+    if response.etag is not None:
+        head.append(f"ETag: {response.etag}")
+    head.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, str], bytes] | None:
+    """One parsed request off the wire, or None at clean connection end."""
+    request_line = await reader.readline()
+    if not request_line.strip():
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise ValueError(f"malformed request line {request_line!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise ValueError(f"request body of {length} bytes exceeds cap")
+    body = await reader.readexactly(length) if length else b""
+    return method, target, headers, body
+
+
+async def _serve_connection(
+    service: UniverseService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            try:
+                request = await _read_request(reader)
+            except (ValueError, asyncio.IncompleteReadError) as error:
+                writer.write(
+                    _serialize(
+                        Response(400, {"error": f"bad request: {error}"}),
+                        keep_alive=False,
+                    )
+                )
+                await writer.drain()
+                break
+            if request is None:
+                break
+            method, target, headers, body = request
+            parsed = urlsplit(target)
+            query = dict(parse_qsl(parsed.query))
+            try:
+                response = service.handle(
+                    method.upper(),
+                    parsed.path,
+                    query,
+                    body,
+                    headers.get("if-none-match"),
+                )
+            except Exception as error:  # noqa: BLE001 - the server must not die
+                response = Response(
+                    500, {"error": f"internal error: {type(error).__name__}"}
+                )
+            keep_alive = (
+                headers.get("connection", "keep-alive").lower() != "close"
+            )
+            writer.write(_serialize(response, keep_alive=keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass  # client already gone
+
+
+async def _start(
+    service: UniverseService, host: str, port: int
+) -> asyncio.AbstractServer:
+    return await asyncio.start_server(
+        lambda reader, writer: _serve_connection(service, reader, writer),
+        host,
+        port,
+    )
+
+
+def serve_forever(
+    root,
+    backend: str = "auto",
+    host: str = "127.0.0.1",
+    port: int = 8707,
+    metrics: ServiceMetrics | None = None,
+) -> None:
+    """Run the HTTP service until interrupted (the CLI entry point)."""
+    service = UniverseService.open(root, backend=backend, metrics=metrics)
+
+    async def main() -> None:
+        server = await _start(service, host, port)
+        addresses = ", ".join(
+            f"http://{sock.getsockname()[0]}:{sock.getsockname()[1]}"
+            for sock in server.sockets
+        )
+        print(
+            f"serving universe store {service.store.root} "
+            f"[{service.store.active_backend} backend] on {addresses}",
+            flush=True,
+        )
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+
+
+class BackgroundServer:
+    """The same server on a daemon thread + ephemeral port (tests/bench).
+
+    ::
+
+        with BackgroundServer(store_root, backend="binary") as server:
+            http.client.HTTPConnection(server.host, server.port)
+
+    The event loop lives on the background thread; entering the context
+    blocks until the socket is listening, exiting cancels the loop and
+    joins the thread, so tests cannot leak servers.
+    """
+
+    def __init__(
+        self,
+        root,
+        backend: str = "auto",
+        host: str = "127.0.0.1",
+        service: UniverseService | None = None,
+    ) -> None:
+        self.service = service or UniverseService.open(root, backend=backend)
+        self._host_requested = host
+        self.host: str = host
+        self.port: int = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("background server did not start in 30s")
+        if self._failure is not None:
+            raise RuntimeError(
+                f"background server failed to start: {self._failure}"
+            )
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(
+                _start(self.service, self._host_requested, 0)
+            )
+            sockname = server.sockets[0].getsockname()
+            self.host, self.port = sockname[0], sockname[1]
+            self._ready.set()
+            loop.run_forever()
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+        except BaseException as error:  # noqa: BLE001 - report to the foreground
+            self._failure = error
+            self._ready.set()
+        finally:
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                loop.close()
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    # -- tiny built-in client (CI smoke convenience) --------------------
+
+    def get(self, path: str, headers: dict[str, str] | None = None):
+        """One blocking GET via http.client; returns (status, headers, json)."""
+        import http.client
+
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=30)
+        try:
+            connection.request("GET", path, headers=headers or {})
+            response = connection.getresponse()
+            blob = response.read()
+            payload = json.loads(blob) if blob else None
+            return response.status, dict(response.getheaders()), payload
+        finally:
+            connection.close()
+
+    def post(self, path: str, document) -> tuple[int, dict, object]:
+        import http.client
+
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=30)
+        try:
+            body = json.dumps(document).encode("utf-8")
+            connection.request(
+                "POST",
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            blob = response.read()
+            payload = json.loads(blob) if blob else None
+            return response.status, dict(response.getheaders()), payload
+        finally:
+            connection.close()

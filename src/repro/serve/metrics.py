@@ -1,0 +1,68 @@
+"""Per-endpoint request metrics for the serving layer.
+
+Structured counters in the same spirit as
+:func:`repro.core.cache_config.cache_stats`: one row per endpoint with
+request/error/not-modified counts and latency aggregates, cheap enough
+to record on every request and dumped verbatim at ``/stats``.  Counter
+updates take a lock because the test/bench harness drives the service
+from many client threads at once.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+
+
+class ServiceMetrics:
+    """Request counters and latency aggregates, keyed by endpoint."""
+
+    def __init__(self) -> None:
+        self._lock = Lock()
+        self._rows: dict[str, dict[str, float]] = {}
+
+    def record(
+        self, endpoint: str, status: int, seconds: float
+    ) -> None:
+        """Count one handled request (304 revalidations counted apart)."""
+        with self._lock:
+            row = self._rows.setdefault(
+                endpoint,
+                {
+                    "requests": 0,
+                    "errors": 0,
+                    "not_modified": 0,
+                    "seconds_total": 0.0,
+                    "seconds_max": 0.0,
+                },
+            )
+            row["requests"] += 1
+            if status >= 400:
+                row["errors"] += 1
+            if status == 304:
+                row["not_modified"] += 1
+            row["seconds_total"] += seconds
+            row["seconds_max"] = max(row["seconds_max"], seconds)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-endpoint rows plus derived mean latency, for ``/stats``."""
+        with self._lock:
+            out = {}
+            for endpoint, row in sorted(self._rows.items()):
+                requests = int(row["requests"])
+                out[endpoint] = {
+                    "requests": requests,
+                    "errors": int(row["errors"]),
+                    "not_modified": int(row["not_modified"]),
+                    "seconds_total": row["seconds_total"],
+                    "seconds_max": row["seconds_max"],
+                    "mean_ms": (
+                        1000.0 * row["seconds_total"] / requests
+                        if requests
+                        else 0.0
+                    ),
+                }
+            return out
+
+    def total_requests(self) -> int:
+        with self._lock:
+            return int(sum(row["requests"] for row in self._rows.values()))

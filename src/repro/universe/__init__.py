@@ -13,13 +13,28 @@ over a whole parameter rectangle as a persistent, queryable graph:
 * :mod:`repro.universe.persist` — :class:`UniverseStore`, the disk-backed
   incremental store (one shard per ``(n, m)`` cell, parallel builds on the
   census LPT sharding; widening the rectangle only computes new cells).
+* :mod:`repro.universe.backend` — the read-optimized binary backend: the
+  shards compiled into a single ``pack.sqlite`` with per-node rows, so
+  point lookups of verdicts/certificates are O(1) indexed reads behind
+  ``UniverseStore(root, backend="binary")``; staleness is fingerprinted
+  and corruption falls back to the shards with a loud warning.
 * :mod:`repro.universe.query` — harder/weaker cones, reduction paths, the
   solvability frontier, and incomparable-pair extraction.
 * :mod:`repro.universe.export` — DOT / JSON / GraphML emitters.
 
-CLI front-end: ``python -m repro universe build|query|export|stats``.
+CLI front-end: ``python -m repro universe build|pack|query|export|stats``
+plus the HTTP serving layer ``python -m repro serve``
+(:mod:`repro.serve`).
 """
 
+from .backend import (
+    PACK_FILENAME,
+    PACK_SCHEMA_VERSION,
+    PackError,
+    UniversePack,
+    store_fingerprint,
+    write_pack,
+)
 from .export import (
     render_universe_stats,
     universe_export,
@@ -48,9 +63,17 @@ from .graph import (
     single_cell_graph,
     task_node_key,
 )
-from .persist import SCHEMA_VERSION, BuildReport, UniverseStore
+from .persist import (
+    BACKENDS,
+    HOT_CELLS,
+    SCHEMA_VERSION,
+    BuildReport,
+    PackReport,
+    UniverseStore,
+)
 from .query import (
     FrontierReport,
+    canonical_task_key,
     harder_cone,
     incomparable_pairs,
     reduction_path,
@@ -60,6 +83,7 @@ from .query import (
 )
 
 __all__ = [
+    "BACKENDS",
     "BuildReport",
     "EDGE_CONTAINMENT",
     "EDGE_KINDS",
@@ -67,17 +91,24 @@ __all__ = [
     "EDGE_REDUCTION",
     "EDGE_THEOREM8",
     "FrontierReport",
+    "HOT_CELLS",
     "NodeKey",
+    "PACK_FILENAME",
+    "PACK_SCHEMA_VERSION",
+    "PackError",
+    "PackReport",
     "SCHEMA_VERSION",
     "UniverseCell",
     "UniverseEdge",
     "UniverseGraph",
     "UniverseNode",
+    "UniversePack",
     "UniverseStore",
     "add_cross_family_edges",
     "assemble",
     "build_cell",
     "build_rectangle",
+    "canonical_task_key",
     "harder_cone",
     "incomparable_pairs",
     "kernel_bitmasks",
@@ -87,8 +118,10 @@ __all__ = [
     "resolve_key",
     "single_cell_graph",
     "solvability_frontier",
+    "store_fingerprint",
     "task_node_key",
     "universe_export",
+    "write_pack",
     "universe_to_dot",
     "universe_to_graphml",
     "universe_to_json",

@@ -1,0 +1,337 @@
+"""Read-optimized binary backend for the universe store (the *pack*).
+
+The JSON-shard layout of :mod:`repro.universe.persist` is built for
+incremental rebuilds: one human-readable file per ``(n, m)`` cell, cheap
+to recompute and diff.  It is the wrong shape for serving — answering
+"what is the verdict of ``<20,6,0,3>``" from shards means parsing the
+whole ``(20, 6)`` cell.  The pack is the same data compiled into a
+single SQLite file with per-*node* rows, so a point lookup of a node,
+certificate payload or close-open override is one indexed row read with
+no JSON shard parse at all.
+
+Layout of ``<store>/pack.sqlite``::
+
+    meta(key, value)              -- pack schema version, store fingerprint,
+                                  -- overrides-document envelope
+    cells(n, m, version, node_count, edges)   -- one row per (n, m); the
+                                  -- cell's containment edges ride as one
+                                  -- JSON array (only full loads need them)
+    nodes(n, m, low, high, idx, payload)      -- one row per universe node;
+                                  -- payload is the node's exact shard dict
+    certificates(n, m, cert_id, payload)      -- per-cell certificate payloads
+    overrides(node_key, payload)  -- close-open override rows
+
+The pack is a *compilation* of the JSON store, never the source of
+truth.  It records a **fingerprint** of what it was compiled from (the
+sorted cell list, the shard schema version and the overrides document);
+readers compare that against the live store and treat a mismatch exactly
+like corruption — fall back to the JSON shards, loudly.  Packs are
+written to a staging file and atomically renamed, so a torn write never
+leaves a half-valid pack behind; SQLite pages carry no checksums, so
+mid-file bit rot beyond what SQLite's own header/format checks catch is
+detected by the fingerprint/schema probes at open time, not per row.
+
+Everything raised by SQLite (or by a malformed table shape) is wrapped
+into :class:`PackError` so callers have a single except clause for
+"this pack is unusable".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: Bump when the pack layout changes; a mismatched pack reads as stale
+#: and the reader falls back to the JSON shards until ``universe pack``
+#: recompiles it.
+PACK_SCHEMA_VERSION = 1
+
+#: Conventional pack filename inside a universe store directory.
+PACK_FILENAME = "pack.sqlite"
+
+_DDL = """
+CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+CREATE TABLE cells (
+    n INTEGER NOT NULL, m INTEGER NOT NULL,
+    version INTEGER NOT NULL, node_count INTEGER NOT NULL,
+    edges TEXT NOT NULL,
+    PRIMARY KEY (n, m)
+);
+CREATE TABLE nodes (
+    n INTEGER NOT NULL, m INTEGER NOT NULL,
+    low INTEGER NOT NULL, high INTEGER NOT NULL,
+    idx INTEGER NOT NULL, payload TEXT NOT NULL,
+    PRIMARY KEY (n, m, low, high)
+);
+CREATE TABLE certificates (
+    n INTEGER NOT NULL, m INTEGER NOT NULL,
+    cert_id TEXT NOT NULL, payload TEXT NOT NULL,
+    PRIMARY KEY (n, m, cert_id)
+);
+CREATE INDEX certificates_by_id ON certificates (cert_id);
+CREATE TABLE overrides (node_key TEXT PRIMARY KEY, payload TEXT NOT NULL);
+"""
+
+
+class PackError(RuntimeError):
+    """The pack file is missing a table, corrupt, or schema-stale."""
+
+
+def store_fingerprint(
+    cells: Sequence[tuple[int, int]],
+    overrides_doc: dict,
+    shard_schema_version: int,
+) -> str:
+    """Content fingerprint of a JSON store's *inputs* to pack compilation.
+
+    Cells are pure functions of ``(n, m)`` at a fixed shard schema
+    version, so the sorted cell list plus that version pins the cell
+    content; the overrides document carries everything the close-open
+    sweep added on top.  A pack whose recorded fingerprint differs from
+    the live store's is stale by definition.
+    """
+    basis = {
+        "shard_schema": shard_schema_version,
+        "cells": [list(cell) for cell in sorted(cells)],
+        "overrides": overrides_doc,
+    }
+    blob = json.dumps(basis, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def write_pack(
+    path: str | Path,
+    cell_payloads: Iterable[dict],
+    overrides_doc: dict,
+    fingerprint: str,
+) -> dict[str, int]:
+    """Compile shard payloads (+ overrides) into a pack file, atomically.
+
+    ``cell_payloads`` are exactly the dicts the JSON shards hold
+    (:func:`repro.universe.persist.cell_to_payload` output); the pack
+    stores each node/certificate/override as its own row so reads are
+    point lookups.  Returns summary counts for the CLI report.
+    """
+    path = Path(path)
+    staging = path.with_suffix(path.suffix + ".tmp")
+    if staging.exists():
+        staging.unlink()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    counts = {"cells": 0, "nodes": 0, "edges": 0, "certificates": 0,
+              "overrides": 0}
+    connection = sqlite3.connect(staging)
+    try:
+        connection.executescript(_DDL)
+        for payload in cell_payloads:
+            n, m = payload["n"], payload["m"]
+            edges = payload["edges"]
+            connection.execute(
+                "INSERT INTO cells (n, m, version, node_count, edges) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (n, m, payload["version"], len(payload["nodes"]),
+                 json.dumps(edges)),
+            )
+            connection.executemany(
+                "INSERT INTO nodes (n, m, low, high, idx, payload) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    (n, m, raw["key"][2], raw["key"][3], idx, json.dumps(raw))
+                    for idx, raw in enumerate(payload["nodes"])
+                ),
+            )
+            connection.executemany(
+                "INSERT INTO certificates (n, m, cert_id, payload) "
+                "VALUES (?, ?, ?, ?)",
+                (
+                    (n, m, cert_id, json.dumps(cert))
+                    for cert_id, cert in payload.get("certificates", {}).items()
+                ),
+            )
+            counts["cells"] += 1
+            counts["nodes"] += len(payload["nodes"])
+            counts["edges"] += len(edges)
+            counts["certificates"] += len(payload.get("certificates", {}))
+        rows = overrides_doc.get("overrides", {})
+        connection.executemany(
+            "INSERT INTO overrides (node_key, payload) VALUES (?, ?)",
+            ((key, json.dumps(row)) for key, row in sorted(rows.items())),
+        )
+        counts["overrides"] = len(rows)
+        envelope = {
+            key: value for key, value in overrides_doc.items()
+            if key != "overrides"
+        }
+        connection.executemany(
+            "INSERT INTO meta (key, value) VALUES (?, ?)",
+            (
+                ("version", str(PACK_SCHEMA_VERSION)),
+                ("fingerprint", fingerprint),
+                ("overrides_envelope", json.dumps(envelope)),
+            ),
+        )
+        connection.commit()
+    finally:
+        connection.close()
+    os.replace(staging, path)
+    return counts
+
+
+class UniversePack:
+    """Read-only view of a pack file with O(1) point lookups.
+
+    Opening validates the pack schema version and reads the fingerprint;
+    both SQLite-level corruption and shape problems surface as
+    :class:`PackError`, at open time where SQLite's header checks catch
+    them, or lazily from any accessor for deeper damage.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        try:
+            # check_same_thread off: packs are read-only and the serving
+            # layer opens them on the main thread but reads from the
+            # event-loop thread.
+            self._connection = sqlite3.connect(
+                f"file:{self.path}?mode=ro", uri=True, check_same_thread=False
+            )
+            version = self._meta("version")
+        except sqlite3.Error as error:
+            raise PackError(f"unreadable pack {self.path}: {error}") from error
+        if version is None or not version.isdigit():
+            raise PackError(f"pack {self.path} has no schema version")
+        if int(version) != PACK_SCHEMA_VERSION:
+            raise PackError(
+                f"pack {self.path} has schema version {version}, expected "
+                f"{PACK_SCHEMA_VERSION}; re-run `universe pack`"
+            )
+        self.fingerprint = self._meta("fingerprint") or ""
+
+    # -- plumbing -------------------------------------------------------
+
+    def _rows(self, sql: str, params: tuple = ()) -> list[tuple]:
+        try:
+            return self._connection.execute(sql, params).fetchall()
+        except sqlite3.Error as error:
+            raise PackError(f"pack read failed ({error})") from error
+
+    def _meta(self, key: str) -> str | None:
+        rows = self._rows("SELECT value FROM meta WHERE key = ?", (key,))
+        return rows[0][0] if rows else None
+
+    @staticmethod
+    def _loads(blob: str) -> dict:
+        try:
+            value = json.loads(blob)
+        except ValueError as error:
+            raise PackError(f"corrupt pack row ({error})") from error
+        if not isinstance(value, (dict, list)):
+            raise PackError("corrupt pack row (wrong JSON shape)")
+        return value
+
+    def close(self) -> None:
+        self._connection.close()
+
+    # -- point lookups --------------------------------------------------
+
+    def cells(self) -> list[tuple[int, int]]:
+        """Every packed ``(n, m)``, ascending."""
+        return sorted(
+            (row[0], row[1]) for row in self._rows("SELECT n, m FROM cells")
+        )
+
+    def has_cell(self, n: int, m: int) -> bool:
+        return bool(
+            self._rows("SELECT 1 FROM cells WHERE n = ? AND m = ?", (n, m))
+        )
+
+    def node_payload(self, n: int, m: int, low: int, high: int) -> dict | None:
+        """One node's exact shard dict, or None — a single row read."""
+        rows = self._rows(
+            "SELECT payload FROM nodes "
+            "WHERE n = ? AND m = ? AND low = ? AND high = ?",
+            (n, m, low, high),
+        )
+        return self._loads(rows[0][0]) if rows else None
+
+    def cell_node_payloads(self, n: int, m: int) -> list[dict] | None:
+        """All node dicts of one cell in shard order; None if unpacked."""
+        if not self.has_cell(n, m):
+            return None
+        rows = self._rows(
+            "SELECT payload FROM nodes WHERE n = ? AND m = ? ORDER BY idx",
+            (n, m),
+        )
+        return [self._loads(row[0]) for row in rows]
+
+    def certificate_payload(self, certificate_id: str) -> dict | None:
+        """A certificate payload by content-hash id (indexed lookup)."""
+        rows = self._rows(
+            "SELECT payload FROM certificates WHERE cert_id = ? LIMIT 1",
+            (certificate_id,),
+        )
+        return self._loads(rows[0][0]) if rows else None
+
+    def override_row(self, node_key: str) -> dict | None:
+        """The close-open override for one ``"n,m,l,u"`` key, or None."""
+        rows = self._rows(
+            "SELECT payload FROM overrides WHERE node_key = ?", (node_key,)
+        )
+        return self._loads(rows[0][0]) if rows else None
+
+    # -- full reconstruction (load paths, differential tests) -----------
+
+    def cell_payload(self, n: int, m: int) -> dict | None:
+        """The cell's shard payload, reconstructed byte-for-byte."""
+        cell_rows = self._rows(
+            "SELECT version, edges FROM cells WHERE n = ? AND m = ?", (n, m)
+        )
+        if not cell_rows:
+            return None
+        version, edges_blob = cell_rows[0]
+        nodes = self.cell_node_payloads(n, m)
+        certificates = {
+            cert_id: self._loads(blob)
+            for cert_id, blob in self._rows(
+                "SELECT cert_id, payload FROM certificates "
+                "WHERE n = ? AND m = ?",
+                (n, m),
+            )
+        }
+        return {
+            "version": version,
+            "n": n,
+            "m": m,
+            "nodes": nodes,
+            "edges": self._loads(edges_blob),
+            "certificates": certificates,
+        }
+
+    def overrides_doc(self) -> dict:
+        """The overrides document the pack was compiled from."""
+        envelope_blob = self._meta("overrides_envelope")
+        doc = dict(self._loads(envelope_blob)) if envelope_blob else {}
+        rows = {
+            key: self._loads(blob)
+            for key, blob in self._rows(
+                "SELECT node_key, payload FROM overrides"
+            )
+        }
+        if rows or doc:
+            doc["overrides"] = rows
+        return doc
+
+    def stats(self) -> dict[str, int | str]:
+        """Row counts plus the recorded fingerprint (CLI/service stats)."""
+        count = lambda table: self._rows(f"SELECT COUNT(*) FROM {table}")[0][0]  # noqa: E731
+        return {
+            "path": str(self.path),
+            "fingerprint": self.fingerprint,
+            "cells": count("cells"),
+            "nodes": count("nodes"),
+            "certificates": count("certificates"),
+            "overrides": count("overrides"),
+        }

@@ -36,17 +36,42 @@ state:
 while assembling is recomputed in place (and re-noted in the manifest)
 instead of failing the load, and manifest entries for vanished shards
 are pruned on the next ``build``.
+
+Serving rides a second, *read-optimized* representation: ``pack.sqlite``
+(:mod:`repro.universe.backend`), compiled from the shards by
+:meth:`UniverseStore.pack` and selected with
+``UniverseStore(root, backend="binary")`` (or ``"auto"``, which uses the
+pack when a valid one is present).  A pack that is missing, corrupt or
+stale — its recorded fingerprint no longer matches the shards plus
+overrides on disk — makes the store fall back to the JSON shards with a
+loud :class:`RuntimeWarning`; the pack is a compilation, never the
+source of truth.  Point lookups (:meth:`UniverseStore.node_at`) go
+through a process-wide hot-node LRU registered with
+:mod:`repro.core.cache_config` (``universe.hot_cells``), so a warm
+lookup touches no file at all, and :meth:`UniverseStore.open_readonly`
+memoizes store instances (and their assembled graphs, via
+:meth:`UniverseStore.load_cached`) per resolved root so query-path call
+sites stop re-reading the manifest per call.
 """
 
 from __future__ import annotations
 
 import json
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from ..analysis.census import partition_cells
+from ..core.cache_config import BoundedDictCache
+from .backend import (
+    PACK_FILENAME,
+    PackError,
+    UniversePack,
+    store_fingerprint,
+    write_pack,
+)
 from .graph import (
     EDGE_CONTAINMENT,
     UniverseCell,
@@ -64,26 +89,43 @@ from .graph import (
 SCHEMA_VERSION = 2
 
 
+def node_to_payload(node: UniverseNode) -> dict:
+    """JSON-serializable dump of one node (shared by shards and packs)."""
+    return {
+        "key": list(node.key),
+        "solvability": node.solvability,
+        "reason": node.reason,
+        "kernel_count": node.kernel_count,
+        "synonyms": [list(pair) for pair in node.synonyms],
+        "labels": list(node.labels),
+        "mask": hex(node.mask),
+        "hardest": node.hardest,
+        "certificate_id": node.certificate_id,
+    }
+
+
+def node_from_payload(raw: dict) -> UniverseNode:
+    """Inverse of :func:`node_to_payload`."""
+    return UniverseNode(
+        key=tuple(raw["key"]),
+        solvability=raw["solvability"],
+        reason=raw["reason"],
+        kernel_count=raw["kernel_count"],
+        synonyms=tuple(tuple(pair) for pair in raw["synonyms"]),
+        labels=tuple(raw["labels"]),
+        mask=int(raw["mask"], 16),
+        hardest=raw["hardest"],
+        certificate_id=raw.get("certificate_id", ""),
+    )
+
+
 def cell_to_payload(cell: UniverseCell) -> dict:
     """JSON-serializable dump of one cell (the shard file content)."""
     return {
         "version": SCHEMA_VERSION,
         "n": cell.n,
         "m": cell.m,
-        "nodes": [
-            {
-                "key": list(node.key),
-                "solvability": node.solvability,
-                "reason": node.reason,
-                "kernel_count": node.kernel_count,
-                "synonyms": [list(pair) for pair in node.synonyms],
-                "labels": list(node.labels),
-                "mask": hex(node.mask),
-                "hardest": node.hardest,
-                "certificate_id": node.certificate_id,
-            }
-            for node in cell.nodes
-        ],
+        "nodes": [node_to_payload(node) for node in cell.nodes],
         "edges": [
             [list(edge.source[2:]), list(edge.target[2:])] for edge in cell.edges
         ],
@@ -100,20 +142,7 @@ def cell_from_payload(payload: dict) -> UniverseCell:
             f"{SCHEMA_VERSION}; rebuild the store with force=True"
         )
     n, m = payload["n"], payload["m"]
-    nodes = tuple(
-        UniverseNode(
-            key=tuple(raw["key"]),
-            solvability=raw["solvability"],
-            reason=raw["reason"],
-            kernel_count=raw["kernel_count"],
-            synonyms=tuple(tuple(pair) for pair in raw["synonyms"]),
-            labels=tuple(raw["labels"]),
-            mask=int(raw["mask"], 16),
-            hardest=raw["hardest"],
-            certificate_id=raw.get("certificate_id", ""),
-        )
-        for raw in payload["nodes"]
-    )
+    nodes = tuple(node_from_payload(raw) for raw in payload["nodes"])
     edges = tuple(
         UniverseEdge((n, m, *source), (n, m, *target), EDGE_CONTAINMENT)
         for source, target in payload["edges"]
@@ -145,12 +174,67 @@ class BuildReport:
     seconds: float
 
 
-class UniverseStore:
-    """A directory of per-cell shards plus a manifest."""
+@dataclass(frozen=True)
+class PackReport:
+    """Outcome of one ``universe pack`` compilation."""
 
-    def __init__(self, root: str | Path) -> None:
+    path: str
+    cells: int
+    nodes: int
+    edges: int
+    certificates: int
+    overrides: int
+    seconds: float
+    skipped: bool = False  # pack was already current (fingerprint match)
+
+
+#: Backend names accepted by :class:`UniverseStore`.  ``auto`` uses the
+#: pack when a valid, current one exists and the shards otherwise.
+BACKENDS = ("json", "binary", "auto")
+
+#: Process-wide hot-node LRU for point lookups: ``(root, fingerprint,
+#: n, m, low, high) -> UniverseNode`` (or the absent marker) with
+#: overrides applied.  Node-granular so the binary backend's cold path
+#: stays a single indexed row; a JSON-backed cold lookup parses its
+#: cell once and primes every node of the cell.  Keyed on the store
+#: fingerprint so a rebuild or close-open sweep never serves stale
+#: nodes; bounded and counted by :mod:`repro.core.cache_config` like
+#: every other process-wide memo.
+HOT_CELLS = BoundedDictCache("universe.hot_cells")
+
+#: Cache marker for "this feasible key has no node in the store":
+#: distinguishes a cached negative from a cache miss.
+_ABSENT = object()
+
+
+class UniverseStore:
+    """A directory of per-cell shards plus a manifest.
+
+    ``backend`` selects the *read* representation: ``"json"`` (default)
+    parses the per-cell shards, ``"binary"`` reads the compiled
+    ``pack.sqlite`` (falling back to the shards, with a loud warning,
+    when the pack is missing/corrupt/stale), ``"auto"`` uses the pack
+    when a valid one is present and stays quiet otherwise.  Builds and
+    close-open sweeps always write the JSON shards; ``pack()``
+    recompiles the binary form.
+    """
+
+    #: ``open_readonly`` memo: ``(resolved root, backend) -> store``.
+    _READONLY: dict[tuple[str, str], "UniverseStore"] = {}
+
+    def __init__(self, root: str | Path, backend: str = "json") -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}, expected one of {BACKENDS}"
+            )
         self.root = Path(root)
+        self.backend = backend
         self._decision_cache = None
+        self._pack: UniversePack | None = None
+        self._pack_unusable = False  # warned once; retry after invalidate
+        self._fingerprint: str | None = None
+        self._overrides_doc: dict | None = None
+        self._graph_cache: tuple[str, UniverseGraph] | None = None
 
     @property
     def cells_dir(self) -> Path:
@@ -163,6 +247,10 @@ class UniverseStore:
     @property
     def overrides_path(self) -> Path:
         return self.root / "overrides.json"
+
+    @property
+    def pack_path(self) -> Path:
+        return self.root / PACK_FILENAME
 
     @property
     def decision_cache(self):
@@ -293,6 +381,7 @@ class UniverseStore:
             "seconds": report.seconds,
         }
         self._write_manifest(manifest)
+        self._invalidate_read_caches()
         return report
 
     @staticmethod
@@ -301,6 +390,332 @@ class UniverseStore:
             "nodes": len(payload["nodes"]),
             "edges": len(payload["edges"]),
         }
+
+    # -- read caches and fingerprinting ---------------------------------
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the store's current read inputs.
+
+        Computed from the sorted cell list, the shard schema version and
+        the overrides document — no manifest or shard is parsed.  Cached
+        per instance; mutating entry points (``build``, ``close_open``,
+        ``pack``) invalidate it.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = store_fingerprint(
+                self.built_cells(), self.read_overrides(), SCHEMA_VERSION
+            )
+        return self._fingerprint
+
+    def _invalidate_read_caches(self) -> None:
+        """Drop fingerprint/pack/graph/overrides memos after a mutation."""
+        if self._pack is not None:
+            self._pack.close()
+        self._pack = None
+        self._pack_unusable = False
+        self._fingerprint = None
+        self._overrides_doc = None
+        self._graph_cache = None
+
+    @classmethod
+    def open_readonly(
+        cls, root: str | Path, backend: str = "auto"
+    ) -> "UniverseStore":
+        """A process-memoized store for query-path call sites.
+
+        Repeated opens of the same root return the same instance, so hot
+        state — the opened pack, the assembled graph from
+        :meth:`load_cached`, the overrides document — survives across
+        call sites that used to construct a throwaway store (and re-read
+        the manifest) per query.  Each open revalidates the cheap
+        fingerprint; if the store changed on disk since the last open,
+        the stale read caches are dropped.
+        """
+        key = (str(Path(root).resolve()), backend)
+        store = cls._READONLY.get(key)
+        if store is None:
+            store = cls(root, backend=backend)
+            cls._READONLY[key] = store
+        else:
+            fresh = store_fingerprint(
+                store.built_cells(), store.read_overrides(), SCHEMA_VERSION
+            )
+            if fresh != store._fingerprint:
+                store._invalidate_read_caches()
+                store._fingerprint = fresh
+        return store
+
+    # -- pack (the binary read backend) ---------------------------------
+
+    def pack(self, force: bool = False) -> PackReport:
+        """Compile the JSON shards (+ overrides) into ``pack.sqlite``.
+
+        A pack whose recorded fingerprint already matches the store is
+        left untouched unless ``force``; a corrupt or stale pack is
+        simply recompiled (the shards are the source of truth).  Raises
+        ``FileNotFoundError`` when the store holds no cells.
+        """
+        started = time.perf_counter()
+        cells = self.built_cells()
+        if not cells:
+            raise FileNotFoundError(
+                f"universe store at {self.root} has no built cells; run "
+                "`python -m repro universe build` first"
+            )
+        self._invalidate_read_caches()
+        fingerprint = self.fingerprint()
+        if not force and self.pack_path.is_file():
+            try:
+                current = UniversePack(self.pack_path)
+            except PackError:
+                pass  # unreadable pack: fall through and recompile it
+            else:
+                try:
+                    if current.fingerprint == fingerprint:
+                        stats = current.stats()
+                        return PackReport(
+                            path=str(self.pack_path),
+                            cells=stats["cells"],
+                            nodes=stats["nodes"],
+                            edges=0,
+                            certificates=stats["certificates"],
+                            overrides=stats["overrides"],
+                            seconds=time.perf_counter() - started,
+                            skipped=True,
+                        )
+                except PackError:
+                    pass
+                finally:
+                    current.close()
+        counts = write_pack(
+            self.pack_path,
+            (self._read_payload_or_heal(n, m) for n, m in cells),
+            self.read_overrides(),
+            fingerprint,
+        )
+        return PackReport(
+            path=str(self.pack_path),
+            cells=counts["cells"],
+            nodes=counts["nodes"],
+            edges=counts["edges"],
+            certificates=counts["certificates"],
+            overrides=counts["overrides"],
+            seconds=time.perf_counter() - started,
+        )
+
+    def _read_payload_or_heal(self, n: int, m: int) -> dict:
+        """One shard's raw payload, recomputing it when unreadable."""
+        try:
+            with open(self.cell_path(n, m), encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("version") != SCHEMA_VERSION:
+                raise ValueError("stale shard schema")
+            if not isinstance(payload.get("nodes"), list):
+                raise ValueError("wrong shard shape")
+            return payload
+        except (OSError, ValueError, KeyError, TypeError):
+            payload = cell_to_payload(build_cell(n, m))
+            self.write_cell_payload(payload)
+            manifest = self.manifest()
+            self._note_cell(manifest, payload)
+            self._write_manifest(manifest)
+            return payload
+
+    def _open_pack(self) -> UniversePack | None:
+        """The opened pack, or None (with one loud warning) when unusable.
+
+        ``backend="json"`` never opens a pack.  ``"binary"`` warns even
+        when the pack file is simply absent; ``"auto"`` stays quiet in
+        that case and only warns when a pack exists but is corrupt or
+        stale.  The negative result is memoized until the next
+        mutation/revalidation so a point-lookup loop does not re-warn
+        per call.
+        """
+        if self.backend == "json":
+            return None
+        if self._pack is not None:
+            return self._pack
+        if self._pack_unusable:
+            return None
+        self._pack_unusable = True  # until proven otherwise
+        if not self.pack_path.is_file():
+            if self.backend == "binary":
+                warnings.warn(
+                    f"universe store {self.root} has no {PACK_FILENAME}; "
+                    "run `python -m repro universe pack` — falling back to "
+                    "JSON shards",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return None
+        try:
+            pack = UniversePack(self.pack_path)
+        except PackError as error:
+            warnings.warn(
+                f"universe pack is unusable ({error}); falling back to "
+                "JSON shards — re-run `python -m repro universe pack`",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        if pack.fingerprint != self.fingerprint():
+            pack.close()
+            warnings.warn(
+                f"universe pack at {self.pack_path} is stale (the store "
+                "changed since it was compiled); falling back to JSON "
+                "shards — re-run `python -m repro universe pack`",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        self._pack = pack
+        self._pack_unusable = False
+        return pack
+
+    def _pack_failed(self, error: Exception) -> None:
+        """Demote a mid-read pack failure to the JSON fallback, loudly."""
+        warnings.warn(
+            f"universe pack read failed ({error}); falling back to JSON "
+            "shards — re-run `python -m repro universe pack`",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        if self._pack is not None:
+            self._pack.close()
+        self._pack = None
+        self._pack_unusable = True
+
+    @property
+    def active_backend(self) -> str:
+        """The representation reads actually use right now."""
+        return "binary" if self._open_pack() is not None else "json"
+
+    # -- point lookups ---------------------------------------------------
+
+    def node_at(
+        self, n: int, m: int, low: int, high: int
+    ) -> UniverseNode | None:
+        """O(1) point lookup of the node the parameters canonicalize to.
+
+        Returns None when the synonym class is outside the built
+        rectangle; raises ``ValueError`` for infeasible parameters.
+        Close-open overrides are applied.  Warm lookups come out of the
+        process-wide hot-node LRU with no file read at all; a cold
+        lookup on the binary backend is one indexed SQLite row, while
+        the JSON path parses the containing cell once and primes every
+        node of it.
+        """
+        from .query import canonical_task_key
+
+        key = canonical_task_key(n, m, low, high)
+        prefix = (str(self.root), self.fingerprint())
+        cache_key = prefix + key
+        cached = HOT_CELLS.get(cache_key)
+        if cached is not None:
+            return None if cached is _ABSENT else cached
+        pack = self._open_pack()
+        if pack is not None:
+            try:
+                raw = pack.node_payload(*key)
+            except PackError as error:
+                self._pack_failed(error)
+            else:
+                node = (
+                    self._override_node(node_from_payload(raw))
+                    if raw is not None
+                    else None
+                )
+                HOT_CELLS.put(cache_key, _ABSENT if node is None else node)
+                return node
+        nodes = self._cell_nodes(key[0], key[1])
+        for (low_, high_), node in nodes.items():
+            HOT_CELLS.put(prefix + (key[0], key[1], low_, high_), node)
+        node = nodes.get((key[2], key[3]))
+        if node is None:
+            HOT_CELLS.put(cache_key, _ABSENT)
+        return node
+
+    def _cell_nodes(
+        self, n: int, m: int
+    ) -> dict[tuple[int, int], UniverseNode]:
+        """One cell's nodes with overrides applied (empty when absent)."""
+        payloads: list[dict] | None = None
+        pack = self._open_pack()
+        if pack is not None:
+            try:
+                payloads = pack.cell_node_payloads(n, m)
+            except PackError as error:
+                self._pack_failed(error)
+                pack = None
+        if pack is None:
+            if not self.has_cell(n, m):
+                return {}
+            payloads = [
+                node_to_payload(node) for node in self._read_or_heal(n, m).nodes
+            ]
+        if payloads is None:  # pack is current, so the cell truly is absent
+            return {}
+        nodes = {}
+        for raw in payloads:
+            node = self._override_node(node_from_payload(raw))
+            nodes[(node.low, node.high)] = node
+        return nodes
+
+    def _override_node(self, node: UniverseNode) -> UniverseNode:
+        """Apply the node's close-open override row, if any."""
+        overrides = self._overrides().get("overrides", {})
+        row = overrides.get(",".join(str(part) for part in node.key))
+        if row is not None:
+            try:
+                node = replace(
+                    node,
+                    solvability=row["solvability"],
+                    reason=row["reason"],
+                    certificate_id=row.get("certificate_id", ""),
+                )
+            except (KeyError, TypeError):
+                pass  # malformed override row: keep the structural node
+        return node
+
+    def certificate_payload(self, certificate_id: str) -> dict | None:
+        """Point lookup of a certificate payload by content-hash id.
+
+        Binary backend: one indexed row.  JSON backend (or fallback):
+        scans shards via the loaded graph — correct but cold; serving
+        setups should pack.
+        """
+        if not certificate_id:
+            return None
+        pack = self._open_pack()
+        if pack is not None:
+            try:
+                payload = pack.certificate_payload(certificate_id)
+            except PackError as error:
+                self._pack_failed(error)
+            else:
+                if payload is not None:
+                    return payload
+                row = self._overrides().get("overrides", {})
+                for entry in row.values():
+                    if entry.get("certificate_id") == certificate_id:
+                        return entry.get("certificate")
+                return None
+        return self.load_cached().certificate_payload(certificate_id)
+
+    def _overrides(self) -> dict:
+        """The overrides document, memoized per instance."""
+        if self._overrides_doc is None:
+            self._overrides_doc = self.read_overrides()
+        return self._overrides_doc
+
+    def load_cached(self) -> UniverseGraph:
+        """The assembled graph, memoized against the store fingerprint."""
+        fingerprint = self.fingerprint()
+        if self._graph_cache is not None and self._graph_cache[0] == fingerprint:
+            return self._graph_cache[1]
+        graph = self.load()
+        self._graph_cache = (fingerprint, graph)
+        return graph
 
     # -- load -----------------------------------------------------------
 
@@ -319,7 +734,34 @@ class UniverseStore:
         is recomputed, rewritten and re-noted in the manifest.  Verdict
         overrides from a previous close-open sweep are re-applied unless
         ``apply_overrides`` is off.
+
+        On the binary backend, cells are read from the pack (no JSON
+        shard parse); any pack-level failure mid-read degrades to the
+        shard path with a warning, so ``load`` succeeds whenever the
+        shards themselves are recoverable.
         """
+        pack = self._open_pack()
+        if pack is not None:
+            try:
+                packed = [
+                    (n, m)
+                    for n, m in pack.cells()
+                    if (max_n is None or n <= max_n)
+                    and (max_m is None or m <= max_m)
+                ]
+                if packed:
+                    graph = assemble(
+                        (
+                            cell_from_payload(pack.cell_payload(n, m))
+                            for n, m in packed
+                        ),
+                        cross_family=cross_family,
+                    )
+                    if apply_overrides:
+                        self._apply_overrides(graph)
+                    return graph
+            except (PackError, ValueError, KeyError, TypeError) as error:
+                self._pack_failed(error)
         cells = [
             (n, m)
             for n, m in self.built_cells()
@@ -460,6 +902,7 @@ class UniverseStore:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
         staging.replace(self.overrides_path)
+        self._invalidate_read_caches()
         if cache_entries:
             self.decision_cache.put_many(cache_entries)
         return report
@@ -473,6 +916,8 @@ class UniverseStore:
         return {
             "root": str(self.root),
             "version": manifest.get("version"),
+            "backend": self.backend,
+            "packed": self.pack_path.is_file(),
             "cells": len(cells),
             "max_n": max((n for n, _ in cells), default=0),
             "max_m": max((m for _, m in cells), default=0),

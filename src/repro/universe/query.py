@@ -25,6 +25,17 @@ SOLVABLE_VERDICTS = frozenset(
 )
 
 
+def canonical_task_key(n: int, m: int, low: int, high: int) -> NodeKey:
+    """Canonicalize arbitrary parameters to their synonym-class key.
+
+    Graph-free (point-lookup paths use it without assembling anything);
+    raises ``ValueError`` for infeasible parameters.
+    """
+    if not is_feasible_symmetric(n, m, low, high):
+        raise ValueError(f"<{n},{m},{low},{high}> is infeasible")
+    return (n, m, *canonical_parameters(n, m, max(low, 0), min(high, n)))
+
+
 def resolve_key(
     graph: UniverseGraph, n: int, m: int, low: int, high: int
 ) -> NodeKey:
@@ -33,9 +44,7 @@ def resolve_key(
     Raises ``ValueError`` for infeasible parameters and ``KeyError`` when
     the synonym class lies outside the built rectangle.
     """
-    if not is_feasible_symmetric(n, m, low, high):
-        raise ValueError(f"<{n},{m},{low},{high}> is infeasible")
-    key = (n, m, *canonical_parameters(n, m, max(low, 0), min(high, n)))
+    key = canonical_task_key(n, m, low, high)
     if key not in graph:
         raise KeyError(
             f"<{n},{m},{low},{high}> canonicalizes to {key}, which is "

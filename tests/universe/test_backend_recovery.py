@@ -1,0 +1,204 @@
+"""Corruption recovery for the binary backend.
+
+The pack is never the source of truth, so every way it can rot —
+truncation, garbage bytes, a stale pack schema, a torn SQLite journal,
+dropped tables mid-read — must degrade to the JSON shards with a loud
+:class:`RuntimeWarning`, and ``universe pack`` must recompile a working
+pack from the same store.  Mirrors the PR 4 shard-recovery tests one
+layer up.
+"""
+
+import json
+import sqlite3
+import warnings
+
+import pytest
+
+from repro.universe import UniverseStore
+from repro.universe.backend import (
+    PACK_SCHEMA_VERSION,
+    PackError,
+    UniversePack,
+)
+
+
+def graph_signature(graph):
+    return (
+        {node.key: (node.solvability, node.certificate_id) for node in graph.nodes()},
+        {(e.source, e.target, e.kind) for e in graph.edges()},
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = UniverseStore(tmp_path / "store")
+    store.build(5, 3)
+    store.pack()
+    return store
+
+
+def reference_signature(store):
+    return graph_signature(UniverseStore(store.root, backend="json").load())
+
+
+def assert_falls_back(store, match):
+    """A binary reader over the damaged pack must warn and still serve
+    exactly the JSON shards' content."""
+    reader = UniverseStore(store.root, backend="binary")
+    with pytest.warns(RuntimeWarning, match=match):
+        graph = reader.load()
+    assert reader.active_backend == "json"
+    assert graph_signature(graph) == reference_signature(store)
+    # Point lookups keep working off the shards too.
+    assert reader.node_at(4, 3, 0, 2) is not None
+
+
+class TestDamagedPackFiles:
+    def test_truncated_pack(self, store):
+        blob = store.pack_path.read_bytes()
+        store.pack_path.write_bytes(blob[: len(blob) // 3])
+        assert_falls_back(store, "unusable|read failed")
+
+    def test_truncated_to_almost_nothing(self, store):
+        store.pack_path.write_bytes(store.pack_path.read_bytes()[:11])
+        assert_falls_back(store, "unusable")
+
+    def test_garbage_pack(self, store):
+        # Deterministic garbage that is not an SQLite header.
+        store.pack_path.write_bytes(b"definitely not a database" * 64)
+        assert_falls_back(store, "unusable")
+
+    def test_garbage_with_valid_sqlite_header(self, store):
+        # Keep the 16-byte magic so SQLite opens the file, then feed it
+        # nonsense pages: the failure surfaces at first read instead.
+        blob = bytearray(store.pack_path.read_bytes())
+        for index in range(100, min(len(blob), 4000)):
+            blob[index] = (index * 7 + 13) % 256
+        store.pack_path.write_bytes(bytes(blob))
+        assert_falls_back(store, "unusable|read failed")
+
+    def test_empty_file(self, store):
+        # SQLite treats a zero-length file as an empty database: no meta
+        # table, so the open-time schema probe must reject it.
+        store.pack_path.write_bytes(b"")
+        assert_falls_back(store, "unusable")
+
+    def test_stale_pack_schema_version(self, store):
+        with sqlite3.connect(store.pack_path) as connection:
+            connection.execute(
+                "UPDATE meta SET value = ? WHERE key = 'version'",
+                (str(PACK_SCHEMA_VERSION + 1),),
+            )
+        assert_falls_back(store, "schema version")
+
+    def test_missing_schema_version(self, store):
+        with sqlite3.connect(store.pack_path) as connection:
+            connection.execute("DELETE FROM meta WHERE key = 'version'")
+        assert_falls_back(store, "no schema version")
+
+    def test_wrong_fingerprint(self, store):
+        with sqlite3.connect(store.pack_path) as connection:
+            connection.execute(
+                "UPDATE meta SET value = 'deadbeef' WHERE key = 'fingerprint'"
+            )
+        assert_falls_back(store, "stale")
+
+    def test_torn_journal_beside_valid_pack(self, store):
+        # A garbage rollback journal must not poison reads: SQLite
+        # ignores a journal without the magic, and if anything does go
+        # wrong the store still falls back to the shards.
+        journal = store.pack_path.with_name(store.pack_path.name + "-journal")
+        journal.write_bytes(b"\x00torn journal garbage\xff" * 32)
+        reader = UniverseStore(store.root, backend="binary")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            graph = reader.load()
+        assert graph_signature(graph) == reference_signature(store)
+
+    def test_corrupt_row_payload_fails_mid_read(self, store):
+        with sqlite3.connect(store.pack_path) as connection:
+            connection.execute("UPDATE nodes SET payload = '{ not json'")
+        assert_falls_back(store, "read failed|corrupt pack row")
+
+    def test_dropped_table_mid_read(self, store):
+        # The pack opens fine (meta intact), then the first cell read
+        # hits the missing table: the failure is demoted mid-read.
+        reader = UniverseStore(store.root, backend="binary")
+        assert reader.node_at(4, 3, 0, 2) is not None  # pack path works
+        with sqlite3.connect(store.pack_path) as connection:
+            connection.execute("DROP TABLE nodes")
+        reader._invalidate_read_caches()  # reopen against the damaged file
+        with pytest.warns(RuntimeWarning, match="read failed"):
+            node = reader.node_at(5, 3, 1, 5)
+        expected = UniverseStore(store.root, backend="json").node_at(5, 3, 1, 5)
+        assert node == expected
+
+
+class TestMissingPack:
+    def test_binary_backend_warns_when_pack_absent(self, store):
+        store.pack_path.unlink()
+        assert_falls_back(store, "has no pack.sqlite")
+
+    def test_auto_backend_is_quiet_when_pack_absent(self, store):
+        store.pack_path.unlink()
+        reader = UniverseStore(store.root, backend="auto")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            graph = reader.load()
+        assert reader.active_backend == "json"
+        assert graph_signature(graph) == reference_signature(store)
+
+    def test_json_backend_never_touches_the_pack(self, store):
+        store.pack_path.write_bytes(b"garbage the json backend must ignore")
+        reader = UniverseStore(store.root, backend="json")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            reader.load()
+        assert reader.active_backend == "json"
+
+    def test_warning_is_not_repeated_per_lookup(self, store):
+        store.pack_path.write_bytes(b"garbage")
+        reader = UniverseStore(store.root, backend="binary")
+        with pytest.warns(RuntimeWarning):
+            reader.node_at(4, 3, 0, 2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            reader.node_at(5, 3, 0, 2)  # memoized negative: no re-warning
+
+
+class TestSelfHeal:
+    def test_pack_recompiles_over_corruption(self, store):
+        store.pack_path.write_bytes(b"garbage")
+        report = store.pack()
+        assert not report.skipped
+        healed = UniverseStore(store.root, backend="binary")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            graph = healed.load()
+        assert healed.active_backend == "binary"
+        assert graph_signature(graph) == reference_signature(store)
+
+    def test_pack_skips_when_current(self, store):
+        assert store.pack().skipped
+        assert store.pack(force=True).skipped is False
+
+    def test_pack_heals_torn_shard_while_compiling(self, store):
+        # A shard torn *before* packing is recomputed on the way into
+        # the pack (same self-heal as load), not baked in as garbage.
+        store.cell_path(4, 2).write_text("{ torn")
+        report = store.pack(force=True)
+        assert not report.skipped
+        assert json.loads(store.cell_path(4, 2).read_text())["n"] == 4
+        pack = UniversePack(store.pack_path)
+        assert pack.cell_node_payloads(4, 2)
+        pack.close()
+
+    def test_pack_on_empty_store_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no built cells"):
+            UniverseStore(tmp_path / "missing").pack()
+
+    def test_unusable_pack_error_wraps_sqlite(self, tmp_path):
+        path = tmp_path / "pack.sqlite"
+        path.write_bytes(b"not sqlite at all")
+        with pytest.raises(PackError, match="unreadable|read failed|no schema"):
+            UniversePack(path)
