@@ -35,12 +35,21 @@ DEFAULT_FLOOR_SECONDS = 0.05
 
 
 def load_fresh_means(path: Path) -> dict[str, float]:
-    """``benchmark name -> mean seconds`` from a pytest-benchmark report."""
+    """``benchmark name -> mean seconds`` from a pytest-benchmark report.
+
+    Benches may attach extra timing scalars (tail-latency percentiles)
+    via ``benchmark.extra_info`` keys ending in ``_seconds``; each is
+    lifted into a pseudo-benchmark named ``bench:key`` so the tail gets
+    baselined and compared exactly like a mean.
+    """
     report = json.loads(path.read_text())
-    return {
-        bench["name"]: bench["stats"]["mean"]
-        for bench in report.get("benchmarks", [])
-    }
+    means: dict[str, float] = {}
+    for bench in report.get("benchmarks", []):
+        means[bench["name"]] = bench["stats"]["mean"]
+        for key, value in bench.get("extra_info", {}).items():
+            if key.endswith("_seconds") and isinstance(value, (int, float)):
+                means[f"{bench['name']}:{key}"] = float(value)
+    return means
 
 
 def write_baseline(path: Path, means: dict[str, float], source: Path) -> None:

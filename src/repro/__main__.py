@@ -26,7 +26,9 @@ Usage::
                                     [--out PATH]
     python -m repro universe check [--dir ...]
     python -m repro serve [--host 127.0.0.1 --port 8707] [--dir ...]
-                          [--backend auto|json|binary]
+                          [--backend auto|json|binary] [--workers N]
+                          [--request-timeout S] [--idle-timeout S]
+                          [--max-inflight N] [--no-reuse-port]
     python -m repro explore [--tasks wsb,election,renaming] [--n 2 3 4]
     python -m repro verify
 
@@ -373,7 +375,7 @@ def _cmd_universe_pack(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .serve import serve_forever
+    from .serve import ServeConfig, serve_forever
 
     if not _universe_store(args).built_cells():
         print(
@@ -382,8 +384,32 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    config = ServeConfig(
+        request_timeout=args.request_timeout or None,
+        idle_timeout=args.idle_timeout or None,
+        max_inflight=args.max_inflight,
+    )
+    if args.workers > 1:
+        from .serve import Supervisor, SupervisorConfig
+
+        supervisor = Supervisor(
+            args.dir,
+            SupervisorConfig(
+                workers=args.workers,
+                backend=args.backend,
+                host=args.host,
+                port=args.port,
+                serve=config,
+                reuse_port=False if args.no_reuse_port else None,
+            ),
+        )
+        return supervisor.run()
     serve_forever(
-        args.dir, backend=args.backend, host=args.host, port=args.port
+        args.dir,
+        backend=args.backend,
+        host=args.host,
+        port=args.port,
+        config=config,
     )
     return 0
 
@@ -1030,6 +1056,42 @@ COMMANDS: tuple[Command, ...] = (
         args=(
             arg("--host", default="127.0.0.1", help="bind address"),
             arg("--port", type=int, default=8707, help="TCP port"),
+            arg(
+                "--workers",
+                type=int,
+                default=1,
+                help="pre-fork this many worker processes sharing the port "
+                "(1 = single process, no supervisor)",
+            ),
+            arg(
+                "--request-timeout",
+                type=float,
+                default=10.0,
+                metavar="SECONDS",
+                help="per-request deadline; past it the client gets 503 + "
+                "Retry-After (0 disables)",
+            ),
+            arg(
+                "--idle-timeout",
+                type=float,
+                default=30.0,
+                metavar="SECONDS",
+                help="close keep-alive sockets idle this long (0 disables)",
+            ),
+            arg(
+                "--max-inflight",
+                type=int,
+                default=128,
+                metavar="N",
+                help="in-flight request ceiling per worker; excess load is "
+                "shed with 503 + Retry-After",
+            ),
+            arg(
+                "--no-reuse-port",
+                action="store_true",
+                help="force the inherited-fd socket mode even where "
+                "SO_REUSEPORT is available (supervisor mode only)",
+            ),
         ),
     ),
     Command(

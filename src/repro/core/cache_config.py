@@ -130,6 +130,10 @@ class BoundedDictCache(_Managed):
     tighter sets by filtering.  ``get`` counts a hit/miss per logical
     query; ``peek`` reads without touching the counters (for secondary
     master-list probes).
+
+    Operations take a per-cache lock: the serving layer's handler
+    threads share the hot-node cache, and an OrderedDict reordered from
+    two threads at once can corrupt its linkage.
     """
 
     def __init__(self, name: str):
@@ -138,45 +142,52 @@ class BoundedDictCache(_Managed):
         self._maxsize = _maxsize
         self._hits = 0
         self._misses = 0
+        self._cache_lock = Lock()
         _register(name, self)
 
     _MISSING = object()
 
     def get(self, key: Hashable) -> Any | None:
-        value = self._data.get(key, self._MISSING)
-        if value is self._MISSING:
-            self._misses += 1
-            return None
-        self._hits += 1
-        self._data.move_to_end(key)
-        return value
+        with self._cache_lock:
+            value = self._data.get(key, self._MISSING)
+            if value is self._MISSING:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._data.move_to_end(key)
+            return value
 
     def peek(self, key: Hashable) -> Any | None:
-        value = self._data.get(key, self._MISSING)
-        return None if value is self._MISSING else value
+        with self._cache_lock:
+            value = self._data.get(key, self._MISSING)
+            return None if value is self._MISSING else value
 
     def pop(self, key: Hashable, default: Any = None) -> Any:
         """Remove one entry (tests use this to force rebuild paths)."""
-        return self._data.pop(key, default)
+        with self._cache_lock:
+            return self._data.pop(key, default)
 
     def put(self, key: Hashable, value: Any) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        if self._maxsize is not None:
-            while len(self._data) > self._maxsize:
-                self._data.popitem(last=False)
+        with self._cache_lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            if self._maxsize is not None:
+                while len(self._data) > self._maxsize:
+                    self._data.popitem(last=False)
 
     def __len__(self) -> int:
         return len(self._data)
 
     def rebuild(self, maxsize: int | None) -> None:
-        self._maxsize = maxsize
-        self._data.clear()
+        with self._cache_lock:
+            self._maxsize = maxsize
+            self._data.clear()
 
     def clear(self) -> None:
-        self._data.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._cache_lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
 
     def stats(self) -> dict[str, int | None]:
         return {

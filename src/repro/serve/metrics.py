@@ -6,11 +6,20 @@ request/error/not-modified counts and latency aggregates, cheap enough
 to record on every request and dumped verbatim at ``/stats``.  Counter
 updates take a lock because the test/bench harness drives the service
 from many client threads at once.
+
+Next to the per-endpoint rows lives a small set of *transport*
+counters — events the HTTP layer decides before (or instead of) routing
+a request: load sheds, deadline timeouts, idle-connection closes and
+malformed requests.  They get their own block in ``/stats`` because a
+shed request never reaches an endpoint row at all.
 """
 
 from __future__ import annotations
 
 from threading import Lock
+
+#: The transport-level events the HTTP layer records.
+TRANSPORT_COUNTERS = ("shed", "timeouts", "idle_closed", "malformed")
 
 
 class ServiceMetrics:
@@ -19,6 +28,7 @@ class ServiceMetrics:
     def __init__(self) -> None:
         self._lock = Lock()
         self._rows: dict[str, dict[str, float]] = {}
+        self._transport = {name: 0 for name in TRANSPORT_COUNTERS}
 
     def record(
         self, endpoint: str, status: int, seconds: float
@@ -66,3 +76,14 @@ class ServiceMetrics:
     def total_requests(self) -> int:
         with self._lock:
             return int(sum(row["requests"] for row in self._rows.values()))
+
+    # -- transport-level events (recorded by the HTTP layer) -------------
+
+    def record_transport(self, event: str) -> None:
+        """Count one shed/timeout/idle-close/malformed-request event."""
+        with self._lock:
+            self._transport[event] += 1
+
+    def transport_snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._transport)

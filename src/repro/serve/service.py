@@ -60,6 +60,9 @@ class Response:
     status: int
     payload: Any = None  # JSON-serializable; None for 304
     etag: str | None = None
+    #: Advisory back-off seconds; serialized as a ``Retry-After`` header
+    #: on the 503s the overload/deadline paths emit.
+    retry_after: int | None = None
 
     def body_bytes(self) -> bytes:
         if self.status == 304 or self.payload is None:
@@ -130,18 +133,29 @@ class UniverseService:
         self,
         store: UniverseStore,
         metrics: ServiceMetrics | None = None,
+        extra_stats: Any = None,
     ) -> None:
         self.store = store
         self.metrics = metrics or ServiceMetrics()
         self.started = time.time()
         self._pipeline = None
+        #: Optional zero-argument callable returning a JSON-serializable
+        #: dict merged into ``/stats`` under ``"workers"`` — supervisor
+        #: workers plug the shared worker board in here.
+        self.extra_stats = extra_stats
 
     @classmethod
     def open(
-        cls, root, backend: str = "auto", metrics: ServiceMetrics | None = None
+        cls,
+        root,
+        backend: str = "auto",
+        metrics: ServiceMetrics | None = None,
+        extra_stats: Any = None,
     ) -> "UniverseService":
         return cls(
-            UniverseStore.open_readonly(root, backend=backend), metrics=metrics
+            UniverseStore.open_readonly(root, backend=backend),
+            metrics=metrics,
+            extra_stats=extra_stats,
         )
 
     # -- the single entry point -----------------------------------------
@@ -406,12 +420,13 @@ class UniverseService:
         store_stats = self.store.stats()
         store_stats["active_backend"] = self.store.active_backend
         store_stats["fingerprint"] = self.store.fingerprint()
-        return Response(
-            200,
-            {
-                "uptime_seconds": time.time() - self.started,
-                "endpoints": self.metrics.snapshot(),
-                "store": store_stats,
-                "caches": cache_stats(),
-            },
-        )
+        payload = {
+            "uptime_seconds": time.time() - self.started,
+            "endpoints": self.metrics.snapshot(),
+            "transport": self.metrics.transport_snapshot(),
+            "store": store_stats,
+            "caches": cache_stats(),
+        }
+        if self.extra_stats is not None:
+            payload["workers"] = self.extra_stats()
+        return Response(200, payload)

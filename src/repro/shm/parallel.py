@@ -133,6 +133,47 @@ def _cached_spec_factory(name: str, n: int, core: str):
     return factory
 
 
+def _run_pooled(
+    spec_name: str,
+    n: int,
+    prefixes: list[tuple[int, ...]],
+    options: dict,
+    jobs: int,
+    outcomes: list,
+    indices: list[int] | None = None,
+) -> tuple[bool, object | None]:
+    """Run shard jobs on a process pool, filling ``outcomes[indices[i]]``.
+
+    Returns ``(pooled, registry_miss)``: ``pooled`` is False when no
+    pool could start at all (executor-hostile sandbox — the caller runs
+    everything serially, silently, as before); ``registry_miss`` is the
+    unresolvable spec name when a worker raised ``KeyError`` — that
+    failure is deterministic, so the caller warns and skips the retry.
+    Individually failed shards simply stay ``None`` in ``outcomes``.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    indices = list(range(len(prefixes))) if indices is None else indices
+    registry_miss = None
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_subtree_job, spec_name, n, prefix, options)
+                for prefix in prefixes
+            ]
+            for index, future in zip(indices, futures):
+                try:
+                    outcomes[index] = future.result()
+                except KeyError as error:
+                    registry_miss = error.args[0] if error.args else error
+                except (OSError, BrokenProcessPool):
+                    pass  # this shard failed; the caller may retry it
+    except (OSError, BrokenProcessPool):
+        return False, registry_miss
+    return True, registry_miss
+
+
 def _subtree_job(
     name: str, n: int, prefix: tuple[int, ...], options: dict
 ) -> tuple[Counter, EngineStats]:
@@ -203,38 +244,53 @@ def explore_decided_parallel(
     }
 
     pooled = False
-    outcomes: list[tuple[Counter, EngineStats]] | None = None
+    outcomes: list[tuple[Counter, EngineStats] | None]
+    outcomes = [None] * len(prefixes)
     if jobs and jobs > 1 and prefixes:
-        from concurrent.futures import ProcessPoolExecutor
-        from concurrent.futures.process import BrokenProcessPool
-
-        try:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = [
-                    pool.submit(_subtree_job, spec_name, n, prefix, options)
-                    for prefix in prefixes
-                ]
-                outcomes = [future.result() for future in futures]
-                pooled = True
-        except (OSError, BrokenProcessPool):
-            # Sandboxes that forbid subprocesses: same shards, in-process.
-            outcomes = None
-        except KeyError as error:
+        pooled, registry_miss = _run_pooled(
+            spec_name, n, prefixes, options, jobs, outcomes
+        )
+        if registry_miss is not None:
             warnings.warn(
                 f"subtree-parallel exploration of {spec_name!r} fell back "
                 f"to serial: a pool worker could not resolve the spec from "
-                f"the registry ({error.args[0] if error.args else error}); "
-                "register_spec must run at import time of a module the "
-                "workers also import",
+                f"the registry ({registry_miss}); register_spec must run at "
+                "import time of a module the workers also import",
                 RuntimeWarning,
                 stacklevel=2,
             )
-            outcomes = None
-    if outcomes is None:
-        pooled = False
-        outcomes = [
-            _subtree_job(spec_name, n, prefix, options) for prefix in prefixes
-        ]
+        failed = [index for index, done in enumerate(outcomes) if done is None]
+        if pooled and failed and registry_miss is None:
+            # One retry on a fresh pool: a transient worker death (OOM
+            # kill, sandbox hiccup) should not instantly serialize the
+            # whole exploration.
+            pooled, _ = _run_pooled(
+                spec_name,
+                n,
+                [prefixes[index] for index in failed],
+                options,
+                jobs,
+                outcomes,
+                indices=failed,
+            )
+            still = [i for i, done in enumerate(outcomes) if done is None]
+            if still:
+                named = ", ".join(
+                    f"#{i}{prefixes[i]!r}" for i in still[:8]
+                ) + ("..." if len(still) > 8 else "")
+                warnings.warn(
+                    f"subtree-parallel exploration of {spec_name!r}: "
+                    f"{len(still)} of {len(prefixes)} shards failed twice "
+                    f"on the process pool ({named}); running them serially "
+                    "in-process",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+    for index, done in enumerate(outcomes):
+        if done is None:
+            outcomes[index] = _subtree_job(
+                spec_name, n, prefixes[index], options
+            )
     for counter, shard_stats in outcomes:
         total += counter
         local_runs += shard_stats.runs

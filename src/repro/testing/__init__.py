@@ -1,0 +1,12 @@
+"""Test-support seams that ship with the production package.
+
+:mod:`repro.testing.faults` is the fault-injection registry the chaos
+suite and the CI chaos smoke drive: named fault points compiled into the
+serving and storage layers, disarmed (one attribute read) in normal
+operation and armed either in-process or via the ``REPRO_FAULTS``
+environment variable for forked workers.
+"""
+
+from .faults import FAULTS, FaultError, FaultRegistry
+
+__all__ = ["FAULTS", "FaultError", "FaultRegistry"]

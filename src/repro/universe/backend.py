@@ -45,6 +45,8 @@ import sqlite3
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from ..testing.faults import FAULTS, FaultError
+
 #: Bump when the pack layout changes; a mismatched pack reads as stale
 #: and the reader falls back to the JSON shards until ``universe pack``
 #: recompiles it.
@@ -214,8 +216,12 @@ class UniversePack:
 
     def _rows(self, sql: str, params: tuple = ()) -> list[tuple]:
         try:
+            if FAULTS.active:
+                # Chaos seam: an armed handler raises sqlite3.Error (or
+                # PackError directly) to exercise the loud JSON fallback.
+                FAULTS.fire("backend.pack.read", sql=sql, params=params)
             return self._connection.execute(sql, params).fetchall()
-        except sqlite3.Error as error:
+        except (sqlite3.Error, FaultError) as error:
             raise PackError(f"pack read failed ({error})") from error
 
     def _meta(self, key: str) -> str | None:
@@ -224,6 +230,12 @@ class UniversePack:
 
     @staticmethod
     def _loads(blob: str) -> dict:
+        if FAULTS.active:
+            # Chaos seam: corrupting the blob here simulates a torn pack
+            # row exactly where a real one would surface.
+            injected = FAULTS.fire("backend.pack.row", payload=blob)
+            if injected is not None:
+                blob = injected
         try:
             value = json.loads(blob)
         except ValueError as error:

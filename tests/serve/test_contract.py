@@ -244,8 +244,15 @@ class TestQueryContracts:
         assert set(response.payload) == {
             "uptime_seconds",
             "endpoints",
+            "transport",
             "store",
             "caches",
+        }
+        assert set(response.payload["transport"]) == {
+            "shed",
+            "timeouts",
+            "idle_closed",
+            "malformed",
         }
         decide_row = response.payload["endpoints"]["decide"]
         assert set(decide_row) == {

@@ -55,6 +55,39 @@ class TestCompare:
         assert problems == []
 
 
+class TestExtraInfoLift:
+    def test_seconds_extra_info_becomes_pseudo_benchmarks(self, tmp_path):
+        report = tmp_path / "fresh.json"
+        report.write_text(
+            json.dumps(
+                {
+                    "benchmarks": [
+                        {
+                            "name": "bench_tail",
+                            "stats": {"mean": 0.4},
+                            "extra_info": {
+                                "p50_seconds": 0.01,
+                                "p99_seconds": 0.09,
+                                "restarts": 1,  # not a timing: ignored
+                                "note_seconds": "n/a",  # not numeric
+                            },
+                        }
+                    ]
+                }
+            )
+        )
+        means = compare_baselines.load_fresh_means(report)
+        assert means == {
+            "bench_tail": 0.4,
+            "bench_tail:p50_seconds": 0.01,
+            "bench_tail:p99_seconds": 0.09,
+        }
+
+    def test_reports_without_extra_info_still_load(self, tmp_path):
+        fresh = fresh_report(tmp_path / "fresh.json", {"bench_a": 0.2})
+        assert compare_baselines.load_fresh_means(fresh) == {"bench_a": 0.2}
+
+
 class TestMainFlow:
     def test_update_then_compare_roundtrip(self, tmp_path, capsys):
         fresh = fresh_report(tmp_path / "fresh.json", {"bench_a": 0.2})
@@ -88,7 +121,9 @@ class TestMainFlow:
         ) == 2
 
     def test_committed_baselines_are_wellformed(self):
-        for name in ("BENCH_explore.json", "BENCH_decision.json"):
+        for name in (
+            "BENCH_explore.json", "BENCH_decision.json", "BENCH_serve.json"
+        ):
             payload = json.loads((REPO_ROOT / name).read_text())
             assert payload["benchmarks"], name
             assert all(
