@@ -1,0 +1,109 @@
+"""Experiment E-SWEEP: the resumable close-open campaign subsystem.
+
+Workload: raw queue-protocol throughput (enqueue and lease/complete in
+jobs/sec — the fixed overhead every attack pays), one full inline
+refutation campaign over the ``n <= 4, m <= 3`` rectangle (the smallest
+store with a real OPEN cell), and the resume-overhead pass: re-running
+``prepare + run + finalize`` over an already-drained campaign, which is
+what every restart of a long sweep pays before doing new work.  The
+assertions pin queue invariants and campaign outcomes, so a protocol
+regression fails the suite rather than silently shifting the timings.
+"""
+
+import itertools
+
+from repro.sweep import SweepConfig, SweepRunner
+from repro.sweep.jobs import DONE, JobStore, OUTCOME_REFUTED, PENDING
+from repro.universe import UniverseStore
+
+#: Deterministic sub-second attacks: 1-round ladders, bounded budgets.
+SMOKE_CONFIG = SweepConfig(
+    workers=0,
+    max_rounds=1,
+    max_conflicts=200_000,
+    max_assignments=200_000,
+)
+
+#: Synthetic queue size for the protocol benches.
+QUEUE_JOBS = 300
+
+
+def synthetic_entries():
+    return [
+        ((n, 3, 0, 2), "sat", rung, {"rounds": rung + 1})
+        for n in range(4, 4 + QUEUE_JOBS // 3)
+        for rung in range(3)
+    ]
+
+
+def bench_sweep_enqueue(benchmark, tmp_path):
+    """Enqueue throughput: one INSERT per (cell, attack, rung) row."""
+    counter = itertools.count()
+
+    def setup():
+        queue = JobStore(tmp_path / f"enqueue-{next(counter)}.sqlite")
+        return (queue,), {}
+
+    def enqueue(queue):
+        return queue.enqueue(synthetic_entries())
+
+    inserted = benchmark.pedantic(enqueue, setup=setup, rounds=5)
+    assert inserted == QUEUE_JOBS
+
+
+def bench_sweep_queue_drain(benchmark, tmp_path):
+    """Lease/complete throughput: the per-job protocol overhead."""
+    counter = itertools.count()
+
+    def setup():
+        queue = JobStore(tmp_path / f"drain-{next(counter)}.sqlite")
+        queue.enqueue(synthetic_entries())
+        return (queue,), {}
+
+    def drain(queue):
+        drained = 0
+        while True:
+            job = queue.lease("bench")
+            if job is None:
+                return drained
+            queue.complete(job.id, "bench", OUTCOME_REFUTED, None, 0.0)
+            drained += 1
+
+    drained = benchmark.pedantic(drain, setup=setup, rounds=5)
+    assert drained == QUEUE_JOBS
+
+
+def bench_sweep_inline_campaign(benchmark, tmp_path):
+    """A full prepare/run/finalize refutation campaign, solver included."""
+    counter = itertools.count()
+
+    def setup():
+        store = UniverseStore(tmp_path / f"campaign-{next(counter)}")
+        store.build(4, 3)
+        return (store,), {}
+
+    def campaign(store):
+        return SweepRunner(store, SMOKE_CONFIG).campaign()
+
+    report = benchmark.pedantic(campaign, setup=setup, rounds=3)
+    assert report.enqueued == 2
+    assert report.completed == 2
+    assert report.closed_cells == []  # no 1-round map for (4,3,0,2)
+
+
+def bench_sweep_resume_overhead(benchmark, tmp_path):
+    """Restarting a finished campaign: the fixed cost of resuming."""
+    store = UniverseStore(tmp_path / "resume")
+    store.build(4, 3)
+    SweepRunner(store, SMOKE_CONFIG).campaign()
+    fingerprint = store.fingerprint()
+
+    def resume():
+        return SweepRunner(store, SMOKE_CONFIG).campaign()
+
+    report = benchmark(resume)
+    assert report.enqueued == 0  # prepare found nothing new
+    assert report.completed == 2  # ...but the done rows are all replayed
+    counts = SweepRunner(store, SMOKE_CONFIG).jobs.counts()
+    assert counts.get(PENDING, 0) == 0 and counts[DONE] == 2
+    assert store.fingerprint() == fingerprint  # replay is a no-op

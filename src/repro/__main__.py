@@ -25,6 +25,10 @@ Usage::
     python -m repro universe export [--dir ...] --format dot|json|graphml
                                     [--out PATH]
     python -m repro universe check [--dir ...]
+    python -m repro sweep run [--dir ...] [--workers 2] [--max-n N --max-m M]
+                              [--sweep-rounds 3] [--max-conflicts N]
+                              [--max-jobs N] [--lease-seconds S]
+    python -m repro sweep status [--dir ...] [--json [PATH]]
     python -m repro serve [--host 127.0.0.1 --port 8707] [--dir ...]
                           [--backend auto|json|binary] [--workers N]
                           [--request-timeout S] [--idle-timeout S]
@@ -587,6 +591,58 @@ def _cmd_universe_check(args) -> int:
         if problems:
             failures += 1
             print(f"FAIL cache <{key}>: {problems[0]}")
+    # Override rows (close-open / sweep closures) get the adversarial
+    # treatment: the graph replay above only proves each payload is
+    # internally consistent, so a tampered row — edited solvability, a
+    # certificate grafted from another cell, a forged id — must be
+    # caught by cross-checking the row against its own certificate.
+    overrides = store.read_overrides().get("overrides", {})
+    override_rows = 0
+    for raw_key, row in sorted(overrides.items()):
+        override_rows += 1
+        try:
+            key = [int(part) for part in raw_key.split(",")]
+        except ValueError:
+            failures += 1
+            print(f"FAIL override <{raw_key}>: unparseable cell key")
+            continue
+        payload = row.get("certificate")
+        if payload is None:
+            if row.get("solvability") != "open":
+                failures += 1
+                print(
+                    f"FAIL override <{raw_key}>: non-OPEN override "
+                    "carries no certificate"
+                )
+            continue
+        recomputed = certificate_id(payload)
+        if row.get("certificate_id") != recomputed:
+            failures += 1
+            print(
+                f"FAIL override <{raw_key}>: certificate_id "
+                f"{row.get('certificate_id')!r} does not match the "
+                f"payload (recomputed {recomputed!r})"
+            )
+            continue
+        if list(payload.get("task", ())) != key:
+            failures += 1
+            print(
+                f"FAIL override <{raw_key}>: certificate proves task "
+                f"{payload.get('task')}, not this cell"
+            )
+            continue
+        if payload.get("verdict") != row.get("solvability"):
+            failures += 1
+            print(
+                f"FAIL override <{raw_key}>: row claims "
+                f"{row.get('solvability')!r} but its certificate proves "
+                f"{payload.get('verdict')!r}"
+            )
+            continue
+        problems = check_certificate_payload(payload)
+        if problems:
+            failures += 1
+            print(f"FAIL override <{raw_key}>: {problems[0]}")
     uncertified = sum(
         1
         for node in graph.nodes()
@@ -596,10 +652,79 @@ def _cmd_universe_check(args) -> int:
         failures += 1
         print(f"FAIL: {uncertified} non-OPEN nodes carry no certificate id")
     print(
-        f"replayed {checked} graph certificates and {cached} cached "
-        f"certificates: {'all OK' if not failures else f'{failures} FAILURES'}"
+        f"replayed {checked} graph certificates, {cached} cached "
+        f"certificates and {override_rows} override rows: "
+        f"{'all OK' if not failures else f'{failures} FAILURES'}"
     )
     return 1 if failures else 0
+
+
+def _cmd_sweep_run(args) -> int:
+    from .sweep import SweepConfig, SweepRunner
+
+    store = _universe_store(args)
+    if not store.built_cells():
+        print(
+            f"error: universe store at {args.dir} has no built cells; run "
+            "`python -m repro universe build` first",
+            file=sys.stderr,
+        )
+        return 2
+    config = SweepConfig(
+        workers=args.workers,
+        max_rounds=args.sweep_rounds,
+        max_conflicts=args.max_conflicts,
+        max_assignments=args.max_assignments,
+        lease_seconds=args.lease_seconds,
+    )
+    runner = SweepRunner(store, config)
+    enqueued = runner.prepare(max_n=args.max_n, max_m=args.max_m)
+    counts = runner.jobs.counts()
+    print(
+        f"sweep prepare: {enqueued} new jobs "
+        f"({counts.get('pending', 0)} pending total) -> {runner.jobs.path}"
+    )
+    try:
+        completed = runner.run(max_jobs=args.max_jobs)
+    except RuntimeError as error:
+        # Crash loop: every allowed spawn died with work left.  The
+        # queue keeps the leases and results it has; a later `sweep run`
+        # resumes from exactly here.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    report = runner.finalize()
+    print(
+        f"sweep run: {completed} attacks completed with "
+        f"{config.workers} workers"
+    )
+    print(
+        f"sweep finalize: {len(report.closed_cells)} cells closed, "
+        f"{report.propagated} more by propagation"
+    )
+    for key in report.closed_cells:
+        print("  closed <{},{},{},{}>".format(*key))
+    return 0
+
+
+def _cmd_sweep_status(args) -> int:
+    from .analysis import emit_json
+    from .sweep import campaign_status, render_status
+
+    store = _universe_store(args)
+    payload = campaign_status(store)
+    if payload is None:
+        print(
+            f"error: no sweep campaign at {args.dir} (run "
+            "`python -m repro sweep run` first)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        emit_json(payload, args.json)
+        if _json_only(args):
+            return 0
+    print(render_status(payload))
+    return 0
 
 
 def _cmd_explore(args) -> int:
@@ -1045,6 +1170,84 @@ COMMANDS: tuple[Command, ...] = (
                 help="replay every stored solvability certificate",
                 handler=_cmd_universe_check,
                 groups=("store-dir",),
+            ),
+        ),
+    ),
+    Command(
+        name="sweep",
+        help="persistent, resumable close-open campaigns over OPEN cells",
+        sub_dest="sweep_command",
+        subcommands=(
+            Command(
+                name="run",
+                help="enqueue attack ladders for OPEN cells and drain the "
+                "queue with worker processes (resumes automatically)",
+                handler=_cmd_sweep_run,
+                groups=("store-dir",),
+                args=(
+                    arg(
+                        "--workers",
+                        type=int,
+                        default=2,
+                        help="worker processes (0 = run attacks inline)",
+                    ),
+                    arg(
+                        "--max-n",
+                        type=int,
+                        default=None,
+                        help="only attack OPEN cells with n <= this",
+                    ),
+                    arg(
+                        "--max-m",
+                        type=int,
+                        default=None,
+                        help="only attack OPEN cells with m <= this",
+                    ),
+                    arg(
+                        "--sweep-rounds",
+                        type=int,
+                        default=3,
+                        metavar="R",
+                        help="deepest immediate-snapshot round the attack "
+                        "ladder climbs to",
+                    ),
+                    arg(
+                        "--max-conflicts",
+                        type=int,
+                        default=1_000_000,
+                        metavar="N",
+                        help="CDCL conflict budget per SAT attack",
+                    ),
+                    arg(
+                        "--max-assignments",
+                        type=int,
+                        default=2_000_000,
+                        metavar="N",
+                        help="CSP assignment budget per exhaustive attack",
+                    ),
+                    arg(
+                        "--max-jobs",
+                        type=int,
+                        default=None,
+                        metavar="N",
+                        help="stop after this many attacks (inline mode "
+                        "only); the campaign resumes on the next run",
+                    ),
+                    arg(
+                        "--lease-seconds",
+                        type=float,
+                        default=300.0,
+                        metavar="S",
+                        help="job lease duration; a worker dead this long "
+                        "forfeits its job back to the queue",
+                    ),
+                ),
+            ),
+            Command(
+                name="status",
+                help="queue counts, per-attack throughput, ETA, cache stats",
+                handler=_cmd_sweep_status,
+                groups=("store-dir", "json"),
             ),
         ),
     ),

@@ -198,6 +198,47 @@ class BoundedDictCache(_Managed):
         }
 
 
+class _ExternalCounters(_Managed):
+    """Adapter for counters maintained outside this module.
+
+    Disk-backed caches (the decision layer's certificate cache) size
+    themselves by their on-disk content, so the maxsize knob does not
+    apply — they register here only so :func:`cache_stats` reports one
+    merged view of every cache in the process.
+    """
+
+    def __init__(
+        self,
+        stats_fn: Callable[[], dict],
+        clear_fn: Callable[[], None] | None = None,
+    ):
+        self._stats_fn = stats_fn
+        self._clear_fn = clear_fn
+
+    def rebuild(self, maxsize: int | None) -> None:
+        pass  # externally bounded; the knob does not apply
+
+    def stats(self) -> dict[str, int | None]:
+        return dict(self._stats_fn())
+
+    def clear(self) -> None:
+        if self._clear_fn is not None:
+            self._clear_fn()
+
+
+def register_counters(
+    name: str,
+    stats_fn: Callable[[], dict],
+    clear_fn: Callable[[], None] | None = None,
+) -> None:
+    """Expose externally-maintained counters under :func:`cache_stats`.
+
+    ``clear_fn`` (optional) hooks :func:`clear_all_caches`; it should
+    reset counters only, never destroy durable content.
+    """
+    _register(name, _ExternalCounters(stats_fn, clear_fn))
+
+
 def configure(maxsize: int | None) -> None:
     """Set the per-cache entry limit for every managed cache.
 

@@ -21,13 +21,40 @@ next ``put`` — the cache is a pure memo, never the source of truth.
 from __future__ import annotations
 
 import json
+import weakref
 from pathlib import Path
 from typing import Iterator
+
+from ..core import cache_config
 
 #: Bump when the entry layout changes; mismatched shards read as empty.
 CACHE_SCHEMA_VERSION = 1
 
 Key = tuple[int, int, int, int]
+
+#: Live instances, so the process-wide cache report can aggregate them.
+_instances: "weakref.WeakSet[CertificateCache]" = weakref.WeakSet()
+
+
+def _aggregate_stats() -> dict[str, int]:
+    totals = {"instances": 0, "hits": 0, "misses": 0, "writes": 0}
+    for cache in list(_instances):
+        totals["instances"] += 1
+        totals["hits"] += cache._hits
+        totals["misses"] += cache._misses
+        totals["writes"] += cache._writes
+    return totals
+
+
+def _aggregate_clear() -> None:
+    # Counters only: dropping shards would destroy durable verdicts.
+    for cache in list(_instances):
+        cache._hits = cache._misses = cache._writes = 0
+
+
+cache_config.register_counters(
+    "decision.certificates", _aggregate_stats, _aggregate_clear
+)
 
 
 class CertificateCache:
@@ -38,6 +65,8 @@ class CertificateCache:
         self._families: dict[tuple[int, int], dict[str, dict]] = {}
         self._hits = 0
         self._misses = 0
+        self._writes = 0
+        _instances.add(self)
 
     def shard_path(self, n: int, m: int) -> Path:
         return self.root / f"n{n:03d}_m{m:03d}.json"
@@ -81,6 +110,7 @@ class CertificateCache:
         n, m, low, high = key
         family = self._family(n, m)
         family[self._entry_key(low, high)] = entry
+        self._writes += 1
         self._write_family(n, m, family)
 
     def put_many(self, entries: dict[Key, dict]) -> None:
@@ -88,6 +118,7 @@ class CertificateCache:
         touched: set[tuple[int, int]] = set()
         for (n, m, low, high), entry in entries.items():
             self._family(n, m)[self._entry_key(low, high)] = entry
+            self._writes += 1
             touched.add((n, m))
         for n, m in sorted(touched):
             self._write_family(n, m, self._families[(n, m)])
@@ -144,6 +175,7 @@ class CertificateCache:
             "root": str(self.root),
             "hits": self._hits,
             "misses": self._misses,
+            "writes": self._writes,
             "families_loaded": len(self._families),
             "families_on_disk": len(self.families_on_disk()),
             "entries": sum(
@@ -156,6 +188,7 @@ class CertificateCache:
         self._families.clear()
         self._hits = 0
         self._misses = 0
+        self._writes = 0
         if self.root.is_dir():
             for path in self.root.glob("n*_m*.json"):
                 path.unlink()

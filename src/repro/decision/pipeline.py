@@ -55,6 +55,10 @@ class Verdict:
     evidence: tuple[str, ...] = ()
     cached: bool = False
     seconds: float = 0.0
+    #: Wall-clock per tier that ran, in run order (empty on cache hits).
+    timings: tuple[tuple[str, float], ...] = ()
+    #: What the empirical tier actually spent of its budget.
+    budget_consumed: dict = field(default_factory=dict)
 
     @property
     def certificate_id(self) -> str:
@@ -77,6 +81,8 @@ class Verdict:
             "evidence": list(self.evidence),
             "cached": self.cached,
             "seconds": self.seconds,
+            "timings": {name: seconds for name, seconds in self.timings},
+            "budget_consumed": dict(self.budget_consumed),
         }
         return payload
 
@@ -149,7 +155,7 @@ class DecisionPipeline:
                     )
                 except (KeyError, TypeError, ValueError):
                     pass  # malformed entry: treat as a miss and rewrite it
-        result, evidence = self._run_tiers(canonical)
+        result, evidence, timings = self._run_tiers(canonical)
         verdict = Verdict(
             task=task,
             canonical=canonical,
@@ -161,6 +167,8 @@ class DecisionPipeline:
             evidence=tuple(evidence),
             cached=False,
             seconds=time.perf_counter() - started,
+            timings=tuple(timings),
+            budget_consumed=dict(result.consumed),
         )
         if self.cache is not None:
             self.cache.put(canonical, cache_entry(verdict, self.budget))
@@ -177,23 +185,37 @@ class DecisionPipeline:
             stored.get(name, -1) >= value for name, value in current.items()
         )
 
-    def _run_tiers(self, key: Key) -> tuple[ProcedureResult, list[str]]:
+    def _run_tiers(
+        self, key: Key
+    ) -> tuple[ProcedureResult, list[str], list[tuple[str, float]]]:
         evidence: list[str] = []
-        result = closed_form(*key)
+        timings: list[tuple[str, float]] = []
+
+        def timed(name, procedure, *args, **kwargs):
+            start = time.perf_counter()
+            outcome = procedure(*args, **kwargs)
+            timings.append((name, time.perf_counter() - start))
+            return outcome
+
+        result = timed("closed-form", closed_form, *key)
         if result.decided:
-            return result, evidence
-        padded = value_padding(*key)
+            return result, evidence, timings
+        padded = timed("value-padding", value_padding, *key)
         if padded is not None and padded.decided:
-            return padded, evidence
+            return padded, evidence, timings
         graph = self._graph_for(key)
         if graph is not None:
-            closed = reduction_closure(graph, key)
+            closed = timed(
+                "reduction-closure", reduction_closure, graph, key
+            )
             if closed is not None and closed.decided:
-                return closed, evidence
-        outcome = empirical(*key, budget=self.budget)
+                return closed, evidence, timings
+        outcome = timed(
+            "decision-map", empirical, *key, budget=self.budget
+        )
         evidence.extend(outcome.evidence)
         if outcome.decided:
-            return outcome, evidence
+            return outcome, evidence, timings
         # Everything exhausted: faithfully OPEN, with the evidence trail.
         # Attributed to the empirical tier (the last one that ran, and
         # what close_open writes for OPEN survivors) while keeping the
@@ -204,8 +226,10 @@ class DecisionPipeline:
                 reason=result.reason,
                 tier=outcome.tier,
                 procedure=outcome.procedure,
+                consumed=outcome.consumed,
             ),
             evidence,
+            timings,
         )
 
     def _graph_for(self, key: Key) -> "UniverseGraph | None":

@@ -109,6 +109,9 @@ class ProcedureResult:
     procedure: str
     certificate: Certificate | None = None
     evidence: tuple[str, ...] = ()
+    #: Structured consumption counters (the empirical tier reports how
+    #: much of its budget the search actually spent).
+    consumed: dict = field(default_factory=dict)
 
     @property
     def decided(self) -> bool:
@@ -358,6 +361,7 @@ def empirical(
 
     key = canonical_key(n, m, low, high)
     evidence: list[str] = []
+    consumed = {"rounds_searched": 0, "assignments_tried": 0}
     if key[0] > budget.max_empirical_n:
         return ProcedureResult(
             solvability=Solvability.OPEN,
@@ -379,16 +383,19 @@ def empirical(
             )
             break
         complex_ = ISProtocolComplex(task.n, rounds)
+        consumed["rounds_searched"] = rounds
         try:
             result = search_decision_map(
                 task, complex_, max_assignments=budget.max_assignments
             )
         except RuntimeError:
+            consumed["assignments_tried"] += budget.max_assignments
             evidence.append(
                 f"round {rounds}: search budget of "
                 f"{budget.max_assignments} assignments exhausted undecided"
             )
             break
+        consumed["assignments_tried"] += result.assignments_tried
         if result.solvable:
             order = decision_class_order(complex_)
             assignment = tuple(result.decision_map[label] for label in order)
@@ -424,6 +431,7 @@ def empirical(
                 tier=4,
                 procedure="decision-map",
                 certificate=certificate,
+                consumed=dict(consumed),
             )
         evidence.append(
             f"round {rounds}: no comparison-based IIS protocol exists "
@@ -435,6 +443,7 @@ def empirical(
         tier=4,
         procedure="decision-map",
         evidence=tuple(evidence),
+        consumed=dict(consumed),
     )
 
 

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 
 from ..core.cache_config import cache_stats
+from ..sweep.report import campaign_status
 from ..universe.persist import UniverseStore
 from ..universe.query import (
     harder_cone,
@@ -427,6 +428,9 @@ class UniverseService:
             "store": store_stats,
             "caches": cache_stats(),
         }
+        sweep = campaign_status(self.store, count_open=False)
+        if sweep is not None:
+            payload["sweep"] = sweep
         if self.extra_stats is not None:
             payload["workers"] = self.extra_stats()
         return Response(200, payload)

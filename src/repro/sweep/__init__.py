@@ -1,0 +1,60 @@
+"""Resumable close-open sweep campaigns over the universe's OPEN region.
+
+The decision pipeline's in-process close-open pass
+(:func:`repro.decision.procedures.close_open`) is a single bounded
+sweep: good for interactive builds, wrong for campaigns that run for
+hours and must survive crashes.  This package supplies the campaign
+machinery:
+
+* :mod:`repro.sweep.jobs` — a persistent SQLite job queue (one job per
+  OPEN cell x attack x rung) with leases, heartbeats and stale-lease
+  recovery;
+* :mod:`repro.sweep.attacks` — the solver portfolio: the exhaustive
+  tier-4 backtracking search and a SAT encoding with symmetry-breaking
+  clauses under a built-in CDCL solver, both funneling found maps
+  through independent verification before certification;
+* :mod:`repro.sweep.sat` — the CNF encoding and the dependency-free
+  CDCL solver;
+* :mod:`repro.sweep.runner` — the multiprocess campaign runner
+  (prepare / run / finalize) committing closures atomically through
+  :meth:`repro.universe.persist.UniverseStore.apply_closures`;
+* :mod:`repro.sweep.report` — status payloads for the CLI and the
+  serve layer.
+
+Everything is crash-safe by construction: the queue is the write-ahead
+log, results are committed transactionally, and finalize folds results
+into the store in a deterministic order — an interrupted-and-resumed
+campaign produces the byte-identical store of an uninterrupted one.
+"""
+
+from .attacks import ATTACKS, AttackOutcome, default_ladder, run_attack
+from .jobs import Job, JobStore
+from .report import campaign_status, render_status
+from .runner import SweepConfig, SweepReport, SweepRunner, sweep_jobs_path
+from .sat import (
+    SatBudgetExceeded,
+    SatResult,
+    encode_decision_map,
+    solve_cnf,
+    solve_decision_map_sat,
+)
+
+__all__ = [
+    "ATTACKS",
+    "AttackOutcome",
+    "Job",
+    "JobStore",
+    "SatBudgetExceeded",
+    "SatResult",
+    "SweepConfig",
+    "SweepReport",
+    "SweepRunner",
+    "campaign_status",
+    "default_ladder",
+    "encode_decision_map",
+    "render_status",
+    "run_attack",
+    "solve_cnf",
+    "solve_decision_map_sat",
+    "sweep_jobs_path",
+]

@@ -1,0 +1,307 @@
+"""The tier-4 solver portfolio a sweep campaign runs against OPEN cells.
+
+An *attack* is one bounded attempt to decide a single OPEN cell: it
+either **closes** the cell (a decision map was found, independently
+verified facet-by-facet, model-checked on the shm engine where feasible,
+and packaged as a ``decision-map`` certificate payload), **refutes** the
+bounded question (provably no r-round comparison-based protocol exists —
+sound evidence that strengthens the OPEN verdict without changing it),
+or reports itself **exhausted** (the rung's budget ran out undecided).
+
+Two attacks are registered:
+
+``exhaustive``
+    The existing tier-4 backtracking search
+    (:func:`repro.topology.decision.search_decision_map`) at a single
+    round count — complete, battle-tested, and the cross-check for the
+    SAT attack on small complexes.
+
+``sat``
+    The CNF encoding of :mod:`repro.sweep.sat` under the built-in CDCL
+    solver.  Orders of magnitude faster on refutations (learned clauses
+    prune the value-symmetric search space the backtracker re-explores),
+    which is what most of the OPEN region turns out to demand.
+
+Both attacks funnel through the same certification gate: a claimed map
+is re-verified with :func:`repro.topology.decision.verify_decision_map`
+(independent of both solvers) and replayed exhaustively on the
+prefix-sharing engine for small ``n`` before a certificate payload is
+emitted.  A solver bug therefore cannot close a cell incorrectly — it
+can only fail to close one.
+
+Attacks are deterministic functions of ``(cell key, params)``.  The
+crash-resume guarantee leans on this: a job that re-runs after a
+killed worker reproduces the identical payload, so replays are
+idempotent all the way into the universe store.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.gsb import SymmetricGSBTask
+from ..core.solvability import Solvability
+from ..decision.certificates import (
+    DecisionMapCertificate,
+    MAX_CHECK_FACETS,
+    MAX_ENGINE_REPLAY_N,
+    replay_decision_map,
+)
+from .jobs import (
+    OUTCOME_CLOSED,
+    OUTCOME_EXHAUSTED,
+    OUTCOME_REFUTED,
+)
+from .sat import SatBudgetExceeded, solve_decision_map_sat
+
+__all__ = ["ATTACKS", "AttackOutcome", "default_ladder", "run_attack"]
+
+Key = tuple[int, int, int, int]
+
+#: Largest n whose found maps are model-checked on the engine before
+#: certification (matches the decide pipeline's default replay gate).
+ENGINE_REPLAY_N = 4
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """What one attack concluded about one cell."""
+
+    outcome: str  #: closed | refuted | exhausted
+    rounds: int
+    reason: str
+    verdict_value: str | None = None
+    certificate_payload: dict | None = None
+    evidence: tuple[str, ...] = ()
+    details: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "outcome": self.outcome,
+            "rounds": self.rounds,
+            "reason": self.reason,
+            "verdict": self.verdict_value,
+            "certificate": self.certificate_payload,
+            "evidence": list(self.evidence),
+            "details": self.details,
+        }
+
+
+def _complex_for(key: Key, rounds: int, max_facets: int):
+    """Build the rung's complex, or explain why it is out of budget."""
+    from ..topology.is_complex import ISProtocolComplex, ordered_bell_number
+
+    facets = ordered_bell_number(key[0]) ** rounds
+    if facets > max_facets:
+        return None, (
+            f"round {rounds}: complex has {facets} facets, over the rung "
+            f"budget of {max_facets}"
+        )
+    if facets > MAX_CHECK_FACETS:
+        return None, (
+            f"round {rounds}: {facets} facets exceeds the certificate "
+            f"replay gate ({MAX_CHECK_FACETS}); a closure here could not "
+            f"be independently checked"
+        )
+    return ISProtocolComplex(key[0], rounds), None
+
+
+def _certify(key: Key, complex_, decision_map: dict) -> AttackOutcome:
+    """The shared gate: verify, replay, and package a found map."""
+    from ..topology.decision import decision_class_order, verify_decision_map
+
+    task = SymmetricGSBTask(*key)
+    problems = verify_decision_map(task, complex_, decision_map)
+    if problems:
+        # The solver lied; treat as exhausted rather than concluding.
+        return AttackOutcome(
+            outcome=OUTCOME_EXHAUSTED,
+            rounds=complex_.rounds,
+            reason=f"found map failed verification: {problems[0]}",
+        )
+    order = decision_class_order(complex_)
+    assignment = tuple(decision_map[label] for label in order)
+    reason = (
+        f"{complex_.rounds}-round comparison-based IIS decision map over "
+        f"{len(order)} classes"
+    )
+    # Full-interleaving replay cost explodes in n * rounds: n <= 3 is
+    # always cheap, n = 4 only at one round (matching what the decide
+    # pipeline's engine_replay_n=4 default ever replays in practice).
+    if key[0] <= MAX_ENGINE_REPLAY_N or (
+        key[0] <= ENGINE_REPLAY_N and complex_.rounds == 1
+    ):
+        replay_problems = replay_decision_map(
+            task, complex_.rounds, decision_map
+        )
+        if replay_problems:
+            return AttackOutcome(
+                outcome=OUTCOME_EXHAUSTED,
+                rounds=complex_.rounds,
+                reason=(
+                    f"found map failed engine replay: {replay_problems[0]}"
+                ),
+            )
+        reason += "; engine replay of every interleaving passed"
+    certificate = DecisionMapCertificate(
+        task=key,
+        verdict_value=Solvability.SOLVABLE.value,
+        n=task.n,
+        rounds=complex_.rounds,
+        assignment=assignment,
+        facets=complex_.facet_count(),
+    )
+    return AttackOutcome(
+        outcome=OUTCOME_CLOSED,
+        rounds=complex_.rounds,
+        reason=reason,
+        verdict_value=Solvability.SOLVABLE.value,
+        certificate_payload=certificate.payload(),
+    )
+
+
+def attack_exhaustive(key: Key, params: dict) -> AttackOutcome:
+    """Backtracking CSP over decision maps at one round count."""
+    from ..topology.decision import search_decision_map
+
+    rounds = int(params.get("rounds", 1))
+    max_assignments = int(params.get("max_assignments", 500_000))
+    complex_, excuse = _complex_for(
+        key, rounds, int(params.get("max_facets", MAX_CHECK_FACETS))
+    )
+    if complex_ is None:
+        return AttackOutcome(
+            outcome=OUTCOME_EXHAUSTED, rounds=rounds, reason=excuse
+        )
+    task = SymmetricGSBTask(*key)
+    try:
+        result = search_decision_map(
+            task, complex_, max_assignments=max_assignments
+        )
+    except RuntimeError:
+        return AttackOutcome(
+            outcome=OUTCOME_EXHAUSTED,
+            rounds=rounds,
+            reason=(
+                f"round {rounds}: search budget of {max_assignments} "
+                f"assignments exhausted undecided"
+            ),
+        )
+    if result.solvable:
+        outcome = _certify(key, complex_, result.decision_map)
+        outcome.details["assignments_tried"] = result.assignments_tried
+        return outcome
+    return AttackOutcome(
+        outcome=OUTCOME_REFUTED,
+        rounds=rounds,
+        reason=(
+            f"no {rounds}-round comparison-based IIS protocol exists "
+            f"(search exhausted {result.assignments_tried} assignments)"
+        ),
+        evidence=(
+            f"round {rounds}: no comparison-based IIS protocol exists "
+            f"(search exhausted {result.assignments_tried} assignments)",
+        ),
+        details={"assignments_tried": result.assignments_tried},
+    )
+
+
+def attack_sat(key: Key, params: dict) -> AttackOutcome:
+    """CNF + CDCL over decision maps at one round count."""
+    rounds = int(params.get("rounds", 1))
+    max_conflicts = params.get("max_conflicts")
+    max_conflicts = int(max_conflicts) if max_conflicts is not None else None
+    complex_, excuse = _complex_for(
+        key, rounds, int(params.get("max_facets", MAX_CHECK_FACETS))
+    )
+    if complex_ is None:
+        return AttackOutcome(
+            outcome=OUTCOME_EXHAUSTED, rounds=rounds, reason=excuse
+        )
+    task = SymmetricGSBTask(*key)
+    try:
+        decision_map, result = solve_decision_map_sat(
+            task, complex_, max_conflicts=max_conflicts
+        )
+    except SatBudgetExceeded as error:
+        return AttackOutcome(
+            outcome=OUTCOME_EXHAUSTED,
+            rounds=rounds,
+            reason=f"round {rounds}: {error}",
+        )
+    details = {"conflicts": result.conflicts, "decisions": result.decisions}
+    if decision_map is not None:
+        outcome = _certify(key, complex_, decision_map)
+        outcome.details.update(details)
+        return outcome
+    return AttackOutcome(
+        outcome=OUTCOME_REFUTED,
+        rounds=rounds,
+        reason=(
+            f"no {rounds}-round comparison-based IIS protocol exists "
+            f"(UNSAT after {result.conflicts} conflicts)"
+        ),
+        evidence=(
+            f"round {rounds}: no comparison-based IIS protocol exists "
+            f"(CNF encoding UNSAT after {result.conflicts} conflicts)",
+        ),
+        details=details,
+    )
+
+
+ATTACKS: dict[str, Callable[[Key, dict], AttackOutcome]] = {
+    "exhaustive": attack_exhaustive,
+    "sat": attack_sat,
+}
+
+
+def run_attack(name: str, key: Key, params: dict) -> tuple[AttackOutcome, float]:
+    """Dispatch one attack; returns its outcome and wall-clock seconds."""
+    attack = ATTACKS.get(name)
+    if attack is None:
+        raise ValueError(
+            f"unknown attack {name!r}; expected one of {sorted(ATTACKS)}"
+        )
+    start = time.perf_counter()
+    outcome = attack(key, params)
+    return outcome, time.perf_counter() - start
+
+
+def default_ladder(
+    key: Key,
+    max_rounds: int = 3,
+    max_conflicts: int = 1_000_000,
+    max_assignments: int = 2_000_000,
+) -> list[tuple[str, int, dict]]:
+    """The per-cell rung ladder: cheap and shallow before deep and slow.
+
+    Rungs climb in round count; each round runs the SAT attack first
+    (fast on both outcomes) and adds the exhaustive cross-check only
+    where it is tractable (``n <= 4``).  Cells whose one-round complex
+    already busts the certificate replay gate get no rungs at all — an
+    uncheckable closure is worthless, so the queue skips the work.
+    """
+    from ..topology.is_complex import ordered_bell_number
+
+    n = key[0]
+    rungs: list[tuple[str, int, dict]] = []
+    rung = 0
+    for rounds in range(1, max_rounds + 1):
+        if ordered_bell_number(n) ** rounds > MAX_CHECK_FACETS:
+            break
+        rungs.append(
+            ("sat", rung, {"rounds": rounds, "max_conflicts": max_conflicts})
+        )
+        rung += 1
+        if n <= 4:
+            rungs.append(
+                (
+                    "exhaustive",
+                    rung,
+                    {"rounds": rounds, "max_assignments": max_assignments},
+                )
+            )
+            rung += 1
+    return rungs

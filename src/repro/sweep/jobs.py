@@ -1,0 +1,387 @@
+"""Persistent SQLite job queue for close-open sweep campaigns.
+
+One row per (cell, attack, rung): a unit of solver work against a single
+OPEN cell.  The queue is the campaign's source of truth — verdict
+payloads live in the ``result`` column until the runner's finalize step
+replays them into the universe store — so a campaign survives SIGKILL at
+any instant:
+
+* a worker that dies holding a lease leaves the row ``running`` with an
+  expired ``lease_expires``; the next :meth:`JobStore.requeue_stale`
+  returns it to ``pending`` with the attempt count intact;
+* results commit in a single transaction (``status``, ``outcome``,
+  ``result`` together), so a crash mid-write rolls back to a leased row
+  and the attack simply re-runs — attacks are deterministic, so the
+  re-run reproduces the same payload;
+* enqueueing is idempotent (``INSERT OR IGNORE`` against the
+  ``UNIQUE(n, m, low, high, attack, rung)`` constraint), so re-preparing
+  a campaign over an existing queue adds only genuinely new work.
+
+Two fault points gate the crash windows the resume tests care about
+(catalogued in :mod:`repro.testing.faults`):
+
+* ``sweep.lease.commit`` — fired immediately after a lease commits,
+  i.e. the instant a worker owns work it has not yet done;
+* ``sweep.result.write`` — fired inside the result transaction, before
+  commit, i.e. the instant work is done but not yet durable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from ..testing.faults import FAULTS
+
+__all__ = [
+    "Job",
+    "JobStore",
+    "PENDING",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+]
+
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Terminal outcomes recorded on ``done`` rows.
+OUTCOME_CLOSED = "closed"  #: attack produced a certified verdict
+OUTCOME_REFUTED = "refuted"  #: bounded refutation: no r-round map exists
+OUTCOME_EXHAUSTED = "exhausted"  #: budget ran out before a conclusion
+OUTCOME_SUPERSEDED = "superseded"  #: another rung already closed the cell
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id INTEGER PRIMARY KEY,
+    n INTEGER NOT NULL,
+    m INTEGER NOT NULL,
+    low INTEGER NOT NULL,
+    high INTEGER NOT NULL,
+    attack TEXT NOT NULL,
+    rung INTEGER NOT NULL,
+    params TEXT NOT NULL,
+    status TEXT NOT NULL DEFAULT 'pending',
+    outcome TEXT,
+    result TEXT,
+    error TEXT,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    seconds REAL,
+    owner TEXT,
+    lease_expires REAL,
+    created REAL NOT NULL,
+    updated REAL NOT NULL,
+    UNIQUE (n, m, low, high, attack, rung)
+);
+CREATE INDEX IF NOT EXISTS jobs_status ON jobs (status, rung, id);
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One leased or inspected row of the queue."""
+
+    id: int
+    key: tuple[int, int, int, int]
+    attack: str
+    rung: int
+    params: dict
+    status: str
+    outcome: str | None
+    result: dict | None
+    error: str | None
+    attempts: int
+    seconds: float | None
+
+    @staticmethod
+    def _from_row(row: sqlite3.Row) -> "Job":
+        return Job(
+            id=row["id"],
+            key=(row["n"], row["m"], row["low"], row["high"]),
+            attack=row["attack"],
+            rung=row["rung"],
+            params=json.loads(row["params"]),
+            status=row["status"],
+            outcome=row["outcome"],
+            result=json.loads(row["result"]) if row["result"] else None,
+            error=row["error"],
+            attempts=row["attempts"],
+            seconds=row["seconds"],
+        )
+
+
+class JobStore:
+    """The campaign queue.  One instance per process; SQLite arbitrates.
+
+    Every mutation runs under ``BEGIN IMMEDIATE`` so concurrent workers
+    serialize on the database write lock rather than racing on rows; WAL
+    mode keeps readers (the status command, the serve layer) off that
+    lock entirely.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # check_same_thread off: a worker hands its heartbeat JobStore to
+        # the beat thread.  Instances are still single-threaded at any
+        # instant — only the creating thread OR the beat thread uses one.
+        self._db = sqlite3.connect(
+            self.path, timeout=30.0, check_same_thread=False
+        )
+        self._db.row_factory = sqlite3.Row
+        self._db.execute("PRAGMA journal_mode=WAL")
+        self._db.execute("PRAGMA synchronous=NORMAL")
+        self._db.executescript(_SCHEMA)
+        self._db.commit()
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- campaign setup --------------------------------------------------
+
+    def set_meta(self, key: str, value: str) -> None:
+        with self._db:
+            self._db.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?) "
+                "ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+                (key, value),
+            )
+
+    def get_meta(self, key: str) -> str | None:
+        row = self._db.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return row["value"] if row else None
+
+    def enqueue(
+        self,
+        entries: Iterable[tuple[tuple[int, int, int, int], str, int, dict]],
+    ) -> int:
+        """Idempotently add ``(cell key, attack, rung, params)`` rows.
+
+        Returns the number of rows actually inserted; re-preparing an
+        existing campaign returns 0 for work already queued.  A row that
+        already exists but is still ``pending`` gets its params refreshed
+        — re-preparing with new budgets retunes the queued (not the
+        finished) work, so a stuck campaign can be resumed with smaller
+        rungs.
+        """
+        now = time.time()
+        inserted = 0
+        with self._db:
+            for key, attack, rung, params in entries:
+                n, m, low, high = key
+                encoded = json.dumps(params, sort_keys=True)
+                row = self._db.execute(
+                    "SELECT id, status, params FROM jobs WHERE n = ? "
+                    "AND m = ? AND low = ? AND high = ? AND attack = ? "
+                    "AND rung = ?",
+                    (n, m, low, high, attack, rung),
+                ).fetchone()
+                if row is None:
+                    self._db.execute(
+                        "INSERT INTO jobs "
+                        "(n, m, low, high, attack, rung, params, status,"
+                        " created, updated) "
+                        "VALUES (?, ?, ?, ?, ?, ?, ?, 'pending', ?, ?)",
+                        (n, m, low, high, attack, rung, encoded, now, now),
+                    )
+                    inserted += 1
+                elif row["status"] == PENDING and row["params"] != encoded:
+                    self._db.execute(
+                        "UPDATE jobs SET params = ?, updated = ? "
+                        "WHERE id = ?",
+                        (encoded, now, row["id"]),
+                    )
+        return inserted
+
+    # -- worker protocol -------------------------------------------------
+
+    def lease(self, owner: str, lease_seconds: float = 300.0) -> Job | None:
+        """Claim the next pending job for ``owner``, or None when drained.
+
+        Rung-major order: every cell's cheap rungs run before anyone's
+        expensive ones, so early closures can supersede queued deep work.
+        """
+        now = time.time()
+        with self._db:
+            row = self._db.execute(
+                "SELECT * FROM jobs WHERE status = 'pending' "
+                "ORDER BY rung, id LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            self._db.execute(
+                "UPDATE jobs SET status = 'running', owner = ?, "
+                "lease_expires = ?, attempts = attempts + 1, updated = ? "
+                "WHERE id = ?",
+                (owner, now + lease_seconds, now, row["id"]),
+            )
+        # The lease is durable and the work is not yet done — the window
+        # the stale-lease requeue exists for.
+        if FAULTS.active:
+            FAULTS.fire("sweep.lease.commit", job_id=row["id"], owner=owner)
+        leased = self._db.execute(
+            "SELECT * FROM jobs WHERE id = ?", (row["id"],)
+        ).fetchone()
+        return Job._from_row(leased)
+
+    def heartbeat(
+        self, job_id: int, owner: str, lease_seconds: float = 300.0
+    ) -> bool:
+        """Extend a live lease; False means the lease was lost."""
+        now = time.time()
+        with self._db:
+            cursor = self._db.execute(
+                "UPDATE jobs SET lease_expires = ?, updated = ? "
+                "WHERE id = ? AND owner = ? AND status = 'running'",
+                (now + lease_seconds, now, job_id, owner),
+            )
+        return cursor.rowcount == 1
+
+    def complete(
+        self,
+        job_id: int,
+        owner: str,
+        outcome: str,
+        result: dict | None,
+        seconds: float,
+    ) -> bool:
+        """Record a finished attack in one transaction.
+
+        False means the lease was lost (a stale requeue handed the job
+        to someone else); the caller's work is discarded, which is safe
+        because the new owner recomputes the identical result.
+        """
+        now = time.time()
+        with self._db:
+            if FAULTS.active:
+                # Inside the transaction: dying here rolls the write back.
+                FAULTS.fire("sweep.result.write", job_id=job_id, owner=owner)
+            cursor = self._db.execute(
+                "UPDATE jobs SET status = 'done', outcome = ?, result = ?, "
+                "seconds = ?, owner = NULL, lease_expires = NULL, "
+                "updated = ? WHERE id = ? AND owner = ? "
+                "AND status = 'running'",
+                (outcome,
+                 json.dumps(result, sort_keys=True) if result else None,
+                 seconds, now, job_id, owner),
+            )
+        return cursor.rowcount == 1
+
+    def fail(
+        self, job_id: int, owner: str, error: str, max_attempts: int = 3
+    ) -> None:
+        """Record an attack error: retry until ``max_attempts``, then fail."""
+        now = time.time()
+        with self._db:
+            self._db.execute(
+                "UPDATE jobs SET "
+                "status = CASE WHEN attempts >= ? THEN 'failed' "
+                "ELSE 'pending' END, "
+                "error = ?, owner = NULL, lease_expires = NULL, updated = ? "
+                "WHERE id = ? AND owner = ? AND status = 'running'",
+                (max_attempts, error, now, job_id, owner),
+            )
+
+    def requeue_stale(self) -> int:
+        """Return expired-lease jobs to pending; the resume primitive."""
+        now = time.time()
+        with self._db:
+            cursor = self._db.execute(
+                "UPDATE jobs SET status = 'pending', owner = NULL, "
+                "lease_expires = NULL, updated = ? "
+                "WHERE status = 'running' AND lease_expires < ?",
+                (now, now),
+            )
+        return cursor.rowcount
+
+    def supersede_pending(self, key: tuple[int, int, int, int]) -> int:
+        """Cancel still-pending jobs for a cell another rung just closed."""
+        n, m, low, high = key
+        now = time.time()
+        with self._db:
+            cursor = self._db.execute(
+                "UPDATE jobs SET status = 'done', outcome = 'superseded', "
+                "updated = ? WHERE status = 'pending' "
+                "AND n = ? AND m = ? AND low = ? AND high = ?",
+                (now, n, m, low, high),
+            )
+        return cursor.rowcount
+
+    # -- inspection ------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        rows = self._db.execute(
+            "SELECT status, COUNT(*) AS total FROM jobs GROUP BY status"
+        ).fetchall()
+        return {row["status"]: row["total"] for row in rows}
+
+    def running(self) -> int:
+        row = self._db.execute(
+            "SELECT COUNT(*) AS total FROM jobs WHERE status = 'running'"
+        ).fetchone()
+        return row["total"]
+
+    def attack_stats(self) -> dict[str, dict]:
+        """Per-attack done/outcome/throughput aggregates for status."""
+        rows = self._db.execute(
+            "SELECT attack, outcome, COUNT(*) AS total, "
+            "SUM(seconds) AS seconds FROM jobs "
+            "WHERE status = 'done' GROUP BY attack, outcome"
+        ).fetchall()
+        stats: dict[str, dict] = {}
+        for row in rows:
+            entry = stats.setdefault(
+                row["attack"], {"done": 0, "seconds": 0.0, "outcomes": {}}
+            )
+            entry["done"] += row["total"]
+            entry["seconds"] += row["seconds"] or 0.0
+            entry["outcomes"][row["outcome"] or "unknown"] = row["total"]
+        for entry in stats.values():
+            entry["jobs_per_second"] = (
+                entry["done"] / entry["seconds"] if entry["seconds"] else None
+            )
+        return stats
+
+    def iter_done(self, outcome: str | None = None) -> Iterator[Job]:
+        """Done jobs in deterministic (cell, rung, attack) order.
+
+        The finalize step iterates this — the ordering, not completion
+        time, decides which result certifies a cell, so interrupted and
+        uninterrupted campaigns converge to identical stores.
+        """
+        query = (
+            "SELECT * FROM jobs WHERE status = 'done' "
+            "ORDER BY n, m, low, high, rung, attack"
+        )
+        params: Sequence = ()
+        if outcome is not None:
+            query = (
+                "SELECT * FROM jobs WHERE status = 'done' AND outcome = ? "
+                "ORDER BY n, m, low, high, rung, attack"
+            )
+            params = (outcome,)
+        for row in self._db.execute(query, params):
+            yield Job._from_row(row)
+
+    def iter_jobs(self) -> Iterator[Job]:
+        for row in self._db.execute("SELECT * FROM jobs ORDER BY id"):
+            yield Job._from_row(row)

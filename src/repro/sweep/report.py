@@ -1,0 +1,119 @@
+"""Campaign status: queue counts, throughput, ETA, and cache pressure.
+
+``python -m repro sweep status`` and the serve layer's ``/stats`` block
+both read through :func:`campaign_status`, so a long campaign can be
+watched from a shell or scraped over HTTP without touching the workers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from .jobs import DONE, FAILED, JobStore, PENDING, RUNNING
+from .runner import sweep_jobs_path
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..universe.persist import UniverseStore
+
+__all__ = ["campaign_status", "render_status"]
+
+
+def campaign_status(
+    store: "UniverseStore",
+    queue: JobStore | None = None,
+    count_open: bool = True,
+) -> dict | None:
+    """The status payload, or None when the store has no campaign queue.
+
+    ``count_open`` loads the graph to count the surviving OPEN region
+    and the cells the sweep has closed so far; pass False on hot paths
+    (the serve layer) that only want queue counts and throughput.
+    """
+    path = sweep_jobs_path(store.root)
+    if queue is None:
+        if not path.is_file():
+            return None
+        queue = JobStore(path)
+    counts = queue.counts()
+    attacks = queue.attack_stats()
+    done = counts.get(DONE, 0)
+    pending = counts.get(PENDING, 0)
+    total_seconds = sum(entry["seconds"] for entry in attacks.values())
+    throughput = done / total_seconds if total_seconds else None
+    payload: dict = {
+        "jobs": {
+            "pending": pending,
+            "running": counts.get(RUNNING, 0),
+            "done": done,
+            "failed": counts.get(FAILED, 0),
+        },
+        "attacks": attacks,
+        "throughput_jobs_per_second": throughput,
+        # Sequential-seconds estimate: wall clock divides by the worker
+        # count the next `sweep run` is given.
+        "eta_seconds": (pending / throughput) if throughput else None,
+        "caches": {"decision": store.decision_cache.stats()},
+    }
+    raw_signature = queue.get_meta("signature")
+    if raw_signature:
+        payload["signature"] = json.loads(raw_signature)
+    if count_open:
+        closed_by_sweep = sum(
+            1
+            for row in store.read_overrides().get("overrides", {}).values()
+            if str(row.get("reason", "")).startswith("sweep[")
+        )
+        payload["closed_by_sweep"] = closed_by_sweep
+        try:
+            graph = store.load()
+        except (FileNotFoundError, ValueError):
+            payload["open_remaining"] = None
+        else:
+            payload["open_remaining"] = sum(
+                1 for node in graph.nodes() if node.solvability == "open"
+            )
+    return payload
+
+
+def render_status(payload: dict) -> str:
+    """The ASCII rendering of a status payload."""
+    jobs = payload["jobs"]
+    lines = [
+        "sweep campaign:",
+        "  jobs: {pending} pending, {running} running, {done} done, "
+        "{failed} failed".format(**jobs),
+    ]
+    if payload.get("throughput_jobs_per_second"):
+        lines.append(
+            f"  throughput: "
+            f"{payload['throughput_jobs_per_second']:.2f} jobs/s (solver "
+            f"time); ~{payload['eta_seconds']:.0f}s of solver work queued"
+        )
+    for name, entry in sorted(payload.get("attacks", {}).items()):
+        outcomes = ", ".join(
+            f"{count} {outcome}"
+            for outcome, count in sorted(entry["outcomes"].items())
+        )
+        rate = (
+            f"{entry['jobs_per_second']:.2f} jobs/s"
+            if entry["jobs_per_second"]
+            else "n/a"
+        )
+        lines.append(f"  attack {name}: {entry['done']} done ({outcomes}), {rate}")
+    if payload.get("open_remaining") is not None:
+        lines.append(
+            f"  OPEN region: {payload['open_remaining']} cells remain "
+            f"({payload.get('closed_by_sweep', 0)} closed by sweep)"
+        )
+    cache = payload.get("caches", {}).get("decision")
+    if cache:
+        lines.append(
+            "  decision cache: {hits} hits, {misses} misses, "
+            "{writes} writes".format(
+                hits=cache.get("hits", 0),
+                misses=cache.get("misses", 0),
+                writes=cache.get("writes", 0),
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,398 @@
+"""SAT encoding of r-round decision-map existence, with a built-in solver.
+
+The exhaustive tier-4 search (:func:`repro.topology.decision.search_decision_map`)
+walks the decision-map space class by class, re-checking facet legality in
+Python per assignment — complete, but slow on the larger complexes the
+close-open sweep wants to attack.  This module recasts the same question
+as propositional satisfiability:
+
+* one boolean per ``(canonical class, output value)`` pair with
+  exactly-one constraints per class;
+* per facet and value, the task's counting bounds become clauses — the
+  at-most-``u`` side forbids every *minimal* subset of the facet's
+  classes whose multiplicities sum past ``u``, the at-least-``l`` side
+  requires a value in the complement of every *maximal* deficient
+  subset (facets have at most ``n`` distinct classes, so both
+  enumerations are tiny);
+* value interchangeability of symmetric GSB tasks — legality depends
+  only on the multiset of per-value counts — is broken with a
+  **value-precede chain** over the deterministic class order (value
+  ``w`` may first appear only after ``w - 1``), the clause-level
+  counterpart of the ``value_precede`` breakers catalogued in
+  SNIPPETS.md; it generalizes the first-class-pins-value-1 trick the
+  backtracking search uses.
+
+Satisfying assignments decode to decision maps (independently verified
+and certified by the caller); refutations are sound "no r-round
+comparison-based protocol exists" statements, the same bounded evidence
+the exhaustive tier records.
+
+The solver is a dependency-free CDCL — two-watched-literal propagation,
+first-UIP conflict learning, activity-driven branching — so the attack
+has no hard dependency on an external SAT solver.  A conflict budget
+makes every call terminate; exceeding it raises
+:class:`SatBudgetExceeded`, which the sweep records as an exhausted
+attack rung.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..core.gsb import GSBTask
+from ..topology.decision import decision_class_order
+from ..topology.is_complex import ISProtocolComplex
+
+
+class SatBudgetExceeded(RuntimeError):
+    """The conflict budget ran out before SAT/UNSAT was established."""
+
+
+@dataclass(frozen=True)
+class DecisionMapEncoding:
+    """A CNF whose models are exactly the legal decision maps.
+
+    ``class_order`` is the deterministic order of
+    :func:`repro.topology.decision.decision_class_order`; variable
+    ``class_index * m + value`` (1-based values) is true iff the class
+    decides that value, so models decode positionally.
+    """
+
+    n: int
+    m: int
+    rounds: int
+    num_vars: int
+    clauses: tuple[tuple[int, ...], ...]
+    class_order: tuple
+
+    def decode(self, model: Mapping[int, bool]) -> dict:
+        """Model -> decision map (class label -> output value)."""
+        decision_map = {}
+        for index, label in enumerate(self.class_order):
+            values = [
+                value
+                for value in range(1, self.m + 1)
+                if model.get(index * self.m + value)
+            ]
+            if len(values) != 1:
+                raise ValueError(
+                    f"model assigns {len(values)} values to class {index}"
+                )
+            decision_map[label] = values[0]
+        return decision_map
+
+
+def _facet_value_clauses(
+    mult: dict[int, int], low: int, high: int, m: int, var
+) -> Iterable[tuple[int, ...]]:
+    """Counting clauses for one facet (class index -> multiplicity)."""
+    distinct = sorted(mult)
+    # At most ``high`` per value: forbid minimal over-threshold subsets.
+    for size in range(1, len(distinct) + 1):
+        for subset in itertools.combinations(distinct, size):
+            total = sum(mult[c] for c in subset)
+            if total < high + 1:
+                continue
+            if all(total - mult[c] < high + 1 for c in subset):
+                for value in range(1, m + 1):
+                    yield tuple(-var(c, value) for c in subset)
+    # At least ``low`` per value: some class outside every maximal
+    # deficient subset must take the value.
+    if low >= 1:
+        for size in range(0, len(distinct) + 1):
+            for subset in itertools.combinations(distinct, size):
+                total = sum(mult[c] for c in subset)
+                if total > low - 1:
+                    continue
+                rest = [c for c in distinct if c not in subset]
+                if all(total + mult[c] > low - 1 for c in rest):
+                    for value in range(1, m + 1):
+                        yield tuple(var(c, value) for c in rest)
+
+
+def encode_decision_map(
+    task: GSBTask, complex_: ISProtocolComplex
+) -> DecisionMapEncoding:
+    """CNF for "an r-round comparison-based decision map solves ``task``"."""
+    if task.n != complex_.n:
+        raise ValueError(
+            f"task is on {task.n} processes but the complex has {complex_.n}"
+        )
+    classes = complex_.canonical_classes()
+    order = decision_class_order(complex_)
+    position = {label: index for index, label in enumerate(order)}
+    m = task.m
+    low, high = task.low, task.high
+
+    def var(class_index: int, value: int) -> int:
+        return class_index * m + value
+
+    clauses: set[tuple[int, ...]] = set()
+    for index in range(len(order)):
+        clauses.add(tuple(var(index, value) for value in range(1, m + 1)))
+        for v1, v2 in itertools.combinations(range(1, m + 1), 2):
+            clauses.add((-var(index, v1), -var(index, v2)))
+    # Facets repeat class multisets heavily (the complex is built from
+    # order-isomorphic views); dedupe before clause generation.
+    seen: set[tuple] = set()
+    for facet in complex_.facets():
+        mult: dict[int, int] = {}
+        for vertex in facet:
+            index = position[classes[vertex]]
+            mult[index] = mult.get(index, 0) + 1
+        fingerprint = tuple(sorted(mult.items()))
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        clauses.update(_facet_value_clauses(mult, low, high, m, var))
+    if task.is_symmetric:
+        # Value-precede chain over the class order: w appears only after
+        # w-1 did.  Sound because symmetric-task legality is invariant
+        # under value permutation (it only reads per-value counts).
+        for w in range(2, m + 1):
+            for index in range(len(order)):
+                clauses.add(
+                    (-var(index, w),)
+                    + tuple(var(earlier, w - 1) for earlier in range(index))
+                )
+    return DecisionMapEncoding(
+        n=task.n,
+        m=m,
+        rounds=complex_.rounds,
+        num_vars=len(order) * m,
+        clauses=tuple(sorted(clauses, key=lambda c: (len(c), c))),
+        class_order=tuple(order),
+    )
+
+
+@dataclass
+class SatResult:
+    """Outcome of one :func:`solve_cnf` call."""
+
+    satisfiable: bool
+    model: dict[int, bool] | None
+    conflicts: int
+    decisions: int
+
+
+def solve_cnf(
+    num_vars: int,
+    clauses: Sequence[Sequence[int]],
+    max_conflicts: int | None = None,
+) -> SatResult:
+    """Decide a CNF with a self-contained CDCL solver.
+
+    Raises :class:`SatBudgetExceeded` when ``max_conflicts`` runs out —
+    the caller records the rung as exhausted rather than concluding
+    anything.  Polarity defaults to False (use few values first), which
+    together with the value-precede chain steers models toward the
+    lexicographically least decision map; after the first restart,
+    phase saving takes over.  Restarts follow a Luby sequence; learned
+    clauses are never deleted, so the solver stays complete.
+    """
+    assign: dict[int, bool] = {}
+    level: dict[int, int] = {}
+    reason: dict[int, list[int] | None] = {}
+    trail: list[int] = []
+    database: list[list[int]] = []
+    watches: dict[int, list[int]] = {}
+    activity = [0.0] * (num_vars + 1)
+    phase = [False] * (num_vars + 1)
+    conflicts = 0
+    decisions = 0
+
+    def value(lit: int) -> bool | None:
+        truth = assign.get(abs(lit))
+        if truth is None:
+            return None
+        return truth == (lit > 0)
+
+    def enqueue(lit: int, at: int, because: list[int] | None) -> None:
+        variable = abs(lit)
+        assign[variable] = lit > 0
+        level[variable] = at
+        reason[variable] = because
+        trail.append(variable)
+        queue.append(variable)
+
+    def watch(cid: int) -> None:
+        for lit in database[cid][:2]:
+            watches.setdefault(lit, []).append(cid)
+
+    queue: list[int] = []
+    for raw in clauses:
+        clause = list(raw)
+        if not clause:
+            return SatResult(False, None, conflicts, decisions)
+        if len(clause) == 1:
+            lit = clause[0]
+            current = value(lit)
+            if current is False:
+                return SatResult(False, None, conflicts, decisions)
+            if current is None:
+                enqueue(lit, 0, None)
+            continue
+        database.append(clause)
+        watch(len(database) - 1)
+
+    def propagate(at: int) -> list[int] | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        while queue:
+            variable = queue.pop()
+            false_lit = -variable if assign[variable] else variable
+            watching = watches.get(false_lit, [])
+            index = 0
+            while index < len(watching):
+                cid = watching[index]
+                clause = database[cid]
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = value(clause[0])
+                if first is True:
+                    index += 1
+                    continue
+                moved = False
+                for slot in range(2, len(clause)):
+                    if value(clause[slot]) is not False:
+                        clause[1], clause[slot] = clause[slot], clause[1]
+                        watches.setdefault(clause[1], []).append(cid)
+                        watching[index] = watching[-1]
+                        watching.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                if first is False:
+                    return clause
+                enqueue(clause[0], at, clause)
+                index += 1
+        return None
+
+    conflict = propagate(0)
+    if conflict is not None:
+        return SatResult(False, None, conflicts, decisions)
+
+    def luby(index: int) -> int:
+        """The Luby restart sequence 1,1,2,1,1,2,4,... (0-indexed)."""
+        size, depth = 1, 0
+        while size < index + 1:
+            depth += 1
+            size = 2 * size + 1
+        while size - 1 != index:
+            size = (size - 1) // 2
+            depth -= 1
+            index %= size
+        return 1 << depth
+
+    restart_count = 0
+    restart_limit = 256 * luby(0)
+    since_restart = 0
+    current_level = 0
+    while True:
+        if since_restart >= restart_limit and current_level > 0:
+            # Restart: keep the learned clauses, drop the decisions.
+            while trail and level[trail[-1]] > 0:
+                variable = trail.pop()
+                phase[variable] = assign[variable]
+                del assign[variable], level[variable], reason[variable]
+            current_level = 0
+            queue.clear()
+            restart_count += 1
+            restart_limit = 256 * luby(restart_count)
+            since_restart = 0
+        # Branch: highest-activity unassigned variable, saved polarity.
+        branch = 0
+        best = -1.0
+        for variable in range(1, num_vars + 1):
+            if variable not in assign and activity[variable] > best:
+                branch, best = variable, activity[variable]
+        if branch == 0:
+            return SatResult(True, dict(assign), conflicts, decisions)
+        decisions += 1
+        current_level += 1
+        enqueue(branch if phase[branch] else -branch, current_level, None)
+        while True:
+            conflict = propagate(current_level)
+            if conflict is None:
+                break
+            conflicts += 1
+            since_restart += 1
+            if max_conflicts is not None and conflicts > max_conflicts:
+                raise SatBudgetExceeded(
+                    f"SAT search exceeded {max_conflicts} conflicts"
+                )
+            if current_level == 0:
+                return SatResult(False, None, conflicts, decisions)
+            # First-UIP conflict analysis.
+            learnt: list[int] = []
+            seen: set[int] = set()
+            pending = 0
+            pivot: int | None = None
+            clause = conflict
+            cursor = len(trail) - 1
+            while True:
+                for lit in clause:
+                    variable = abs(lit)
+                    if variable == pivot or variable in seen:
+                        continue
+                    if level[variable] == 0:
+                        continue
+                    seen.add(variable)
+                    activity[variable] += 1.0
+                    if level[variable] == current_level:
+                        pending += 1
+                    else:
+                        learnt.append(
+                            -variable if assign[variable] else variable
+                        )
+                while (
+                    trail[cursor] not in seen
+                    or level[trail[cursor]] != current_level
+                ):
+                    cursor -= 1
+                pivot = trail[cursor]
+                pending -= 1
+                seen.discard(pivot)
+                if pending == 0:
+                    break
+                clause = reason[pivot] or []
+                cursor -= 1
+            uip = -pivot if assign[pivot] else pivot
+            learnt.insert(0, uip)
+            backtrack_level = (
+                max(level[abs(lit)] for lit in learnt[1:])
+                if len(learnt) > 1
+                else 0
+            )
+            while trail and level[trail[-1]] > backtrack_level:
+                variable = trail.pop()
+                phase[variable] = assign[variable]
+                del assign[variable], level[variable], reason[variable]
+            current_level = backtrack_level
+            queue.clear()
+            if len(learnt) == 1:
+                enqueue(uip, 0, None)
+            else:
+                database.append(learnt)
+                watch(len(database) - 1)
+                enqueue(uip, current_level, learnt)
+            if conflicts % 256 == 0:
+                for variable in range(1, num_vars + 1):
+                    activity[variable] *= 0.5
+
+
+def solve_decision_map_sat(
+    task: GSBTask,
+    complex_: ISProtocolComplex,
+    max_conflicts: int | None = None,
+) -> tuple[dict | None, SatResult]:
+    """Encode + solve; returns ``(decision_map | None, raw SAT result)``."""
+    encoding = encode_decision_map(task, complex_)
+    result = solve_cnf(
+        encoding.num_vars, encoding.clauses, max_conflicts=max_conflicts
+    )
+    if not result.satisfiable:
+        return None, result
+    return encoding.decode(result.model), result

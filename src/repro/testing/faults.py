@@ -50,6 +50,12 @@ point                      site / effect when armed
                            the loud JSON-shard fallback
 ``backend.pack.row``       every pack row decode — corrupt the blob
                            to simulate a torn pack read
+``sweep.lease.commit``     sweep queue, just after a job lease
+                           commits — exit to kill a worker that owns
+                           undone work (stale-lease requeue window)
+``sweep.result.write``     sweep queue, inside the result transaction
+                           before commit — exit to kill a worker
+                           whose finished work is not yet durable
 =========================  =========================================
 """
 

@@ -832,6 +832,64 @@ class UniverseStore:
             except (KeyError, TypeError, ValueError):
                 continue  # malformed row: skip it, the rest still applies
 
+    def apply_closures(
+        self,
+        closures: dict,
+        budget_signature: dict,
+        evidence: dict | None = None,
+        open_entries: dict | None = None,
+    ) -> int:
+        """Merge verdict rows into ``overrides.json`` and the decide cache.
+
+        ``closures`` maps cell keys to rows carrying ``solvability``,
+        ``reason``, ``tier``, ``procedure``, ``certificate_id`` and
+        ``certificate``; ``evidence`` optionally attaches tier-4 evidence
+        lines to closed keys, and ``open_entries`` warms the decide cache
+        for cells that stayed OPEN (evidence lines per key).  The merged
+        document is written atomically (tmp + rename), so a crash
+        mid-commit leaves the previous overrides intact — this is the
+        single funnel every closure producer (the in-process close-open
+        sweep and the job-queue campaign runner alike) commits through,
+        which is what makes replaying a campaign idempotent.  Returns the
+        number of override rows written.
+        """
+        evidence = evidence or {}
+        if not closures and not open_entries:
+            # Nothing to commit: leave the document (and its budget
+            # stamp) untouched so replaying a finished campaign is a
+            # true no-op — same overrides bytes, same fingerprint.
+            return 0
+        overrides: dict[str, dict] = dict(
+            self.read_overrides().get("overrides", {})
+        )
+        cache_entries: dict[tuple, dict] = {}
+        for key, row in sorted(closures.items()):
+            overrides[",".join(str(part) for part in key)] = dict(row)
+            cache_entries[key] = {
+                **row,
+                "evidence": list(evidence.get(key, ())),
+                "budget": budget_signature,
+            }
+        for key, entry in sorted((open_entries or {}).items()):
+            if key in closures:
+                continue
+            cache_entries[key] = {**entry, "budget": budget_signature}
+        document = {
+            "version": SCHEMA_VERSION,
+            "budget": budget_signature,
+            "overrides": overrides,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        staging = self.overrides_path.with_suffix(".json.tmp")
+        with open(staging, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        staging.replace(self.overrides_path)
+        self._invalidate_read_caches()
+        if cache_entries:
+            self.decision_cache.put_many(cache_entries)
+        return len(closures)
+
     def close_open(self, budget=None, jobs: int = 0):
         """Run the close-open sweep (decision tiers 3-4) and persist it.
 
@@ -849,39 +907,31 @@ class UniverseStore:
         budget = budget or DecisionBudget()
         graph = self.load()
         report = sweep(graph, budget)
-        overrides: dict[str, dict] = dict(
-            self.read_overrides().get("overrides", {})
-        )
-        cache_entries: dict[tuple, dict] = {}
-        for key, result in sorted(report.closed.items()):
-            payload = (
-                result.certificate.payload()
-                if result.certificate is not None
-                else None
-            )
-            certificate_id = (
-                result.certificate.id if result.certificate is not None else ""
-            )
-            row = {
+        closures: dict[tuple, dict] = {}
+        for key, result in report.closed.items():
+            closures[key] = {
                 "solvability": result.solvability.value,
                 "reason": result.reason,
                 "tier": result.tier,
                 "procedure": result.procedure,
-                "certificate_id": certificate_id,
-                "certificate": payload,
-            }
-            overrides[",".join(str(part) for part in key)] = row
-            cache_entries[key] = {
-                **row,
-                "evidence": list(report.evidence.get(key, ())),
-                "budget": budget.signature(),
+                "certificate_id": (
+                    result.certificate.id
+                    if result.certificate is not None
+                    else ""
+                ),
+                "certificate": (
+                    result.certificate.payload()
+                    if result.certificate is not None
+                    else None
+                ),
             }
         # OPEN survivors with fresh evidence also warm the decide cache.
-        for key, evidence in sorted(report.evidence.items()):
+        open_entries: dict[tuple, dict] = {}
+        for key, evidence in report.evidence.items():
             if key in report.closed:
                 continue
             node = graph.node(key)
-            cache_entries[key] = {
+            open_entries[key] = {
                 "solvability": node.solvability,
                 "reason": node.reason,
                 "tier": 4,
@@ -889,22 +939,13 @@ class UniverseStore:
                 "certificate_id": None,
                 "certificate": None,
                 "evidence": list(evidence),
-                "budget": budget.signature(),
             }
-        document = {
-            "version": SCHEMA_VERSION,
-            "budget": budget.signature(),
-            "overrides": overrides,
-        }
-        self.root.mkdir(parents=True, exist_ok=True)
-        staging = self.overrides_path.with_suffix(".json.tmp")
-        with open(staging, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        staging.replace(self.overrides_path)
-        self._invalidate_read_caches()
-        if cache_entries:
-            self.decision_cache.put_many(cache_entries)
+        self.apply_closures(
+            closures,
+            budget.signature(),
+            evidence=report.evidence,
+            open_entries=open_entries,
+        )
         return report
 
     def stats(self) -> dict:

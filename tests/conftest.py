@@ -16,6 +16,12 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running end-to-end campaign tests"
+    )
+
+
 @pytest.fixture
 def small_family_grid():
     """(n, m) pairs small enough for exhaustive structural sweeps."""

@@ -48,6 +48,24 @@ class TestRoundtrip:
         stats = cache.stats()
         assert stats["hits"] == 1 and stats["misses"] == 1
 
+    def test_stats_count_writes(self, tmp_path):
+        cache = CertificateCache(tmp_path / "c")
+        cache.put((6, 3, 1, 4), entry())
+        cache.put_many({(6, 3, 0, 6): entry(), (7, 2, 1, 6): entry()})
+        assert cache.stats()["writes"] == 3
+        cache.clear()
+        assert cache.stats()["writes"] == 0
+
+    def test_writes_surface_in_process_cache_stats(self, tmp_path):
+        from repro.core.cache_config import cache_stats
+
+        cache = CertificateCache(tmp_path / "c")
+        before = cache_stats()["decision.certificates"]["writes"]
+        cache.put((6, 3, 1, 4), entry())
+        after = cache_stats()["decision.certificates"]
+        assert after["writes"] == before + 1
+        assert after["instances"] >= 1
+
 
 class TestSelfHealing:
     def test_garbage_shard_reads_as_empty(self, tmp_path):

@@ -129,3 +129,37 @@ class TestGraphWiring:
         assert payload["certificate"]["kind"] == "value-padding"
         assert payload["canonical"] == [4, 5, 0, 1]
         assert isinstance(payload["seconds"], float)
+
+
+class TestTimingsAndConsumedBudget:
+    def test_timings_cover_only_the_tiers_that_ran(self):
+        verdict = decide(6, 3, 0, 6)
+        assert [name for name, _ in verdict.timings] == ["closed-form"]
+        assert all(seconds >= 0.0 for _, seconds in verdict.timings)
+        assert verdict.budget_consumed == {}
+
+    def test_open_verdict_times_all_tiers_and_reports_consumption(self):
+        budget = DecisionBudget(max_rounds=1)
+        verdict = decide(4, 3, 0, 2, budget=budget)
+        assert [name for name, _ in verdict.timings] == [
+            "closed-form",
+            "value-padding",
+            "reduction-closure",
+            "decision-map",
+        ]
+        # The empirical tier accounts for what the budget actually paid.
+        assert verdict.budget_consumed["rounds_searched"] == 1
+        assert verdict.budget_consumed["assignments_tried"] > 0
+
+    def test_json_carries_per_tier_timings(self):
+        payload = decide(4, 3, 0, 2, budget=DecisionBudget(max_rounds=1)).to_json()
+        assert set(payload["timings"]) == {
+            "closed-form",
+            "value-padding",
+            "reduction-closure",
+            "decision-map",
+        }
+        assert all(
+            isinstance(seconds, float) for seconds in payload["timings"].values()
+        )
+        assert payload["budget_consumed"]["rounds_searched"] == 1

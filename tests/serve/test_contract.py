@@ -270,6 +270,27 @@ class TestQueryContracts:
     def test_healthz(self, service):
         assert get(service, "/healthz").payload == {"status": "ok"}
 
+    def test_stats_sweep_block_appears_with_campaign(self, tmp_path):
+        from repro.sweep import SweepConfig, SweepRunner
+
+        store = UniverseStore(tmp_path / "store")
+        store.build(4, 3)
+        service = UniverseService(store)
+        # No campaign queue yet: the block is absent, not null.
+        assert "sweep" not in get(service, "/stats").payload
+        config = SweepConfig(
+            workers=0,
+            max_rounds=1,
+            max_conflicts=200_000,
+            max_assignments=200_000,
+        )
+        SweepRunner(store, config).campaign()
+        sweep = get(service, "/stats").payload["sweep"]
+        assert sweep["jobs"]["done"] == 2
+        assert sweep["signature"]["sweep"] is True
+        # The serve layer takes the hot path: no graph load, no counts.
+        assert "open_remaining" not in sweep
+
 
 class TestBatch:
     def post_batch(self, service, requests):

@@ -1,0 +1,172 @@
+"""Tests for the persistent sweep job queue (:mod:`repro.sweep.jobs`).
+
+The queue's lease/complete/requeue protocol is what the crash-resume
+guarantee stands on, so its invariants are pinned here directly — the
+end-to-end kill tests live in ``test_resume.py``.
+"""
+
+import pytest
+
+from repro.sweep.jobs import (
+    DONE,
+    FAILED,
+    JobStore,
+    OUTCOME_CLOSED,
+    OUTCOME_SUPERSEDED,
+    PENDING,
+    RUNNING,
+)
+
+KEY_A = (4, 3, 0, 2)
+KEY_B = (5, 4, 0, 2)
+
+
+@pytest.fixture
+def queue(tmp_path):
+    with JobStore(tmp_path / "jobs.sqlite") as store:
+        yield store
+
+
+def seed(queue):
+    return queue.enqueue(
+        [
+            (KEY_A, "sat", 0, {"rounds": 1}),
+            (KEY_A, "sat", 1, {"rounds": 2}),
+            (KEY_B, "sat", 0, {"rounds": 1}),
+        ]
+    )
+
+
+class TestEnqueue:
+    def test_enqueue_counts_new_rows(self, queue):
+        assert seed(queue) == 3
+        assert queue.counts() == {PENDING: 3}
+
+    def test_reenqueue_is_idempotent(self, queue):
+        seed(queue)
+        assert seed(queue) == 0
+        assert queue.counts() == {PENDING: 3}
+
+    def test_reenqueue_refreshes_pending_params(self, queue):
+        seed(queue)
+        queue.enqueue([(KEY_A, "sat", 0, {"rounds": 1, "max_conflicts": 7})])
+        jobs = {(j.key, j.attack, j.rung): j for j in queue.iter_jobs()}
+        assert jobs[(KEY_A, "sat", 0)].params == {
+            "rounds": 1,
+            "max_conflicts": 7,
+        }
+
+    def test_reenqueue_never_touches_finished_rows(self, queue):
+        seed(queue)
+        job = queue.lease("w")
+        queue.complete(job.id, "w", OUTCOME_CLOSED, {"x": 1}, 0.5)
+        queue.enqueue([(job.key, job.attack, job.rung, {"rounds": 99})])
+        done = next(j for j in queue.iter_jobs() if j.id == job.id)
+        assert done.status == DONE
+        assert done.params != {"rounds": 99}
+
+    def test_meta_roundtrip(self, queue):
+        queue.set_meta("signature", "{}")
+        queue.set_meta("signature", '{"a": 1}')
+        assert queue.get_meta("signature") == '{"a": 1}'
+        assert queue.get_meta("missing") is None
+
+
+class TestLeaseProtocol:
+    def test_lease_is_rung_major(self, queue):
+        seed(queue)
+        first = queue.lease("w")
+        second = queue.lease("w")
+        assert first.rung == second.rung == 0
+        assert queue.lease("w").rung == 1
+
+    def test_lease_marks_running_and_counts_attempt(self, queue):
+        seed(queue)
+        job = queue.lease("w")
+        assert job.status == RUNNING
+        assert job.attempts == 1
+        assert queue.counts()[RUNNING] == 1
+
+    def test_drained_queue_leases_none(self, queue):
+        assert queue.lease("w") is None
+
+    def test_complete_requires_owner(self, queue):
+        seed(queue)
+        job = queue.lease("w1")
+        assert not queue.complete(job.id, "w2", OUTCOME_CLOSED, None, 0.1)
+        assert queue.complete(job.id, "w1", OUTCOME_CLOSED, None, 0.1)
+
+    def test_complete_is_terminal(self, queue):
+        seed(queue)
+        job = queue.lease("w")
+        assert queue.complete(job.id, "w", OUTCOME_CLOSED, {"r": 1}, 0.1)
+        # A second commit (a zombie with a lost lease) must be a no-op.
+        assert not queue.complete(job.id, "w", OUTCOME_CLOSED, {"r": 2}, 0.1)
+
+    def test_heartbeat_extends_only_own_lease(self, queue):
+        seed(queue)
+        job = queue.lease("w1", lease_seconds=60)
+        assert queue.heartbeat(job.id, "w1", lease_seconds=60)
+        assert not queue.heartbeat(job.id, "w2", lease_seconds=60)
+
+    def test_fail_retries_until_max_attempts(self, queue):
+        queue.enqueue([(KEY_A, "sat", 0, {"rounds": 1})])
+        for attempt in range(1, 3):
+            job = queue.lease("w")
+            assert job.attempts == attempt
+            queue.fail(job.id, "w", "boom", max_attempts=3)
+            assert queue.counts() == {PENDING: 1}
+        job = queue.lease("w")
+        queue.fail(job.id, "w", "boom", max_attempts=3)
+        assert queue.counts() == {FAILED: 1}
+
+
+class TestCrashPrimitives:
+    def test_requeue_stale_recovers_expired_leases(self, queue):
+        seed(queue)
+        queue.lease("dead", lease_seconds=-1)  # already expired
+        live = queue.lease("alive", lease_seconds=300)
+        assert queue.requeue_stale() == 1
+        counts = queue.counts()
+        assert counts[PENDING] == 2
+        assert counts[RUNNING] == 1
+        assert queue.heartbeat(live.id, "alive")  # untouched
+
+    def test_requeued_job_keeps_attempt_count(self, queue):
+        queue.enqueue([(KEY_A, "sat", 0, {"rounds": 1})])
+        queue.lease("dead", lease_seconds=-1)
+        queue.requeue_stale()
+        assert queue.lease("w").attempts == 2
+
+    def test_supersede_cancels_only_pending_of_that_cell(self, queue):
+        seed(queue)
+        running = queue.lease("w")  # KEY_A rung 0
+        assert queue.supersede_pending(KEY_A) == 1  # KEY_A rung 1
+        outcomes = {
+            (j.key, j.rung): j.outcome
+            for j in queue.iter_jobs()
+            if j.status == DONE
+        }
+        assert outcomes == {(KEY_A, 1): OUTCOME_SUPERSEDED}
+        assert running.status == RUNNING
+        assert queue.counts()[PENDING] == 1  # KEY_B untouched
+
+
+class TestInspection:
+    def test_iter_done_is_deterministically_ordered(self, queue):
+        seed(queue)
+        # Complete in scrambled order; iteration must not follow it.
+        for _ in range(3):
+            job = queue.lease("w")
+            queue.complete(job.id, "w", OUTCOME_CLOSED, None, 0.1)
+        order = [(j.key, j.rung) for j in queue.iter_done()]
+        assert order == sorted(order)
+
+    def test_attack_stats_aggregates(self, queue):
+        seed(queue)
+        job = queue.lease("w")
+        queue.complete(job.id, "w", OUTCOME_CLOSED, None, 2.0)
+        stats = queue.attack_stats()
+        assert stats["sat"]["done"] == 1
+        assert stats["sat"]["outcomes"] == {OUTCOME_CLOSED: 1}
+        assert stats["sat"]["jobs_per_second"] == pytest.approx(0.5)

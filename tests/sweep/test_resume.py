@@ -1,0 +1,164 @@
+"""Crash-resume tests: kill workers mid-attack, assert nothing is lost.
+
+The two fault points bracket the interesting crash windows:
+
+* ``sweep.lease.commit`` — the worker dies the instant it owns work it
+  has not done.  The job must come back via stale-lease requeue and be
+  completed by a later worker, with its attempt count advanced.
+* ``sweep.result.write`` — the worker dies inside the result
+  transaction, after the attack finished but before the commit.  The
+  write must roll back (no torn row) and the re-run must reproduce the
+  identical result.
+
+The end-to-end tests drive real forked workers through ``REPRO_FAULTS``
+(the env-var seam workers parse at startup) and finish by comparing the
+crashed-and-resumed store against an uninterrupted control campaign:
+identical job rows, identical overrides document, identical store
+fingerprint.  The inline tests pin the same two windows deterministically
+with in-process injected exceptions.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.sweep import SweepConfig, SweepRunner
+from repro.sweep.jobs import DONE, JobStore, PENDING, RUNNING
+from repro.testing.faults import FAULTS
+from repro.universe import UniverseStore
+
+TARGET = (4, 3, 0, 2)
+
+
+def fast_config(**overrides):
+    """Sub-second attacks and short leases so crashes recover quickly."""
+    defaults = dict(
+        workers=1,
+        max_rounds=1,
+        max_conflicts=200_000,
+        max_assignments=200_000,
+        lease_seconds=0.5,
+        poll_seconds=0.05,
+        max_spawns=100,
+    )
+    defaults.update(overrides)
+    return SweepConfig(**defaults)
+
+
+def build_store(tmp_path, name):
+    store = UniverseStore(tmp_path / name)
+    store.build(4, 3)
+    return store
+
+
+class Boom(Exception):
+    """The injected in-process crash."""
+
+
+def die(context):
+    raise Boom("injected crash")
+
+
+@pytest.mark.slow
+class TestKilledWorkerCampaigns:
+    @pytest.mark.parametrize(
+        "point", ["sweep.lease.commit", "sweep.result.write"]
+    )
+    def test_kill_then_resume_matches_uninterrupted_run(
+        self, tmp_path, monkeypatch, point
+    ):
+        control = build_store(tmp_path, "control")
+        control_runner = SweepRunner(control, fast_config(workers=0))
+        control_runner.campaign()
+
+        # Arm the kill for the first forked worker(s), then clear the
+        # environment shortly after: workers copy it at fork time, so the
+        # early spawns die on the point and every respawn comes up
+        # healthy — a transient crash the supervisor must ride out.
+        crashed = build_store(tmp_path, "crashed")
+        monkeypatch.setenv("REPRO_FAULTS", f"{point}=exit:code=1")
+        disarm = threading.Timer(
+            0.5, lambda: os.environ.pop("REPRO_FAULTS", None)
+        )
+        disarm.start()
+        try:
+            runner = SweepRunner(crashed, fast_config())
+            report = runner.campaign()
+        finally:
+            disarm.cancel()
+            os.environ.pop("REPRO_FAULTS", None)
+
+        counts = runner.jobs.counts()
+        assert counts.get(PENDING, 0) == 0
+        assert counts.get(RUNNING, 0) == 0
+        assert counts[DONE] == 2
+        assert report.completed == 2
+        # Zero lost and zero duplicated results: row for row, the crashed
+        # campaign converged to the uninterrupted one...
+        def rows(job_store):
+            return [
+                (j.key, j.attack, j.rung, j.outcome, j.result)
+                for j in job_store.iter_done()
+            ]
+
+        assert rows(runner.jobs) == rows(control_runner.jobs)
+        # ...and so did the stores it finalized into.
+        assert crashed.read_overrides() == control.read_overrides()
+        assert (
+            crashed.decision_cache.get(TARGET)
+            == control.decision_cache.get(TARGET)
+        )
+        assert crashed.fingerprint() == control.fingerprint()
+
+    def test_crash_loop_gives_up_loudly(self, tmp_path, monkeypatch):
+        store = build_store(tmp_path, "doomed")
+        # Every worker dies at its first lease and the arm never clears:
+        # the supervisor must fail the run, not spin forever.
+        monkeypatch.setenv("REPRO_FAULTS", "sweep.lease.commit=exit:code=1")
+        runner = SweepRunner(store, fast_config(max_spawns=3))
+        runner.prepare()
+        with pytest.raises(RuntimeError, match="worker spawns"):
+            runner.run()
+
+
+class TestInlineCrashWindows:
+    """The same two windows, driven deterministically in-process."""
+
+    def test_lease_commit_crash_requeues_with_attempt_kept(self, tmp_path):
+        store = build_store(tmp_path, "inline-lease")
+        # lease_seconds < 0: the crashed lease is stale the instant it is
+        # taken, so the resumed runner recovers it without waiting.
+        runner = SweepRunner(store, fast_config(workers=0, lease_seconds=-1))
+        runner.prepare()
+        with FAULTS.injected("sweep.lease.commit", die, times=1):
+            with pytest.raises(Boom):
+                runner.run()
+        # The lease committed before the crash: the row is running and
+        # owned by a dead worker, not lost.
+        queue = JobStore(runner.jobs.path)
+        assert queue.counts() == {RUNNING: 1, PENDING: 1}
+        # Resuming requeues the stale lease and drains everything; the
+        # interrupted job re-runs on its second attempt.
+        resumed = SweepRunner(store, fast_config(workers=0))
+        assert resumed.run() == 2
+        done = list(resumed.jobs.iter_done())
+        assert len(done) == 2
+        assert max(job.attempts for job in done) == 2
+
+    def test_result_write_crash_loses_no_commit(self, tmp_path):
+        store = build_store(tmp_path, "inline-result")
+        runner = SweepRunner(store, fast_config(workers=0, lease_seconds=-1))
+        runner.prepare()
+        with FAULTS.injected("sweep.result.write", die, times=1):
+            with pytest.raises(Boom):
+                runner.run()
+        # The result transaction rolled back: the attack's work is gone
+        # but the row is intact and still leased — never half-written.
+        queue = JobStore(runner.jobs.path)
+        torn = next(j for j in queue.iter_jobs() if j.status == RUNNING)
+        assert torn.outcome is None
+        assert torn.result is None
+        resumed = SweepRunner(store, fast_config(workers=0))
+        assert resumed.run() == 2
+        assert resumed.jobs.counts() == {DONE: 2}

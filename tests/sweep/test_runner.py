@@ -1,0 +1,159 @@
+"""Tests for the campaign runner: prepare, inline run, finalize.
+
+The rectangle ``n <= 4, m <= 3`` has exactly one OPEN cell after the
+seed tiers — ``(4,3,0,2)`` — which makes it the perfect campaign
+target: small enough to attack in-process, real enough that its closure
+(a 2-round SAT-found decision map) exercises the whole certify-commit
+path the acceptance criteria care about.
+"""
+
+import pytest
+
+from repro.sweep import SweepConfig, SweepRunner, sweep_jobs_path
+from repro.sweep.jobs import DONE, JobStore, OUTCOME_REFUTED
+from repro.universe import UniverseStore
+
+TARGET = (4, 3, 0, 2)
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = UniverseStore(tmp_path / "u")
+    store.build(4, 3)
+    return store
+
+
+def config(**overrides):
+    defaults = dict(
+        workers=0,
+        max_rounds=1,
+        max_conflicts=200_000,
+        max_assignments=200_000,
+        lease_seconds=60.0,
+    )
+    defaults.update(overrides)
+    return SweepConfig(**defaults)
+
+
+class TestPrepare:
+    def test_prepare_enqueues_open_ladder(self, store):
+        runner = SweepRunner(store, config())
+        assert runner.open_keys() == [TARGET]
+        assert runner.prepare() == 2  # sat + exhaustive at r=1
+        assert runner.prepare() == 0  # idempotent
+        assert sweep_jobs_path(store.root).is_file()
+
+    def test_prepare_records_signature(self, store):
+        runner = SweepRunner(store, config())
+        runner.prepare()
+        assert '"sweep": true' in runner.jobs.get_meta("signature")
+
+
+class TestInlineCampaign:
+    def test_refutation_round_leaves_cell_open_with_evidence(self, store):
+        runner = SweepRunner(store, config())
+        report = runner.campaign()
+        assert report.enqueued == 2
+        assert report.completed == 2
+        assert report.closed_cells == []
+        # (4,3,0,2) has no 1-round protocol: both attacks refute.
+        outcomes = {j.attack: j.outcome for j in runner.jobs.iter_done()}
+        assert outcomes == {
+            "sat": OUTCOME_REFUTED,
+            "exhaustive": OUTCOME_REFUTED,
+        }
+        # The strengthened evidence lands in the decision cache...
+        entry = store.decision_cache.get(TARGET)
+        assert entry["solvability"] == "open"
+        assert any("no comparison-based" in line for line in entry["evidence"])
+        # ...but never in the overrides document (the cell is still OPEN).
+        assert store.read_overrides().get("overrides", {}) == {}
+
+    def test_max_jobs_pauses_and_resume_continues(self, store):
+        runner = SweepRunner(store, config())
+        runner.prepare()
+        assert runner.run(max_jobs=1) == 1
+        counts = runner.jobs.counts()
+        assert counts[DONE] == 1
+        # A fresh runner against the same store picks up where we left.
+        resumed = SweepRunner(store, config())
+        assert resumed.run() == 1
+        assert resumed.jobs.counts()[DONE] == 2
+
+
+@pytest.fixture(scope="module")
+def closed_campaign(tmp_path_factory):
+    """One full campaign that closes (4,3,0,2) — shared by the slow tests."""
+    store = UniverseStore(tmp_path_factory.mktemp("campaign") / "u")
+    store.build(4, 3)
+    runner = SweepRunner(store, config(max_rounds=2))
+    report = runner.campaign()
+    return store, runner, report
+
+
+@pytest.mark.slow
+class TestClosureCampaign:
+    def test_campaign_closes_the_open_cell(self, closed_campaign):
+        store, _, report = closed_campaign
+        assert report.closed_cells == [TARGET]
+        row = store.read_overrides()["overrides"]["4,3,0,2"]
+        assert row["solvability"] == "wait-free solvable"
+        assert row["tier"] == 4
+        assert row["reason"].startswith("sweep[")
+        assert row["certificate"]["rounds"] == 2
+        # The freshly loaded graph reflects the closure.
+        graph = store.load()
+        node = next(n for n in graph.nodes() if n.key == TARGET)
+        assert node.solvability == "wait-free solvable"
+
+    def test_closure_certificate_replays(self, closed_campaign):
+        from repro.decision import certificate_id, check_certificate_payload
+
+        store, _, _ = closed_campaign
+        row = store.read_overrides()["overrides"]["4,3,0,2"]
+        assert check_certificate_payload(row["certificate"]) == []
+        assert certificate_id(row["certificate"]) == row["certificate_id"]
+
+    def test_finalize_is_idempotent(self, closed_campaign):
+        store, runner, _ = closed_campaign
+        first = store.read_overrides()
+        fingerprint = store.fingerprint()
+        again = runner.finalize()
+        assert again.closed_cells == [TARGET]  # reported, not rewritten
+        assert store.read_overrides() == first
+        assert store.fingerprint() == fingerprint
+
+    def test_closure_supersedes_deeper_rungs(self, closed_campaign):
+        _, runner, _ = closed_campaign
+        outcomes = {
+            (j.attack, j.rung): j.outcome for j in runner.jobs.iter_done()
+        }
+        # The sat rung at r=2 closes; the exhaustive r=2 cross-check is
+        # cancelled as superseded rather than burning its budget.
+        assert outcomes[("sat", 2)] == "closed"
+        assert outcomes[("exhaustive", 3)] == "superseded"
+
+
+class TestStatusReport:
+    def test_no_campaign_returns_none(self, store):
+        from repro.sweep import campaign_status
+
+        assert campaign_status(store) is None
+
+    def test_status_payload_shape(self, store):
+        from repro.sweep import campaign_status, render_status
+
+        runner = SweepRunner(store, config())
+        runner.campaign()
+        payload = campaign_status(store)
+        assert payload["jobs"]["done"] == 2
+        assert payload["jobs"]["pending"] == 0
+        assert payload["attacks"]["sat"]["done"] == 1
+        assert payload["throughput_jobs_per_second"] > 0
+        assert payload["signature"]["sweep"] is True
+        assert payload["closed_by_sweep"] == 0
+        assert payload["open_remaining"] == 1
+        assert "writes" in payload["caches"]["decision"]
+        text = render_status(payload)
+        assert "2 done" in text
+        assert "OPEN region" in text

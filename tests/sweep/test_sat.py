@@ -1,0 +1,129 @@
+"""Tests for the sweep's CNF encoding and built-in CDCL solver.
+
+The solver is the component a wrong answer from would be worst — an
+unsound SAT answer is caught downstream by verification, but an unsound
+UNSAT would silently weaken refutation evidence.  So beyond unit tests
+the battery differentially checks the whole encode+solve path against
+the independent backtracking search on every small task.
+"""
+
+import pytest
+
+from repro.core.gsb import SymmetricGSBTask
+from repro.sweep.sat import (
+    SatBudgetExceeded,
+    encode_decision_map,
+    solve_cnf,
+    solve_decision_map_sat,
+)
+from repro.topology.decision import search_decision_map, verify_decision_map
+from repro.topology.is_complex import ISProtocolComplex
+
+
+class TestSolveCnf:
+    def test_trivial_sat(self):
+        result = solve_cnf(2, [(1,), (2,)])
+        assert result.satisfiable
+        assert result.model[1] and result.model[2]
+
+    def test_trivial_unsat(self):
+        result = solve_cnf(1, [(1,), (-1,)])
+        assert not result.satisfiable
+
+    def test_empty_formula_is_sat(self):
+        assert solve_cnf(3, []).satisfiable
+
+    def test_empty_clause_is_unsat(self):
+        assert not solve_cnf(2, [(1,), ()]).satisfiable
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # var(p, h) for pigeons 0..2, holes 0..1
+        def var(p, h):
+            return p * 2 + h + 1
+
+        clauses = [tuple(var(p, h) for h in range(2)) for p in range(3)]
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    clauses.append((-var(p1, h), -var(p2, h)))
+        result = solve_cnf(6, clauses)
+        assert not result.satisfiable
+        assert result.conflicts > 0
+
+    def test_model_satisfies_every_clause(self):
+        clauses = [(1, 2), (-1, 3), (-2, -3), (2, 3)]
+        result = solve_cnf(3, clauses)
+        assert result.satisfiable
+        for clause in clauses:
+            assert any(
+                result.model[abs(lit)] == (lit > 0) for lit in clause
+            )
+
+    def test_conflict_budget_raises(self):
+        # A hard-enough pigeonhole to exceed a one-conflict budget.
+        def var(p, h):
+            return p * 4 + h + 1
+
+        clauses = [tuple(var(p, h) for h in range(4)) for p in range(5)]
+        for h in range(4):
+            for p1 in range(5):
+                for p2 in range(p1 + 1, 5):
+                    clauses.append((-var(p1, h), -var(p2, h)))
+        with pytest.raises(SatBudgetExceeded):
+            solve_cnf(20, clauses, max_conflicts=1)
+
+
+class TestEncoding:
+    def test_exactly_one_value_per_class(self):
+        task = SymmetricGSBTask(3, 2, 0, 3)  # trivially solvable
+        complex_ = ISProtocolComplex(3, 1)
+        encoding = encode_decision_map(task, complex_)
+        decision_map, result = solve_decision_map_sat(task, complex_)
+        assert result.satisfiable
+        assert set(decision_map) == set(encoding.class_order)
+        assert all(1 <= v <= task.m for v in decision_map.values())
+
+    def test_found_map_verifies(self):
+        task = SymmetricGSBTask(3, 2, 0, 3)  # trivially solvable
+        complex_ = ISProtocolComplex(3, 1)
+        decision_map, _ = solve_decision_map_sat(task, complex_)
+        assert decision_map is not None
+        assert verify_decision_map(task, complex_, decision_map) == []
+
+    def test_known_refutation_is_unsat(self):
+        # (4,3,0,2) has no 1-round map (the store's last OPEN cell at
+        # n=4; its refutation at r=1 is well-established).
+        task = SymmetricGSBTask(4, 3, 0, 2)
+        complex_ = ISProtocolComplex(4, 1)
+        decision_map, result = solve_decision_map_sat(task, complex_)
+        assert decision_map is None
+        assert not result.satisfiable
+
+
+class TestDifferentialAgainstBacktracker:
+    """encode+solve must agree with search_decision_map everywhere."""
+
+    CASES = [
+        (n, m, low, high, rounds)
+        for n in (2, 3)
+        for m in (2, 3)
+        if m <= n
+        for low in range(0, 2)
+        for high in range(max(low, 1), n + 1)
+        for rounds in (1, 2)
+    ]
+
+    @pytest.mark.parametrize("n,m,low,high,rounds", CASES)
+    def test_agreement(self, n, m, low, high, rounds):
+        task = SymmetricGSBTask(n, m, low, high)
+        complex_ = ISProtocolComplex(n, rounds)
+        decision_map, result = solve_decision_map_sat(task, complex_)
+        try:
+            reference = search_decision_map(
+                task, complex_, max_assignments=200_000
+            )
+        except RuntimeError:
+            pytest.skip("backtracker budget exhausted; nothing to compare")
+        assert result.satisfiable == reference.solvable
+        if decision_map is not None:
+            assert verify_decision_map(task, complex_, decision_map) == []

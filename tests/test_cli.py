@@ -266,6 +266,21 @@ class TestDecideCommand:
         payload = json.loads(capsys.readouterr().out)
         assert payload["solvability"] == "not wait-free solvable"
         assert payload["certificate"]["kind"] == "value-padding"
+        # Per-tier wall clock: this verdict is decided at tier 2, so
+        # tiers 1-2 are timed and the later tiers never ran.
+        assert list(payload["timings"]) == ["closed-form", "value-padding"]
+
+    def test_decide_json_open_reports_consumed_budget(self, capsys, tmp_path):
+        assert main(["decide", "4", "3", "0", "2", "--json", "--no-cache",
+                     "--max-rounds", "1", "--dir", str(tmp_path / "u")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["solvability"] == "open"
+        assert list(payload["timings"]) == [
+            "closed-form", "value-padding", "reduction-closure",
+            "decision-map",
+        ]
+        assert payload["budget_consumed"]["rounds_searched"] == 1
+        assert payload["budget_consumed"]["assignments_tried"] > 0
 
     def test_decide_malformed_parameters(self, capsys, tmp_path):
         assert main(["decide", "0", "3", "0", "2",
