@@ -761,6 +761,7 @@ def _cmd_explore(args) -> int:
             core=args.core,
             subtree_jobs=args.jobs if subtree else 0,
             shard_depth=args.shard_depth,
+            quotient=args.quotient == "on",
         )
     except ExplorationBudgetExceeded as error:
         print(f"error: {error}; raise --max-runs", file=sys.stderr)
@@ -780,6 +781,7 @@ def _cmd_explore(args) -> int:
             "jobs": args.jobs,
             "shard_depth": args.shard_depth,
             "memoize": not args.no_memo,
+            "quotient": args.quotient == "on",
             "total_seconds": total_seconds,
             "failures": failures,
             "results": [result.to_json() for result in results],
@@ -789,7 +791,7 @@ def _cmd_explore(args) -> int:
             return 1 if failures else 0
     print(
         f"{'task':<10} {'n':>3} {'runs':>14} {'distinct':>9} "
-        f"{'memo_hits':>10} {'forks':>9} {'time':>11}  status"
+        f"{'memo_hits':>10} {'orbits':>9} {'forks':>9} {'time':>11}  status"
     )
     for result in results:
         status = (
@@ -798,6 +800,7 @@ def _cmd_explore(args) -> int:
         print(
             f"{result.name:<10} {result.n:>3} {result.runs:>14} "
             f"{result.distinct:>9} {result.stats.memo_hits:>10} "
+            f"{result.stats.orbits:>9} "
             f"{result.stats.forks:>9} {result.seconds*1000:>8.1f} ms  {status}"
         )
     if args.compare_legacy:
@@ -1343,6 +1346,14 @@ COMMANDS: tuple[Command, ...] = (
                 "--no-memo",
                 action="store_true",
                 help="disable state memoization (fork-sharing only)",
+            ),
+            arg(
+                "--quotient",
+                choices=["on", "off"],
+                default="on",
+                help="memoize over value-symmetry orbits instead of exact "
+                "states (compiled core only; counts stay exact — default "
+                "on)",
             ),
             arg(
                 "--compare-legacy",

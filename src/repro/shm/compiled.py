@@ -73,12 +73,46 @@ __all__ = [
     "CompiledProtocol",
     "MachineState",
     "MemoryLayout",
+    "ValueCanonicalizer",
     "compile_protocol",
 ]
+
+#: Process-wide step-table counters, surfaced through
+#: :func:`repro.core.cache_config.cache_stats` (registered below).
+_TABLE_TOTALS = {
+    "programs": 0,  # step tables compiled
+    "nodes": 0,  # local states traced (post frame-merging)
+    "replays": 0,  # generator replays paid to trace them
+    "frame_merges": 0,  # history-trie nodes collapsed by frame signatures
+    "table_imports": 0,  # pre-traced tables adopted by pool workers
+}
+
+
+def _register_table_counters() -> None:
+    from ..core.cache_config import register_counters
+
+    def _stats() -> dict:
+        return dict(_TABLE_TOTALS)
+
+    def _clear() -> None:
+        for key in _TABLE_TOTALS:
+            _TABLE_TOTALS[key] = 0
+
+    try:
+        register_counters("engine.step_tables", _stats, _clear)
+    except ValueError:  # pragma: no cover - double import guard
+        pass
+
+
+_register_table_counters()
 
 #: Program-counter sentinels (any non-negative value is a step-table node).
 DECIDED = -1
 CRASHED = -2
+
+#: Cache-miss marker for :meth:`CompiledProtocol.stable_pc` (None is a
+#: legitimate cached value there).
+_UNTOKENED = object()
 
 #: Packed opcodes of the step table's execution entries.
 _OP_WRITE = 0  # (code, cell, frozen value)
@@ -202,6 +236,7 @@ class CompiledProtocol:
         identities: Sequence[int],
         arrays: Mapping[str, Any] | None = None,
         objects: Mapping[str, Any] | None = None,
+        frame_nodes: bool = False,
     ):
         n = len(identities)
         if n < 1:
@@ -232,6 +267,23 @@ class CompiledProtocol:
         self.parents: list[int] = []  #: parent node (-1 at roots)
         self.sent: list[Any] = []  #: raw result received on the in-edge
         self.pids: list[int] = []  #: owning process of the node
+        #: With ``frame_nodes`` the table is a DAG over *local states*
+        #: rather than a trie over histories: newly-traced nodes whose
+        #: suspended-generator frame signature (:mod:`.localstate`)
+        #: matches an existing node merge into it, so states reached
+        #: along different result histories share one program counter.
+        #: Histories whose frames defy sound signing (exotic yield
+        #: shapes, unfreezable locals) silently keep trie identity.
+        self.frame_nodes = frame_nodes
+        self._absmap: dict[Any, int] = {}
+        self._node_sig: dict[int, Any] = {}  #: node -> frame signature
+        self._stable_tokens: dict[int, bytes | None] = {}
+        #: Node-count prefix shared with other processes via
+        #: export/import (0 = nothing shared): ids below this bound mean
+        #: the same local state in every process that imported the same
+        #: table, which is what lets orbit-memo entries travel.
+        self.shared_prefix = 0
+        _TABLE_TOTALS["programs"] += 1
         self.roots: list[int] = [self._trace_root(pid) for pid in range(n)]
 
     # -- table growth ---------------------------------------------------
@@ -249,7 +301,20 @@ class CompiledProtocol:
             op = next(generator)
         except StopIteration as stop:
             return self._add_node(pid, -1, None, None, decision=stop.value)
-        return self._add_node(pid, -1, None, None, op=op)
+        return self._add_node(
+            pid, -1, None, None, op=op,
+            signature=self._frame_signature(pid, generator),
+        )
+
+    def _frame_signature(self, pid: int, generator: Any) -> Any | None:
+        if not self.frame_nodes:
+            return None
+        from .localstate import generator_signature
+
+        signature = generator_signature(generator, freeze_value)
+        if signature is None:
+            return None
+        return (pid, signature)
 
     def _add_node(
         self,
@@ -259,6 +324,7 @@ class CompiledProtocol:
         raw_result: Any,
         op: Op | None = None,
         decision: Any = None,
+        signature: Any = None,
     ) -> int:
         if op is None and decision is None:
             # Mirrors Runtime._decide: deciding None is a protocol error.
@@ -277,6 +343,10 @@ class CompiledProtocol:
         self.pids.append(pid)
         if parent >= 0:
             self.edges[parent][key] = node
+        if signature is not None:
+            self._absmap[signature] = node
+            self._node_sig[node] = signature
+        _TABLE_TOTALS["nodes"] += 1
         return node
 
     def extend(self, parent: int, key: Any, raw_result: Any) -> int:
@@ -297,6 +367,7 @@ class CompiledProtocol:
         results = [self.sent[node] for node in path[1:]]
         results.append(raw_result)
 
+        _TABLE_TOTALS["replays"] += 1
         generator = self.algorithm(self._context(pid))
         try:
             op = next(generator)
@@ -322,10 +393,150 @@ class CompiledProtocol:
                         "result log ended in a decision before the compiled "
                         "table's pending op"
                     ) from None
+                decided_sig = None
+                if self.frame_nodes:
+                    decided_sig = (pid, "decided", freeze_value(stop.value))
+                    merged = self._merge_node(
+                        parent, key, decided_sig, decision=stop.value
+                    )
+                    if merged is not None:
+                        return merged
                 return self._add_node(
-                    pid, parent, key, raw_result, decision=stop.value
+                    pid, parent, key, raw_result,
+                    decision=stop.value, signature=decided_sig,
                 )
-        return self._add_node(pid, parent, key, raw_result, op=op)
+        signature = self._frame_signature(pid, generator)
+        if signature is not None:
+            merged = self._merge_node(parent, key, signature, op=op)
+            if merged is not None:
+                return merged
+        return self._add_node(
+            pid, parent, key, raw_result, op=op, signature=signature
+        )
+
+    def _merge_node(
+        self, parent: int, key: Any, signature: Any,
+        op: Op | None = None, decision: Any = None,
+    ) -> int | None:
+        """Route ``parent --key-->`` onto an existing local state, if any.
+
+        Returns the merged node, or None when this local state is new.
+        A signature collision whose pending operation disagrees means the
+        frame abstraction mis-identified two states — that would corrupt
+        every downstream count, so it fails loudly instead of merging.
+        """
+        existing = self._absmap.get(signature)
+        if existing is None:
+            return None
+        if op is not None and self.ops[existing] != op:
+            raise ProtocolError(
+                f"frame-signature merge mismatch: states signed {signature!r} "
+                f"record pending ops {self.ops[existing]!r} and {op!r}; "
+                "the local-state analysis is unsound for this algorithm"
+            )
+        if decision is not None and self.decisions[existing] != freeze_value(
+            decision
+        ):
+            raise ProtocolError(
+                "frame-signature merge mismatch on decision values; "
+                "the local-state analysis is unsound for this algorithm"
+            )
+        self.edges[parent][key] = existing
+        _TABLE_TOTALS["frame_merges"] += 1
+        return existing
+
+    # -- table shipping (parent pre-trace -> pool workers) ---------------
+
+    def table_signature(self) -> tuple:
+        """Structural identity two programs must share to swap tables."""
+        return (
+            self.n,
+            self.identities,
+            self.layout.signature(),
+            tuple(self.oracle_names),
+            tuple(self.generic_names),
+            self.frame_nodes,
+        )
+
+    def export_table(self) -> dict:
+        """Picklable snapshot of the traced step table.
+
+        Ships node data only — the algorithm's closures stay behind;
+        the importer marries the data to its own (identically-built)
+        program.  Frame signatures travel too (code objects are named by
+        stable tokens, see :func:`repro.shm.localstate.code_token`), so
+        importers keep merging new states consistently.
+        """
+        return {
+            "signature": self.table_signature(),
+            "ops": list(self.ops),
+            "exec_table": list(self.exec_table),
+            "decisions": list(self.decisions),
+            "edges": [dict(edge) for edge in self.edges],
+            "parents": list(self.parents),
+            "sent": list(self.sent),
+            "pids": list(self.pids),
+            "roots": list(self.roots),
+            "absmap": dict(self._absmap),
+        }
+
+    def import_table(self, data: Mapping[str, Any]) -> bool:
+        """Adopt a pre-traced table exported by an identical program.
+
+        Returns False (leaving this program untouched) when the export
+        does not structurally match — the caller keeps its own lazily
+        traced table, which is always correct, just colder.
+        """
+        if data.get("signature") != self.table_signature():
+            return False
+        if list(data["roots"]) != self.roots:
+            return False
+        if len(data["ops"]) < len(self.ops):
+            return False
+        self.ops = list(data["ops"])
+        self.exec_table = list(data["exec_table"])
+        self.decisions = list(data["decisions"])
+        self.edges = [dict(edge) for edge in data["edges"]]
+        self.parents = list(data["parents"])
+        self.sent = list(data["sent"])
+        self.pids = list(data["pids"])
+        self._absmap = dict(data["absmap"])
+        self._node_sig = {node: sig for sig, node in self._absmap.items()}
+        self._stable_tokens = {}
+        self.shared_prefix = len(self.ops)
+        _TABLE_TOTALS["table_imports"] += 1
+        return True
+
+    def stable_pc(self, node: int) -> bytes | None:
+        """Process-stable 16-byte token of a node's *local state*.
+
+        Raw node ids are allocation order — two processes lazily tracing
+        the same program in different exploration orders number the same
+        local state differently, so ids cannot cross process boundaries.
+        Frame signatures can: they name the local state itself (code
+        token + offset + live locals), so their digest is the travel-safe
+        program counter the cross-worker orbit memo keys on.  None means
+        the node has no sound signature (``frame_nodes`` off, or the
+        analysis bailed) and keys containing it must stay process-local.
+        """
+        token = self._stable_tokens.get(node, _UNTOKENED)
+        if token is not _UNTOKENED:
+            return token
+        signature = self._node_sig.get(node)
+        if signature is None:
+            token = None
+        else:
+            import pickle
+            from hashlib import blake2b
+
+            try:
+                blob = pickle.dumps(signature, protocol=4)
+            except Exception:
+                token = None
+            else:
+                token = blake2b(blob, digest_size=16).digest()
+        self._stable_tokens[node] = token
+        return token
 
     # -- packing --------------------------------------------------------
 
@@ -724,6 +935,117 @@ class MachineState:
             generic_keys,
         )
 
+    # -- value-symmetry orbit quotient -----------------------------------
+
+    def orbit_key(self) -> tuple | None:
+        """Orbit signature of this state (coarser than :meth:`state_key`).
+
+        Two refinements over the exact key, both sound for any program
+        driven here (verified by the quotient differential suite):
+
+        * **decided outputs are factored out** — no operation reads
+          another process's output, so states differing only in decided
+          values share their entire future; the exploration engine
+          stores suffix counters and re-fills them from the querying
+          state's own outputs;
+        * **oracle arrival order collapses to the acquired-pid mask** —
+          a GSB oracle's future hand-outs depend only on *how many*
+          values it has handed out (the committed value vector is fixed
+          per exploration), and each received value is already encoded
+          in its receiver's program counter.
+
+        Returns None when a generic shared object exposes no
+        ``state_key`` (same contract as :meth:`state_key`).
+        """
+        generic_keys: tuple = ()
+        if self._generic:
+            keys = []
+            for name in sorted(self._generic):
+                obj = self._generic[name]
+                if not hasattr(obj, "state_key"):
+                    return None
+                keys.append((name, obj.state_key()))
+            generic_keys = tuple(keys)
+        return (
+            tuple(self._pc),
+            tuple(self._cells),
+            tuple(self._oracle_acquired),
+            generic_keys,
+        )
+
+    #: ``probe_step`` marker: the probed step does not decide its process.
+    STILL_RUNNING = object()
+
+    def probe_step(self, pid: int) -> tuple[tuple, Any] | None:
+        """Orbit key of the state ``step(pid)`` would reach — without
+        forking or stepping.
+
+        Returns ``(orbit key, decided value)`` where the decided value
+        is :data:`STILL_RUNNING` when the step leaves ``pid`` undecided;
+        or None when the successor cannot be probed structurally (an
+        untraced table edge, a generic object, an oracle-misuse step
+        that must raise for real) and the caller should fork + step.
+        The returned key is byte-identical to the successor's
+        :meth:`orbit_key` — the quotient tests pin that.
+        """
+        if self._generic:
+            return None
+        program = self.program
+        node = self._pc[pid]
+        if node < 0:
+            return None
+        entry = program.exec_table[node]
+        code = entry[0]
+        cells = self._cells
+        new_cells = None
+        new_acquired = None
+        if code == _OP_WRITE:
+            result = None
+            cell = entry[1]
+            if cells[cell] != entry[2]:
+                new_cells = list(cells)
+                new_cells[cell] = entry[2]
+        elif code == _OP_SNAPSHOT:
+            result = tuple(cells[entry[1] : entry[2]])
+        elif code == _OP_READ:
+            result = cells[entry[1]]
+        elif code == _OP_INVOKE:
+            index = entry[1]
+            mask = 1 << pid
+            if self._oracle_acquired[index] & mask:
+                return None  # the real step raises OracleUsageError
+            result = self._oracle_values[index][
+                len(self._oracle_arrivals[index])
+            ]
+            new_acquired = list(self._oracle_acquired)
+            new_acquired[index] |= mask
+        elif code == _OP_NOP:
+            result = None
+        else:
+            return None  # generic / deferred-raise: take the real path
+        child = program.edges[node].get(result)
+        if child is None:
+            return None  # untraced successor: the real step must trace it
+        if program.ops[child] is None:
+            decided = program.decisions[child]
+            new_pc = DECIDED
+        else:
+            decided = MachineState.STILL_RUNNING
+            new_pc = child
+        pcs = list(self._pc)
+        pcs[pid] = new_pc
+        return (
+            (
+                tuple(pcs),
+                tuple(cells) if new_cells is None else tuple(new_cells),
+                tuple(self._oracle_acquired)
+                if new_acquired is None
+                else tuple(new_acquired),
+                (),
+            ),
+            decided,
+        )
+
     def result(self) -> RunResult:
         return RunResult(
             n=self.n,
@@ -734,3 +1056,142 @@ class MachineState:
             trace=list(self.trace),
             steps=self.step_count,
         )
+
+
+class ValueCanonicalizer:
+    """Canonical relabeling of interchangeable written-but-undecided values.
+
+    For specs whose oracle-assigned values are *interchangeable* — used
+    only under equality comparisons, never arithmetic (declared per spec
+    via a relabeler, see :class:`repro.shm.engine.ExplorationSpec`) — two
+    states differing only by a permutation of the **free** values (those
+    the oracle has finished handing out; values still pending hand-out
+    are pinned by the committed vector) have isomorphic futures.  The
+    canonical representative renumbers free values so their
+    first-occurrence order — over the flat cell array, then over each
+    live process's acquired-value history in pid order — is ascending.
+    The permutation fixes the value *set* (it maps the seen free values
+    onto their own sorted order), so it can never collide with values
+    held invisibly (by crashed processes or in decided outputs), and it
+    is idempotent: canonical states canonicalize to themselves (pinned by
+    the quotient property tests).
+
+    Program counters are canonicalized by *re-routing through the step
+    table*: the node's recorded result history is relabeled and walked
+    from the root (tracing on demand), so the canonical node's pending
+    operation is re-derived by the algorithm itself — a relabeled
+    history that diverges structurally fails loudly in
+    :meth:`CompiledProtocol.extend`'s determinism check rather than
+    merging unsoundly.
+    """
+
+    def __init__(self, program: CompiledProtocol, relabel: Any):
+        self.program = program
+        self.relabel = relabel
+        if relabel.oracle not in program._oracle_index:
+            raise ValueError(
+                f"relabeler targets oracle {relabel.oracle!r}; program has "
+                f"{program.oracle_names}"
+            )
+        self._oracle = program._oracle_index[relabel.oracle]
+        #: node -> chronological tuple of oracle values its history holds
+        self._node_values: dict[int, tuple] = {}
+        #: (node, mapping key) -> canonical node
+        self._canon_nodes: dict[tuple, int] = {}
+
+    def canonical(self, machine: MachineState) -> tuple[tuple | None, dict | None]:
+        """``(canonical orbit key, inverse mapping)`` for one state.
+
+        The inverse mapping (canonical value -> this state's value; None
+        for the identity) is what replays a memoized suffix counter back
+        into this state's frame.
+        """
+        if machine._generic:
+            # Generic shared objects are opaque to the relabeler: their
+            # state keys could embed oracle values this pass would have to
+            # rewrite.  Fall back to the unrelabeled orbit key (sound,
+            # merely coarser-free).
+            return machine.orbit_key(), None
+        index = self._oracle
+        values = machine._oracle_values[index]
+        pending = set(values[len(machine._oracle_arrivals[index]) :])
+        relabel = self.relabel
+        seen: set = set()
+        order: list = []
+        for cell in machine._cells:
+            for value in relabel.cell_values(cell):
+                if value not in seen:
+                    seen.add(value)
+                    order.append(value)
+        for node in machine._pc:
+            if node < 0:
+                continue
+            for value in self._values_at(node):
+                if value not in seen:
+                    seen.add(value)
+                    order.append(value)
+        free = [value for value in order if value not in pending]
+        mapping = {
+            src: dst for src, dst in zip(free, sorted(free)) if src != dst
+        }
+        if not mapping:
+            return machine.orbit_key(), None
+        mapping_key = tuple(sorted(mapping.items()))
+        pcs = tuple(
+            node if node < 0 else self._canonical_node(node, mapping, mapping_key)
+            for node in machine._pc
+        )
+        cells = tuple(
+            relabel.map_cell(cell, mapping) for cell in machine._cells
+        )
+        inverse = {dst: src for src, dst in mapping.items()}
+        return (
+            (pcs, cells, tuple(machine._oracle_acquired), ()),
+            inverse,
+        )
+
+    def _values_at(self, node: int) -> tuple:
+        """Oracle values a live process at ``node`` has observed, in
+        chronological order (cached per node, built incrementally)."""
+        known = self._node_values.get(node)
+        if known is not None:
+            return known
+        program = self.program
+        parent = program.parents[node]
+        if parent < 0:
+            held: tuple = ()
+        else:
+            held = self._values_at(parent) + tuple(
+                self.relabel.result_values(
+                    program.ops[parent], program.sent[node]
+                )
+            )
+        self._node_values[node] = held
+        return held
+
+    def _canonical_node(
+        self, node: int, mapping: dict, mapping_key: tuple
+    ) -> int:
+        cached = self._canon_nodes.get((node, mapping_key))
+        if cached is not None:
+            return cached
+        program = self.program
+        path: list[int] = []
+        cursor = node
+        while cursor >= 0:
+            path.append(cursor)
+            cursor = program.parents[cursor]
+        path.reverse()
+        relabel = self.relabel
+        current = path[0]  # the root: no history to relabel
+        for successor in path[1:]:
+            parent = current
+            result = relabel.map_result(
+                program.ops[parent], program.sent[successor], mapping
+            )
+            child = program.edges[parent].get(result)
+            if child is None:
+                child = program.extend(parent, result, result)
+            current = child
+        self._canon_nodes[(node, mapping_key)] = current
+        return current

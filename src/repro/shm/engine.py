@@ -59,6 +59,7 @@ import time
 import warnings
 from collections import Counter
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Any, Callable, Iterator, Sequence
 
 from .runtime import Algorithm, Runtime, RunResult, freeze_value
@@ -77,6 +78,40 @@ class ExplorationBudgetExceeded(RuntimeError):
     """Exploration hit ``max_runs``; results so far are incomplete."""
 
 
+# -- process-wide orbit-memo counters, surfaced via core.cache_config so
+# the quotient shows up in cache_stats() / the /stats endpoint like every
+# other cache in the repo.
+_ORBIT_TOTALS = {
+    "explorations": 0,
+    "orbits": 0,
+    "orbit_hits": 0,
+    "lex_pruned": 0,
+}
+
+
+def _orbit_totals() -> dict:
+    return dict(_ORBIT_TOTALS)
+
+
+def _orbit_totals_clear() -> None:
+    for key in _ORBIT_TOTALS:
+        _ORBIT_TOTALS[key] = 0
+
+
+def _register_orbit_counters() -> None:
+    from ..core.cache_config import register_counters
+
+    try:
+        register_counters(
+            "engine.orbit_memo", _orbit_totals, _orbit_totals_clear
+        )
+    except ValueError:  # pragma: no cover - repeated registration on reload
+        pass
+
+
+_register_orbit_counters()
+
+
 @dataclass
 class EngineStats:
     """Counters describing one exploration (observability + docs tables)."""
@@ -88,6 +123,9 @@ class EngineStats:
     memo_entries: int = 0  #: distinct states memoized
     subsets_pruned: int = 0  #: participant subsets collapsed by symmetry
     peak_stack: int = 0  #: deepest DFS stack (memory high-water mark)
+    orbits: int = 0  #: distinct value-symmetry orbits memoized
+    orbit_hits: int = 0  #: subtrees served from the orbit memo
+    lex_pruned: int = 0  #: branches pruned by the pre-fork orbit probe
 
     def merge(self, other: "EngineStats") -> None:
         self.nodes += other.nodes
@@ -97,6 +135,9 @@ class EngineStats:
         self.memo_entries += other.memo_entries
         self.subsets_pruned += other.subsets_pruned
         self.peak_stack = max(self.peak_stack, other.peak_stack)
+        self.orbits += other.orbits
+        self.orbit_hits += other.orbit_hits
+        self.lex_pruned += other.lex_pruned
 
     def to_json(self) -> dict:
         """Counter dict for the CLI's ``--json`` payloads."""
@@ -108,6 +149,9 @@ class EngineStats:
             "memo_entries": self.memo_entries,
             "subsets_pruned": self.subsets_pruned,
             "peak_stack": self.peak_stack,
+            "orbits": self.orbits,
+            "orbit_hits": self.orbit_hits,
+            "lex_pruned": self.lex_pruned,
         }
 
 
@@ -127,6 +171,18 @@ class PrefixSharingEngine:
             budget: it bounds work, and memoized mode does less of it).
         max_depth: per-run step bound (guards against non-termination).
         stats: optional shared :class:`EngineStats` to accumulate into.
+        quotient: memoize over value-symmetry *orbits* instead of exact
+            states (compiled core only; see :meth:`decided_vectors`).
+        relabeler: the spec's declared value-relabeling group
+            (:attr:`ExplorationSpec.value_relabel`); None means only the
+            relabeling-free orbit refinements apply.
+        orbit_memo: optional externally shared orbit-memo dict.  Sharing
+            is sound only between explorations of the **same participant
+            set** (orbit keys do not encode ``participants``) — the
+            subtree-sharding path satisfies this, subset sweeps must not.
+        shared_memo: optional cross-process orbit exchange exposing
+            ``get(key)`` / ``offer(key, entry)``
+            (:class:`repro.shm.memoshare.SharedOrbitMemo`).
     """
 
     def __init__(
@@ -136,6 +192,10 @@ class PrefixSharingEngine:
         max_runs: int | None = None,
         max_depth: int = 10_000,
         stats: EngineStats | None = None,
+        quotient: bool = False,
+        relabeler: Any = None,
+        orbit_memo: dict | None = None,
+        shared_memo: Any = None,
     ):
         self._make = make_runtime
         self.participants = (
@@ -144,6 +204,10 @@ class PrefixSharingEngine:
         self.max_runs = max_runs
         self.max_depth = max_depth
         self.stats = stats if stats is not None else EngineStats()
+        self.quotient = quotient
+        self.relabeler = relabeler
+        self.orbit_memo = orbit_memo
+        self.shared_memo = shared_memo
 
     # ------------------------------------------------------------------
     # Exact mode: the drop-in replacement for the legacy explorer
@@ -215,7 +279,25 @@ class PrefixSharingEngine:
 
         ``memoize=False`` degrades to plain fork-sharing (used by tests to
         show count preservation).
+
+        With ``quotient=True`` (and a compiled-core runtime) the memo is a
+        table over value-symmetry **orbits** (:meth:`MachineState.orbit_key
+        <repro.shm.compiled.MachineState.orbit_key>`): entries store suffix
+        counters over the frame's undecided positions and are re-filled
+        from each querying state's own decided outputs — counts stay exact
+        and byte-identical to this method's output, the differential suite
+        pins that.  A pre-fork probe additionally serves memo hits without
+        forking or stepping at all.
         """
+        if self.quotient and memoize:
+            probe = self._make()
+            if hasattr(probe, "orbit_key"):
+                return self._decided_vectors_quotient()
+            # Generator-core runtimes expose no orbit surface; the exact
+            # path below is the reference they are compared against.
+        return self._decided_vectors_exact(memoize)
+
+    def _decided_vectors_exact(self, memoize: bool) -> Counter:
         produced = 0
         memo: dict[Any, Counter] = {}
         root = self._make()
@@ -291,6 +373,255 @@ class PrefixSharingEngine:
                 propagate(hit)
         assert total is not None
         return Counter(total)
+
+    def _decided_vectors_quotient(self) -> Counter:
+        """Orbit-quotient DFS (see :meth:`decided_vectors`).
+
+        Structure mirrors :meth:`_decided_vectors_exact`, with three
+        changes:
+
+        * memo entries are ``(positions, suffix counts)`` keyed by orbit —
+          ``positions`` is the frame's undecided (enabled ∩ allowed) pid
+          tuple, and the suffix counts carry only those positions' decided
+          values; the decided prefix is constant under a frame, so the
+          projection is lossless, and a hit re-fills the suffix over the
+          *querying* state's outputs;
+        * with a declared relabeler, keys are canonicalized
+          (:class:`~repro.shm.compiled.ValueCanonicalizer`) and suffixes
+          are stored in the canonical frame — forward-mapped on store,
+          inverse-mapped on hit;
+        * without a relabeler, a pre-fork probe
+          (:meth:`~repro.shm.compiled.MachineState.probe_step`) computes
+          each successor's orbit key structurally and serves memo hits
+          before paying for the fork + step (counted as ``lex_pruned``:
+          the branch is subsumed by the orbit representative explored
+          earlier in the engine's lexicographic order).
+        """
+        produced = 0
+        memo: dict[Any, tuple] = (
+            self.orbit_memo if self.orbit_memo is not None else {}
+        )
+        shared = self.shared_memo
+        root = self._make()
+        allowed = self._allowed(root)
+        self._check_depth(root)
+
+        relabeler = self.relabeler
+        canon = None
+        if relabeler is not None:
+            from .compiled import ValueCanonicalizer
+
+            program = root.program
+            canon = getattr(program, "_engine_canonicalizer", None)
+            if canon is None or canon.relabel is not relabeler:
+                canon = ValueCanonicalizer(program, relabeler)
+                # Cache on the shared program: canonical-node routing is
+                # reusable across every exploration of this step table.
+                program._engine_canonicalizer = canon
+        probing = canon is None and hasattr(root, "probe_step")
+        still = getattr(type(root), "STILL_RUNNING", None)
+        max_runs = self.max_runs
+        max_depth = self.max_depth
+        # With the full participant set (the common case) the per-node
+        # allowed-filter over enabled pids is a no-op: skip it.
+        full_set = len(allowed) == root.n
+
+        # Hot-loop counters stay locals; folded into stats in `finally`.
+        nodes_l = runs_l = forks_l = hits_l = entries_l = 0
+        orbits_l = lex_l = peak_l = 0
+
+        # Accumulators are plain dicts, not Counters: Counter.__iadd__
+        # rescans the whole accumulator for positivity on every merge,
+        # which dominates the hot loop (counts here are never negative).
+        def leaf(machine) -> dict:
+            nonlocal produced, runs_l
+            produced += 1
+            if max_runs is not None and produced > max_runs:
+                raise ExplorationBudgetExceeded(
+                    f"exploration produced more than {max_runs} runs"
+                )
+            runs_l += 1
+            return {tuple(freeze_value(v) for v in machine.outputs): 1}
+
+        def fill(machine, entry, inverse, override_pid, override_value):
+            """Replay a memoized suffix counter into this state's frame."""
+            positions, suffixes = entry
+            base = list(machine.outputs)
+            if override_pid is not None:
+                base[override_pid] = override_value
+            out: dict = {}
+            if inverse:
+                map_output = relabeler.map_output
+                for suffix, count in suffixes.items():
+                    full = list(base)
+                    for i, v in zip(positions, suffix):
+                        full[i] = map_output(v, inverse)
+                    key = tuple(full)
+                    out[key] = out.get(key, 0) + count
+            else:
+                for suffix, count in suffixes.items():
+                    full = list(base)
+                    for i, v in zip(positions, suffix):
+                        full[i] = v
+                    key = tuple(full)
+                    out[key] = out.get(key, 0) + count
+            return out
+
+        total: dict | None = None
+        stack: list[list[Any]] = []
+        _unset = object()
+
+        # Frames: [machine, branches, index, acc, key, inverse, forward,
+        # positions].
+        def open_frame(machine, branches, key=_unset):
+            nonlocal nodes_l, hits_l, peak_l
+            inverse = forward = None
+            if key is _unset:
+                if canon is not None:
+                    key, inverse = canon.canonical(machine)
+                    if inverse is not None:
+                        forward = {src: dst for dst, src in inverse.items()}
+                else:
+                    key = machine.orbit_key()
+            if key is not None:
+                entry = memo.get(key)
+                if entry is None and shared is not None:
+                    entry = shared.get(key)
+                    if entry is not None:
+                        memo[key] = entry
+                if entry is not None:
+                    hits_l += 1
+                    return fill(machine, entry, inverse, None, None)
+            nodes_l += 1
+            stack.append(
+                [machine, branches, 0, {}, key, inverse, forward,
+                 tuple(branches)]
+            )
+            if len(stack) > peak_l:
+                peak_l = len(stack)
+            return None
+
+        def propagate(outcome: dict) -> None:
+            nonlocal total
+            if stack:
+                acc = stack[-1][3]
+                get = acc.get
+                for full, count in outcome.items():
+                    acc[full] = get(full, 0) + count
+            else:
+                total = outcome
+
+        try:
+            enabled = self._enabled(root, allowed)
+            if not enabled:
+                return Counter(leaf(root))
+            hit = open_frame(root, enabled)
+            if hit is not None:
+                return Counter(hit)
+            while stack:
+                frame = stack[-1]
+                machine, branches, index = frame[0], frame[1], frame[2]
+                if index == len(branches):
+                    acc = frame[3]
+                    key = frame[4]
+                    if key is not None:
+                        positions = frame[7]
+                        forward = frame[6]
+                        suffixes: dict = {}
+                        if forward:
+                            map_output = relabeler.map_output
+                            for full, count in acc.items():
+                                suffix = tuple(
+                                    map_output(full[i], forward)
+                                    for i in positions
+                                )
+                                suffixes[suffix] = (
+                                    suffixes.get(suffix, 0) + count
+                                )
+                        elif len(positions) == 1:
+                            pos = positions[0]
+                            for full, count in acc.items():
+                                suffix = (full[pos],)
+                                suffixes[suffix] = (
+                                    suffixes.get(suffix, 0) + count
+                                )
+                        else:
+                            project = itemgetter(*positions)
+                            for full, count in acc.items():
+                                suffix = project(full)
+                                suffixes[suffix] = (
+                                    suffixes.get(suffix, 0) + count
+                                )
+                        entry = (positions, suffixes)
+                        memo[key] = entry
+                        entries_l += 1
+                        orbits_l += 1
+                        if shared is not None:
+                            shared.offer(key, entry)
+                    stack.pop()
+                    propagate(acc)
+                    continue
+                frame[2] = index + 1
+                pid = branches[index]
+                pkey = _unset
+                if probing:
+                    probed = machine.probe_step(pid)
+                    if probed is not None:
+                        pkey, decided = probed
+                        entry = memo.get(pkey)
+                        if entry is None and shared is not None:
+                            entry = shared.get(pkey)
+                            if entry is not None:
+                                memo[pkey] = entry
+                        if entry is not None:
+                            hits_l += 1
+                            lex_l += 1
+                            if decided is still:
+                                propagate(
+                                    fill(machine, entry, None, None, None)
+                                )
+                            else:
+                                propagate(
+                                    fill(machine, entry, None, pid, decided)
+                                )
+                            continue
+                if frame[2] == len(branches):
+                    child = machine
+                else:
+                    child = machine.fork()
+                    forks_l += 1
+                child.step(pid)
+                if child.step_count > max_depth:
+                    self._check_depth(child)
+                if full_set:
+                    child_enabled = child.enabled_pids()
+                else:
+                    child_enabled = [
+                        p for p in child.enabled_pids() if p in allowed
+                    ]
+                if not child_enabled:
+                    propagate(leaf(child))
+                    continue
+                hit = open_frame(child, child_enabled, key=pkey)
+                if hit is not None:
+                    propagate(hit)
+            assert total is not None
+            return Counter(total)
+        finally:
+            stats = self.stats
+            stats.nodes += nodes_l
+            stats.runs += runs_l
+            stats.forks += forks_l
+            stats.memo_hits += hits_l
+            stats.memo_entries += entries_l
+            stats.orbits += orbits_l
+            stats.orbit_hits += hits_l
+            stats.lex_pruned += lex_l
+            stats.peak_stack = max(stats.peak_stack, peak_l)
+            _ORBIT_TOTALS["explorations"] += 1
+            _ORBIT_TOTALS["orbits"] += orbits_l
+            _ORBIT_TOTALS["orbit_hits"] += hits_l
+            _ORBIT_TOTALS["lex_pruned"] += lex_l
 
     # ------------------------------------------------------------------
 
@@ -397,12 +728,19 @@ def explore_decided_subsets(
     memoize: bool = True,
     max_runs: int | None = None,
     max_depth: int = 10_000,
+    quotient: bool = False,
+    value_relabel: Any = None,
 ) -> SubsetDecisionProfile:
     """Decided-vector profile over every participant subset.
 
     With ``assume_symmetric`` (the model's default discipline) only one
     representative subset per size is explored and its results are weighted
     by the class size; otherwise all ``2^n - 1`` subsets run.
+
+    ``quotient`` turns on orbit memoization inside each subset's engine
+    (compiled-core factories only).  Each subset keeps its *own* orbit
+    memo: orbit keys do not encode the participant set, so sharing one
+    table across subsets would conflate their suffix positions.
     """
     probe = make_runtime()
     n = probe.n
@@ -427,6 +765,8 @@ def explore_decided_subsets(
             max_runs=max_runs,
             max_depth=max_depth,
             stats=profile.stats,
+            quotient=quotient,
+            relabeler=value_relabel if quotient else None,
         )
         profile.by_subset[subset] = engine.decided_vectors(memoize=memoize)
         profile.weights[subset] = weight
@@ -454,6 +794,15 @@ class ExplorationSpec:
     algorithm_factory: Callable[[int], Algorithm]
     system_factory: Callable[[int], Callable[[], tuple[dict, dict]]]
     min_n: int = 2
+    #: ``"pinned"`` (default): oracle values feed arithmetic or carry
+    #: semantics — only the relabeling-free orbit refinements apply.
+    #: ``"interchangeable"``: values are compared for equality only;
+    #: ``value_relabel`` then carries the relabeler the canonicalizer
+    #: drives (see :class:`SlotValueRelabeler`).  Declaring a spec
+    #: interchangeable when its algorithm computes *with* the values is
+    #: unsound; the n<=3 differential suite is the arbiter.
+    value_symmetry: str = "pinned"
+    value_relabel: Any = None
 
 
 _SPEC_REGISTRY: dict[str, ExplorationSpec] = {}
@@ -599,6 +948,68 @@ def _snapshot(array: str):
     return Snapshot(array)
 
 
+class SlotValueRelabeler:
+    """Value relabeler for Figure 2's renaming: KS slots are nominal.
+
+    ``figure2_renaming`` only ever *writes* its acquired slot and compares
+    slot fields for equality (via cell occupancy) — no arithmetic, no
+    ordering — so any permutation of the slot values maps runs to runs.
+    Cells are ``(slot, identity)`` pairs (identities stay pinned), Invoke
+    results are slots, Snapshot results are cell tuples, and decided
+    outputs in ``1..n-1`` are slots while the fallback names ``n``/``n+1``
+    are fixed points of every permutation the canonicalizer builds (it
+    only permutes values the oracle handed out).
+
+    Contrast ``wsb``/``wsb-grh``: their adaptive renaming *computes* with
+    acquired names (``_nth_free_name`` rank arithmetic over the snapshot),
+    so a name permutation does not commute with the algorithm — e.g. with
+    names {1,3} taken, swapping 1 and 3 changes which name is "first
+    free".  Those specs stay ``pinned``.
+    """
+
+    def __init__(self, oracle: str):
+        self.oracle = oracle
+
+    def cell_values(self, cell) -> tuple:
+        """Oracle values stored in one (frozen) cell."""
+        return () if cell is None else (cell[0],)
+
+    def map_cell(self, cell, mapping):
+        if cell is None:
+            return None
+        slot, identity = cell
+        return (mapping.get(slot, slot), identity)
+
+    def result_values(self, op, result) -> tuple:
+        """Oracle values a process *retains* from one operation result."""
+        from .ops import Invoke, Snapshot
+
+        if isinstance(op, Invoke):
+            return (result,)
+        if isinstance(op, Snapshot):
+            return tuple(
+                cell[0] for cell in result if cell is not None
+            )
+        return ()
+
+    def map_result(self, op, result, mapping):
+        """The operation result as it would read under the relabeling.
+
+        Must return a value usable as a step-table edge key (same
+        freezing as the original result).
+        """
+        from .ops import Invoke, Snapshot
+
+        if isinstance(op, Invoke):
+            return mapping.get(result, result)
+        if isinstance(op, Snapshot):
+            return tuple(self.map_cell(cell, mapping) for cell in result)
+        return result
+
+    def map_output(self, value, mapping):
+        return mapping.get(value, value)
+
+
 register_spec(
     ExplorationSpec(
         name="wsb",
@@ -636,6 +1047,8 @@ register_spec(
         task_factory=_renaming_task,
         algorithm_factory=_renaming_algorithm,
         system_factory=_renaming_system,
+        value_symmetry="interchangeable",
+        value_relabel=SlotValueRelabeler(oracle="KS"),
     )
 )
 
@@ -657,6 +1070,7 @@ class BatchResult:
     stats: EngineStats
     core: str = "compiled"  #: runtime core the exploration ran on
     shards: int = 0  #: subtree shards (0 = one serial exploration)
+    quotient: bool = False  #: value-symmetry orbit quotient was active
 
     def __str__(self) -> str:
         status = "OK" if self.violations == 0 else f"{self.violations} ILLEGAL"
@@ -677,6 +1091,7 @@ class BatchResult:
             "violations": self.violations,
             "seconds": self.seconds,
             "shards": self.shards,
+            "quotient": self.quotient,
             "stats": self.stats.to_json(),
         }
 
@@ -702,7 +1117,10 @@ def make_spec_runtime(spec: ExplorationSpec, n: int) -> Callable[[], Runtime]:
 
 
 def make_spec_machine(
-    spec: ExplorationSpec, n: int, record_trace: bool = False
+    spec: ExplorationSpec,
+    n: int,
+    record_trace: bool = False,
+    frame_nodes: bool = False,
 ) -> Callable[[], Any]:
     """Compiled-core machine factory for one spec (identities ``1..n``).
 
@@ -710,7 +1128,10 @@ def make_spec_machine(
     compiled once per factory and shared by every machine (and fork) it
     produces — the point of the compiled core: the per-exploration cost of
     understanding the algorithm is paid once, after which forks are array
-    copies and state keys are packed tuples.
+    copies and state keys are packed tuples.  The shared program is
+    exposed as ``factory.program`` (the parallel path exports it to pool
+    workers).  ``frame_nodes`` turns on local-state node merging in the
+    step table (the quotient's history → local-state collapse).
     """
     from .compiled import CompiledProtocol
 
@@ -718,7 +1139,11 @@ def make_spec_machine(
     system_factory = spec.system_factory(n)
     probe_arrays, probe_objects = system_factory()
     program = CompiledProtocol(
-        algorithm, range(1, n + 1), arrays=probe_arrays, objects=probe_objects
+        algorithm,
+        range(1, n + 1),
+        arrays=probe_arrays,
+        objects=probe_objects,
+        frame_nodes=frame_nodes,
     )
 
     def make_machine():
@@ -727,16 +1152,20 @@ def make_spec_machine(
             arrays=arrays, objects=objects, record_trace=record_trace
         )
 
+    make_machine.program = program
     return make_machine
 
 
 def spec_factory(
-    spec: ExplorationSpec, n: int, core: str = "compiled"
+    spec: ExplorationSpec,
+    n: int,
+    core: str = "compiled",
+    quotient: bool = False,
 ) -> Callable[[], Any]:
     """The runtime factory for one spec on the chosen core."""
     _check_core(core)
     if core == "compiled":
-        return make_spec_machine(spec, n)
+        return make_spec_machine(spec, n, frame_nodes=quotient)
     return make_spec_runtime(spec, n)
 
 
@@ -749,6 +1178,7 @@ def explore_one(
     core: str = "compiled",
     jobs: int = 0,
     shard_depth: int | None = None,
+    quotient: bool = True,
 ) -> BatchResult:
     """Explore one spec at one size and validate its decided vectors.
 
@@ -761,6 +1191,9 @@ def explore_one(
             requires a registry-resolvable spec name.
         shard_depth: frontier depth for the parallel path (default:
             :func:`repro.shm.parallel.default_shard_depth`).
+        quotient: memoize over value-symmetry orbits (default on; only
+            effective on the compiled core with ``memoize`` — the
+            generator core stays the exact reference).
     """
     _check_core(core)
     if isinstance(spec, str):
@@ -782,6 +1215,7 @@ def explore_one(
         )
         parallel = False
 
+    effective_quotient = bool(quotient and memoize and core == "compiled")
     stats = EngineStats()
     shards = 0
     started = time.perf_counter()
@@ -798,15 +1232,20 @@ def explore_one(
             max_depth=max_depth,
             core=core,
             stats=stats,
+            quotient=effective_quotient,
         )
         decisions = outcome.decisions
         shards = outcome.shards
     else:
         engine = PrefixSharingEngine(
-            spec_factory(spec, n, core),
+            spec_factory(spec, n, core, quotient=effective_quotient),
             max_runs=max_runs,
             max_depth=max_depth,
             stats=stats,
+            quotient=effective_quotient,
+            relabeler=(
+                spec.value_relabel if effective_quotient else None
+            ),
         )
         decisions = engine.decided_vectors(memoize=memoize)
     seconds = time.perf_counter() - started
@@ -826,6 +1265,7 @@ def explore_one(
         stats=stats,
         core=core,
         shards=shards,
+        quotient=effective_quotient,
     )
 
 
@@ -845,6 +1285,7 @@ def explore_many(
     core: str = "compiled",
     subtree_jobs: int = 0,
     shard_depth: int | None = None,
+    quotient: bool = True,
 ) -> list[BatchResult]:
     """Explore a battery of tasks across system sizes.
 
@@ -871,6 +1312,7 @@ def explore_many(
         "max_runs": max_runs,
         "max_depth": max_depth,
         "core": core,
+        "quotient": quotient,
     }
     jobs: list[tuple[ExplorationSpec | str, int]] = []
     for spec in tasks:

@@ -32,15 +32,48 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Iterator, Sequence
 
-from .engine import ExplorationBudgetExceeded, PrefixSharingEngine
+from .engine import EngineStats, ExplorationBudgetExceeded, PrefixSharingEngine
 from .runtime import Runtime, RunResult
 
 __all__ = [
     "ExplorationBudgetExceeded",
+    "count_decided_vectors",
     "count_interleavings",
     "explore_all_participant_subsets",
     "explore_interleavings",
 ]
+
+
+def count_decided_vectors(
+    make_runtime: Callable[[], Runtime],
+    participants: Sequence[int] | None = None,
+    max_runs: int | None = None,
+    max_depth: int = 10_000,
+    quotient: bool = False,
+    value_relabel=None,
+    stats: EngineStats | None = None,
+):
+    """Decided-vector multiset of every interleaving, with optional
+    value-symmetry quotienting.
+
+    Convenience wrapper over
+    :meth:`PrefixSharingEngine.decided_vectors`: ``quotient=True`` (with
+    a compiled-core factory, see
+    :func:`repro.shm.engine.spec_factory` ``quotient=True``) memoizes
+    over orbits instead of exact states — same Counter, fewer visits;
+    ``value_relabel`` additionally collapses relabelings of
+    interchangeable oracle values (see
+    :attr:`repro.shm.engine.ExplorationSpec.value_relabel`).
+    """
+    return PrefixSharingEngine(
+        make_runtime,
+        participants=participants,
+        max_runs=max_runs,
+        max_depth=max_depth,
+        stats=stats,
+        quotient=quotient,
+        relabeler=value_relabel if quotient else None,
+    ).decided_vectors()
 
 
 def explore_interleavings(

@@ -18,10 +18,23 @@ parallel work:
 4. the parent merges counters (exact: subtrees partition the run set) and
    stats.
 
-Memoization is per worker — subtrees sharded apart cannot share a memo, so
-the merged ``stats.runs``/``memo_entries`` may exceed a serial memoized
-exploration's.  The returned multiset is identical either way, which the
-tests pin against the serial engine.
+Memoization used to be strictly per worker — subtrees sharded apart could
+not share a memo, so the merged ``stats.runs``/``memo_entries`` could far
+exceed a serial memoized exploration's.  Two mechanisms close that gap:
+
+* the parent **pre-traces** its step table (roots + the frontier walk)
+  and ships the exported table to every pool worker through the pool
+  initializer, so workers skip the per-process generator re-trace
+  (:meth:`~repro.shm.compiled.CompiledProtocol.import_table`); the
+  per-process :func:`_cached_spec_factory` remains the fallback for
+  unregistered specs and table mismatches;
+* with the orbit quotient on, workers exchange finished orbit-memo
+  entries through a shared-memory ring (:mod:`repro.shm.memoshare`),
+  publishing heavy subtrees and consulting the ring before descending —
+  cross-subtree sharing without cross-worker locking on the read path.
+
+The returned multiset is identical either way, which the tests pin
+against the serial engine.
 """
 
 from __future__ import annotations
@@ -117,20 +130,66 @@ def shard_frontier(
     return [prefix for prefix, _ in frontier], leaves, forks
 
 
-#: Worker-side factory cache: one compiled step table per (spec, n, core)
-#: per process, shared by every shard the pool lands on that worker —
-#: without it each of the (often dozens of) shard jobs would re-trace the
-#: whole table from generator replays.
-_FACTORY_CACHE: dict[tuple[str, int, str], object] = {}
+#: Worker-side factory cache: one compiled step table per
+#: (spec, n, core, quotient) per process, shared by every shard the pool
+#: lands on that worker — without it each of the (often dozens of) shard
+#: jobs would re-trace the whole table from generator replays.
+_FACTORY_CACHE: dict[tuple[str, int, str, bool], object] = {}
 
 
-def _cached_spec_factory(name: str, n: int, core: str):
-    key = (name, n, core)
+def _cached_spec_factory(
+    name: str, n: int, core: str, quotient: bool = False, table=None
+):
+    key = (name, n, core, quotient)
     factory = _FACTORY_CACHE.get(key)
     if factory is None:
-        factory = spec_factory(get_spec(name), n, core)
+        factory = spec_factory(get_spec(name), n, core, quotient=quotient)
+        program = getattr(factory, "program", None)
+        if table is not None and program is not None:
+            # Adopt the parent's pre-traced table; a structural mismatch
+            # returns False and this process keeps its own lazy trace.
+            program.import_table(table)
         _FACTORY_CACHE[key] = factory
     return factory
+
+
+#: Worker-global shared orbit memo, installed by the pool initializer
+#: (None in the parent and in initializer-less pools).
+_WORKER_SHARED = None
+
+
+def _init_worker(
+    name: str,
+    n: int,
+    core: str,
+    quotient: bool,
+    table,
+    ring_name: str | None,
+    lock,
+) -> None:
+    """Pool-worker initializer: seed the factory cache (adopting the
+    parent's pre-traced table) and attach the shared orbit-memo ring."""
+    global _WORKER_SHARED
+    _WORKER_SHARED = None
+    try:
+        factory = _cached_spec_factory(name, n, core, quotient, table=table)
+    except Exception:
+        # A broken spec fails identically inside _subtree_job, where the
+        # error reaches the parent attached to a shard instead of killing
+        # the worker at startup.
+        return
+    if ring_name is None or lock is None:
+        return
+    try:
+        from .memoshare import OrbitMemoRing, SharedOrbitMemo
+
+        _WORKER_SHARED = SharedOrbitMemo(
+            OrbitMemoRing(name=ring_name),
+            lock,
+            program=getattr(factory, "program", None),
+        )
+    except Exception:
+        _WORKER_SHARED = None  # sharing is an optimization, never required
 
 
 def _run_pooled(
@@ -141,6 +200,7 @@ def _run_pooled(
     jobs: int,
     outcomes: list,
     indices: list[int] | None = None,
+    initargs: tuple | None = None,
 ) -> tuple[bool, object | None]:
     """Run shard jobs on a process pool, filling ``outcomes[indices[i]]``.
 
@@ -156,8 +216,11 @@ def _run_pooled(
 
     indices = list(range(len(prefixes))) if indices is None else indices
     registry_miss = None
+    pool_kwargs: dict = {"max_workers": jobs}
+    if initargs is not None:
+        pool_kwargs.update(initializer=_init_worker, initargs=initargs)
     try:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        with ProcessPoolExecutor(**pool_kwargs) as pool:
             futures = [
                 pool.submit(_subtree_job, spec_name, n, prefix, options)
                 for prefix in prefixes
@@ -175,15 +238,23 @@ def _run_pooled(
 
 
 def _subtree_job(
-    name: str, n: int, prefix: tuple[int, ...], options: dict
+    name: str,
+    n: int,
+    prefix: tuple[int, ...],
+    options: dict,
+    orbit_memo: dict | None = None,
 ) -> tuple[Counter, EngineStats]:
     """Module-level worker: rebuild the machine, step the prefix, explore.
 
     Jobs are dispatched by registry name so the executor can spawn-start
     workers; an unregistered name raises :class:`KeyError` here, which the
     parent reports loudly before degrading to serial execution.
+    ``orbit_memo`` lets the in-parent serial path share one orbit table
+    across shards (pool workers share through the ring instead).
     """
-    factory = _cached_spec_factory(name, n, options.get("core", "compiled"))
+    core = options.get("core", "compiled")
+    quotient = options.get("quotient", False)
+    factory = _cached_spec_factory(name, n, core, quotient)
 
     def make_subtree():
         machine = factory()
@@ -195,6 +266,10 @@ def _subtree_job(
         make_subtree,
         max_runs=options.get("max_runs"),
         max_depth=options.get("max_depth", 10_000),
+        quotient=quotient,
+        relabeler=get_spec(name).value_relabel if quotient else None,
+        orbit_memo=orbit_memo,
+        shared_memo=_WORKER_SHARED if quotient else None,
     )
     counter = engine.decided_vectors(memoize=options.get("memoize", True))
     return counter, engine.stats
@@ -210,6 +285,7 @@ def explore_decided_parallel(
     max_depth: int = 10_000,
     core: str = "compiled",
     stats: EngineStats | None = None,
+    quotient: bool = False,
 ) -> ParallelOutcome:
     """Decided-vector multiset of one spec at one size, sharded subtree-wise.
 
@@ -218,6 +294,12 @@ def explore_decided_parallel(
     run set — but each subtree explores on its own process.  ``jobs < 2``
     (or an executor-hostile sandbox) runs the same shards serially
     in-process, so results never depend on pool availability.
+
+    With ``quotient`` each shard memoizes over value-symmetry orbits;
+    pool workers additionally exchange finished orbit entries through a
+    shared-memory ring, and in-parent serial shards share one orbit
+    table directly (every shard explores the same participant set, so
+    sharing is sound).
 
     The ``max_runs`` budget applies per shard *and* to the merged total of
     materialized runs, mirroring the serial semantics as closely as a
@@ -228,7 +310,7 @@ def explore_decided_parallel(
     depth = default_shard_depth(n) if shard_depth is None else shard_depth
     if depth < 0:
         raise ValueError(f"shard depth must be >= 0, got {depth}")
-    factory = spec_factory(spec, n, core)
+    factory = _cached_spec_factory(spec_name, n, core, quotient)
     prefixes, shallow_leaves, forks = shard_frontier(
         factory, depth, max_runs=max_runs
     )
@@ -241,56 +323,96 @@ def explore_decided_parallel(
         "memoize": memoize,
         "max_runs": max_runs,
         "max_depth": max_depth,
+        "quotient": quotient,
     }
 
     pooled = False
     outcomes: list[tuple[Counter, EngineStats] | None]
     outcomes = [None] * len(prefixes)
-    if jobs and jobs > 1 and prefixes:
-        pooled, registry_miss = _run_pooled(
-            spec_name, n, prefixes, options, jobs, outcomes
-        )
-        if registry_miss is not None:
-            warnings.warn(
-                f"subtree-parallel exploration of {spec_name!r} fell back "
-                f"to serial: a pool worker could not resolve the spec from "
-                f"the registry ({registry_miss}); register_spec must run at "
-                "import time of a module the workers also import",
-                RuntimeWarning,
-                stacklevel=2,
+    ring = None
+    initargs: tuple | None = None
+    try:
+        if jobs and jobs > 1 and prefixes:
+            # Parent pre-trace: ship this process's step table (roots +
+            # everything the frontier walk traced) to each worker once,
+            # through the pool initializer.
+            program = getattr(factory, "program", None)
+            table = program.export_table() if program is not None else None
+            ring_name = None
+            lock = None
+            if quotient and program is not None and len(prefixes) > 1:
+                try:
+                    import multiprocessing as mp
+
+                    from .memoshare import OrbitMemoRing
+
+                    ring = OrbitMemoRing(create=True)
+                    ring_name = ring.name
+                    lock = mp.Lock()
+                except Exception:
+                    # No shared memory here (sandbox without /dev/shm):
+                    # workers run with per-process memos, as before.
+                    ring = None
+                    ring_name = None
+                    lock = None
+            initargs = (
+                spec_name, n, core, quotient, table, ring_name, lock
             )
-        failed = [index for index, done in enumerate(outcomes) if done is None]
-        if pooled and failed and registry_miss is None:
-            # One retry on a fresh pool: a transient worker death (OOM
-            # kill, sandbox hiccup) should not instantly serialize the
-            # whole exploration.
-            pooled, _ = _run_pooled(
-                spec_name,
-                n,
-                [prefixes[index] for index in failed],
-                options,
-                jobs,
-                outcomes,
-                indices=failed,
+            pooled, registry_miss = _run_pooled(
+                spec_name, n, prefixes, options, jobs, outcomes,
+                initargs=initargs,
             )
-            still = [i for i, done in enumerate(outcomes) if done is None]
-            if still:
-                named = ", ".join(
-                    f"#{i}{prefixes[i]!r}" for i in still[:8]
-                ) + ("..." if len(still) > 8 else "")
+            if registry_miss is not None:
                 warnings.warn(
-                    f"subtree-parallel exploration of {spec_name!r}: "
-                    f"{len(still)} of {len(prefixes)} shards failed twice "
-                    f"on the process pool ({named}); running them serially "
-                    "in-process",
+                    f"subtree-parallel exploration of {spec_name!r} fell "
+                    f"back to serial: a pool worker could not resolve the "
+                    f"spec from the registry ({registry_miss}); "
+                    "register_spec must run at import time of a module the "
+                    "workers also import",
                     RuntimeWarning,
                     stacklevel=2,
                 )
-    for index, done in enumerate(outcomes):
-        if done is None:
-            outcomes[index] = _subtree_job(
-                spec_name, n, prefixes[index], options
-            )
+            failed = [
+                index for index, done in enumerate(outcomes) if done is None
+            ]
+            if pooled and failed and registry_miss is None:
+                # One retry on a fresh pool: a transient worker death (OOM
+                # kill, sandbox hiccup) should not instantly serialize the
+                # whole exploration.
+                pooled, _ = _run_pooled(
+                    spec_name,
+                    n,
+                    [prefixes[index] for index in failed],
+                    options,
+                    jobs,
+                    outcomes,
+                    indices=failed,
+                    initargs=initargs,
+                )
+                still = [i for i, done in enumerate(outcomes) if done is None]
+                if still:
+                    named = ", ".join(
+                        f"#{i}{prefixes[i]!r}" for i in still[:8]
+                    ) + ("..." if len(still) > 8 else "")
+                    warnings.warn(
+                        f"subtree-parallel exploration of {spec_name!r}: "
+                        f"{len(still)} of {len(prefixes)} shards failed "
+                        f"twice on the process pool ({named}); running "
+                        "them serially in-process",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+        serial_memo: dict | None = {} if quotient else None
+        for index, done in enumerate(outcomes):
+            if done is None:
+                outcomes[index] = _subtree_job(
+                    spec_name, n, prefixes[index], options,
+                    orbit_memo=serial_memo,
+                )
+    finally:
+        if ring is not None:
+            ring.close()
+            ring.unlink()
     for counter, shard_stats in outcomes:
         total += counter
         local_runs += shard_stats.runs
